@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artifact, prints the reproduced
+rows/series (run with ``-s`` to see them next to the paper's numbers), and
+asserts the *shape* claims — who wins, by roughly what factor, where the
+crossovers fall.  Absolute seconds come from the calibrated simulator and
+are expected to track Table III closely but not exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiment pipelines are deterministic and take 0.1-60 s, so one
+    round is both sufficient and honest (repeats would only re-measure the
+    same deterministic path).
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a rendered experiment block outside of capture."""
+
+    def _print(obj) -> None:
+        with capsys.disabled():
+            print()
+            print(obj.render() if hasattr(obj, "render") else obj)
+
+    return _print

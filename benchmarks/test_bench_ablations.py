@@ -1,0 +1,125 @@
+"""Ablation benchmarks backing the paper's textual claims."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.ablations import (
+    run_branching_ablation,
+    run_fit_points_ablation,
+    run_multistart_ablation,
+    run_objective_ablation,
+    run_solver_time,
+    run_tsync_ablation,
+)
+from repro.experiments.mlice_ablation import run_mlice_ablation
+from repro.experiments.paperdata import CLAIMS
+from repro.hslb import ObjectiveKind
+from repro.mlice import IceDecompPolicy
+
+
+class TestObjectiveAblation:
+    def test_objective_ablation(self, benchmark, report):
+        ab = run_once(benchmark, run_objective_ablation, seed=0)
+        report(ab)
+        mm = ab.makespans[ObjectiveKind.MIN_MAX]
+        # Paper Sec. III-D: min-max was the objective used; the sum
+        # objective is "obviously out of consideration".
+        assert mm <= ab.makespans[ObjectiveKind.MIN_SUM]
+        assert mm <= ab.makespans[ObjectiveKind.MAX_MIN]
+        assert ab.makespans[ObjectiveKind.MIN_SUM] > mm * 1.05
+
+
+class TestBranchingAblation:
+    def test_sos_branching_ablation(self, benchmark, report):
+        ab = run_once(benchmark, run_branching_ablation, seed=0)
+        report(ab)
+        # Paper Sec. III-E: branching on the special-ordered set rather than
+        # individual binaries improved the solver runtime by two orders of
+        # magnitude.  Our B&B prunes aggressively, so the measured advantage
+        # is roughly 1.5 orders in explored nodes; crucially both reach the
+        # same optimum and SOS wins decisively, growing with the set size.
+        assert ab.objectives_agree
+        assert ab.node_ratio >= 10.0
+        assert ab.binary_seconds > ab.sos_seconds
+
+
+class TestSolverTime:
+    def test_solver_time_40960(self, benchmark, report):
+        ab = run_once(benchmark, run_solver_time, seed=0)
+        report(ab)
+        # Paper Sec. III-E: "the MINLP for 40960 nodes took less than 60
+        # seconds to solve on one core".
+        assert ab.total_nodes == 40_960
+        assert ab.seconds < CLAIMS["solver_seconds_at_40960"]
+        assert ab.objective > 0
+
+
+class TestTsyncAblation:
+    def test_tsync_ablation(self, benchmark, report):
+        ab = run_once(benchmark, run_tsync_ablation, seed=0)
+        report(ab)
+        # Paper Sec. III-A: "additional constraints, like Tsync, may
+        # actually result in reduced performance".
+        off = ab.makespans[None]
+        tightest = min(b for b in ab.tsync_values if b is not None)
+        assert ab.makespans[tightest] > off
+        for band in ab.tsync_values:
+            if band is not None:
+                assert ab.makespans[band] >= off - 1e-9
+
+
+class TestFitAblation:
+    def test_fit_points_ablation(self, benchmark, report):
+        ab = run_once(benchmark, run_fit_points_ablation, seed=0)
+        report(ab)
+        # Paper Sec. III-C: "for CESM, four points were enough to build
+        # well-fitted scaling curves" and runs should number > 4.
+        best = min(ab.actual.values())
+        for p, t in ab.actual.items():
+            if p >= CLAIMS["min_benchmark_points"]:
+                assert t <= best * 1.06
+        assert min(ab.r_squared.values()) > 0.95
+
+    def test_finetune_ablation(self, benchmark, report):
+        from repro.experiments.finetune import run_finetune_comparison
+
+        ab = run_once(benchmark, run_finetune_comparison, seed=0)
+        report(ab)
+        # Paper Sec. II: coupler/river "can be added later for fine tuning";
+        # doing so collapses the systematic under-prediction.
+        assert ab.finetuned_prediction_error < ab.standard_prediction_error
+        assert ab.finetuned_prediction_error < 0.02
+
+    def test_seed_stability(self, benchmark, report):
+        from repro.experiments.stability import run_seed_stability
+
+        ab = run_once(benchmark, run_seed_stability, seed=0)
+        report(ab)
+        # Replicated headline: HSLB's tie-with-the-expert at 1 degree is
+        # robust to the noise realization, not a lucky seed.
+        assert ab.mean_actual_gap < 0.03
+        assert ab.mean_prediction_error < 0.08
+        assert ab.hslb_actual.std() < 0.05 * ab.hslb_actual.mean()
+
+    def test_mlice_ablation(self, benchmark, report):
+        ab = run_once(benchmark, run_mlice_ablation, seed=0)
+        report(ab)
+        # Sec. V / ref. [10]: learned decomposition selection recovers most
+        # of the oracle's advantage over CICE's default heuristic.
+        default = ab.mean_seconds[IceDecompPolicy.DEFAULT]
+        learned = ab.mean_seconds[IceDecompPolicy.LEARNED]
+        oracle = ab.mean_seconds[IceDecompPolicy.ORACLE]
+        assert oracle <= learned <= default
+        assert (default - learned) >= 0.75 * (default - oracle)
+        assert ab.fit_r_squared[IceDecompPolicy.LEARNED] >= (
+            ab.fit_r_squared[IceDecompPolicy.DEFAULT] - 1e-4
+        )
+
+    def test_multistart_ablation(self, benchmark, report):
+        ab = run_once(benchmark, run_multistart_ablation, seed=0)
+        report(ab)
+        # Paper Sec. III-C: "even though the parameter values may differ,
+        # the solution value ... did not vary significantly" and "locally
+        # optimal solutions led to similar quality node allocations".
+        assert ab.distinct_parameter_sets >= 2
+        assert ab.makespan_spread < 0.05

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the solver substrates.
+
+Not paper artifacts, but the numbers that explain the paper's "< 60 s"
+claim at our scale: simplex throughput on a master-LP-sized problem, one
+barrier solve, one full LP/NLP branch-and-bound, and one multistart fit.
+These use full pytest-benchmark statistics (many rounds) since each call is
+fast and deterministic-in, deterministic-out.
+"""
+
+import numpy as np
+
+from repro.cesm import ComponentId, ground_truth, make_case
+from repro.expr import var
+from repro.fitting import FitOptions, fit_perf_model
+from repro.hslb.layout_models import layout_model_for_case
+from repro.lp import LinearProgram, RowSense, solve_lp
+from repro.minlp import solve_lpnlp
+from repro.nlp import NLPProblem, solve_nlp
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+def master_sized_lp(n_cols: int = 300, n_rows: int = 25, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    c = rng.uniform(-1.0, 1.0, n_cols)
+    lp = LinearProgram(c, np.zeros(n_cols), np.ones(n_cols))
+    for _ in range(n_rows):
+        row = rng.uniform(0.0, 1.0, n_cols)
+        lp.add_row(row, RowSense.LE, float(row.sum()) * 0.4)
+    return lp
+
+
+class TestSimplexBench:
+    def test_bench_simplex_master_sized(self, benchmark):
+        lp = master_sized_lp()
+        result = benchmark(lambda: solve_lp(lp.copy()))
+        assert result.is_optimal
+
+
+class TestWarmStartBench:
+    def test_bench_warm_vs_cold_resolve(self, benchmark):
+        """The branch-and-bound pattern: tighten one bound, re-solve.
+
+        The timed path is the warm (dual-simplex) solve; the assertion
+        checks it does strictly less pivoting than the cold solve."""
+        lp = master_sized_lp()
+        cold = solve_lp(lp)
+        child = lp.copy()
+        j = int(np.argmax(cold.x))
+        child.ub[j] = cold.x[j] / 2.0
+
+        warm_res = benchmark(lambda: solve_lp(child.copy(), warm=cold.warm))
+        cold_res = solve_lp(child.copy())
+        assert warm_res.is_optimal
+        assert warm_res.objective == cold_res.objective or abs(
+            warm_res.objective - cold_res.objective
+        ) < 1e-7
+        assert warm_res.iterations < cold_res.iterations
+
+
+class TestBarrierBench:
+    def test_bench_barrier_layout_relaxation(self, benchmark):
+        T, ni, nl, na, no = (var(s) for s in ("T", "n_i", "n_l", "n_a", "n_o"))
+        truth = ground_truth("1deg")
+        p = NLPProblem(
+            names=["T", "n_i", "n_l", "n_a", "n_o"],
+            objective=T,
+            inequalities=[
+                ("ci", truth[I].law.expr("n_i") - T),
+                ("cl", truth[L].law.expr("n_l") - T),
+                ("ca", truth[A].law.expr("n_a") - T),
+                ("co", truth[O].law.expr("n_o") - T),
+                ("cap", ni + nl + na + no - 2048.0),
+            ],
+            lb=np.array([0.0, 4.0, 4.0, 8.0, 8.0]),
+            ub=np.array([1e5, 2048.0, 2048.0, 2048.0, 2048.0]),
+        )
+        result = benchmark(lambda: solve_nlp(p))
+        assert result.is_optimal
+
+
+class TestMINLPBench:
+    def test_bench_lpnlp_1deg_2048(self, benchmark):
+        case = make_case("1deg", 2048, seed=0)
+        perf = {c: ground_truth("1deg")[c].law for c in (I, L, A, O)}
+
+        def solve():
+            return solve_lpnlp(layout_model_for_case(case, perf))
+
+        result = benchmark(solve)
+        assert result.is_optimal
+
+
+class TestFittingBench:
+    def test_bench_multistart_fit(self, benchmark):
+        truth = ground_truth("1deg")[A].law
+        nodes = np.array([8, 23, 64, 181, 512, 1448, 2048], float)
+        times = truth(nodes) * np.random.default_rng(0).lognormal(0, 0.02, nodes.size)
+        result = benchmark(
+            lambda: fit_perf_model(nodes, times, FitOptions(n_starts=8, seed=0))
+        )
+        assert result.r_squared > 0.99

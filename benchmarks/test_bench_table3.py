@@ -1,0 +1,89 @@
+"""Table III regeneration (experiments T3-1 .. T3-6).
+
+Each benchmark reruns one published block end-to-end (gather -> fit ->
+solve -> execute, plus the paper's manual allocation re-executed on the
+same simulator) and asserts the block's comparison structure:
+
+- 1 degree: HSLB ties the expert (the paper's manual/HSLB totals are within
+  ~2% of each other at both sizes),
+- 1/8 degree constrained: HSLB beats the expert by ~8-10%,
+- 1/8 degree unconstrained at 32,768 nodes: lifting the hard-coded ocean
+  set buys a further large improvement (paper: 25% actual / 40% predicted).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.cesm import ComponentId
+from repro.experiments.table3 import run_table3_entry
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+class TestTable3OneDegree:
+    def test_table3_1deg_128(self, benchmark, report):
+        rep = run_once(benchmark, run_table3_entry, "1deg-128", seed=0)
+        report(rep)
+        # paper: manual 416.0, HSLB predicted 410.6, HSLB actual 425.2
+        assert rep.manual_total == pytest.approx(416.0, rel=0.08)
+        assert rep.hslb_predicted_total == pytest.approx(410.6, rel=0.08)
+        assert rep.hslb_actual_total == pytest.approx(425.2, rel=0.08)
+        assert rep.hslb_beats_or_ties_manual
+        assert rep.prediction_error < 0.10
+        assert min(rep.fit_r_squared.values()) > 0.95
+
+    def test_table3_1deg_2048(self, benchmark, report):
+        rep = run_once(benchmark, run_table3_entry, "1deg-2048", seed=0)
+        report(rep)
+        # paper: manual 79.9, predicted 84.5, actual 86.5 — HSLB a hair
+        # behind the expert but "very close", with far fewer person-hours.
+        assert rep.manual_total == pytest.approx(79.9, rel=0.15)
+        assert rep.hslb_actual_total == pytest.approx(86.5, rel=0.15)
+        assert rep.hslb_actual_total <= rep.manual_total * 1.15
+        # node allocations differ substantially from manual yet totals agree
+        assert rep.hslb_nodes != rep.paper.manual_nodes
+
+
+class TestTable3EighthConstrained:
+    def test_table3_8th_8192_constrained(self, benchmark, report):
+        rep = run_once(benchmark, run_table3_entry, "8th-8192", seed=0)
+        report(rep)
+        # paper: manual 3785, HSLB actual 3489 (~8% better); ocean moves off
+        # the manual 2356 to a larger allowed count.
+        assert rep.hslb_actual_total < rep.manual_total
+        assert rep.actual_improvement_over_manual > 0.03
+        assert rep.hslb_nodes[O] in (2356, 3136, 4564, 6124)
+        assert rep.hslb_nodes[O] >= 2356
+
+    def test_table3_8th_32768_constrained(self, benchmark, report):
+        rep = run_once(benchmark, run_table3_entry, "8th-32768", seed=0)
+        report(rep)
+        # paper: manual 1645 -> HSLB 1612; the optimizer jumps the ocean to
+        # the big 19460 sweet spot exactly as the paper reports.
+        assert rep.hslb_actual_total < rep.manual_total
+        assert rep.hslb_nodes[O] == 19460
+        assert rep.hslb_actual_total == pytest.approx(1612.0, rel=0.10)
+
+
+class TestTable3EighthUnconstrained:
+    def test_table3_8th_8192_unconstrained(self, benchmark, report):
+        rep = run_once(benchmark, run_table3_entry, "8th-8192-unconstrained", seed=0)
+        report(rep)
+        con = run_table3_entry("8th-8192", seed=0)
+        # paper: at 8192 "the optimization is relatively unchanged".
+        assert rep.hslb_actual_total == pytest.approx(
+            con.hslb_actual_total, rel=0.10
+        )
+
+    def test_table3_8th_32768_unconstrained(self, benchmark, report):
+        rep = run_once(benchmark, run_table3_entry, "8th-32768-unconstrained", seed=0)
+        report(rep)
+        con = run_table3_entry("8th-32768", seed=0)
+        # paper headline: predicted 1129 vs 1593 (-29% on the ratio, "about
+        # 40%" as reported); actual 1256 vs 1612 (-22%, "about 25%").
+        predicted_gain = 1.0 - rep.hslb_predicted_total / con.hslb_predicted_total
+        actual_gain = 1.0 - rep.hslb_actual_total / con.hslb_actual_total
+        assert predicted_gain > 0.15
+        assert actual_gain > 0.12
+        # the chosen ocean count sits in the paper's 9812-11880 region
+        assert 8000 <= rep.hslb_nodes[O] <= 14000

@@ -1,0 +1,57 @@
+"""Pick a cost-efficient job size (paper Sec. IV-C).
+
+"Another important HSLB application may be the prediction of the optimal
+nodes to run a job ... a cost-efficient goal where nodes are increased
+until scaling is reduced to a predefined limit or ... the shortest time to
+solution."  This example fits the 1-degree curves once and asks both
+questions.
+
+    python examples/cost_efficient_sizing.py
+"""
+
+from repro.analysis import optimal_node_count
+from repro.cesm import ComponentId, make_case
+from repro.hslb import HSLBPipeline
+from repro.util.tables import TextTable
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+CANDIDATES = (128, 256, 512, 1024, 2048)
+
+
+def main() -> None:
+    base = make_case("1deg", max(CANDIDATES), seed=0)
+    pipeline = HSLBPipeline(base)
+    fits = pipeline.fit(pipeline.gather())
+    perf = {c: f.model for c, f in fits.items()}
+    bounds = {c: base.component_bounds(c) for c in (I, L, A, O)}
+    kwargs = dict(
+        ocn_allowed=base.ocean_allowed(), atm_allowed=base.atm_allowed()
+    )
+
+    fastest = optimal_node_count(
+        perf, bounds, CANDIDATES, criterion="fastest", **kwargs
+    )
+    table = TextTable(
+        ["# nodes", "optimally balanced total, sec"],
+        title="Predicted totals per job size (1 deg, layout 1)",
+    )
+    for n, t in fastest.evaluated:
+        table.add_row([n, t])
+    print(table.render())
+
+    print(f"\nshortest time to solution: {fastest.total_nodes} nodes "
+          f"({fastest.total_time:.1f} s)")
+
+    for floor in (0.7, 0.5, 0.3):
+        rec = optimal_node_count(
+            perf, bounds, CANDIDATES,
+            criterion="cost_efficient", efficiency_floor=floor, **kwargs,
+        )
+        print(
+            f"cost-efficient at floor {floor:.0%}: {rec.total_nodes} nodes "
+            f"({rec.total_time:.1f} s, marginal efficiency {rec.efficiency:.0%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Predict how the three CESM component layouts scale (paper Figure 4).
+
+Fits the performance curves once from 1-degree benchmarks, then
+re-optimizes each layout of Figure 1 at a sweep of job sizes — no further
+simulated runs needed; this is the "prediction of optimal layout" use-case
+of paper Sec. IV-C.
+
+    python examples/layout_comparison.py
+"""
+
+from repro.analysis import predicted_layout_scaling
+from repro.cesm import ComponentId, Layout, make_case
+from repro.hslb import HSLBPipeline
+from repro.util.tables import TextTable
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+NODE_COUNTS = (128, 256, 512, 1024, 2048)
+
+
+def main() -> None:
+    base = make_case("1deg", max(NODE_COUNTS), seed=0)
+    pipeline = HSLBPipeline(base)
+    fits = pipeline.fit(pipeline.gather())
+    perf = {c: f.model for c, f in fits.items()}
+    bounds = {c: base.component_bounds(c) for c in (I, L, A, O)}
+
+    curves = {
+        layout: predicted_layout_scaling(
+            perf,
+            bounds,
+            NODE_COUNTS,
+            layout,
+            ocn_allowed=base.ocean_allowed(),
+            atm_allowed=base.atm_allowed(),
+        )
+        for layout in Layout
+    }
+
+    table = TextTable(
+        ["# nodes"] + [f"layout ({lay.value}), sec" for lay in Layout],
+        title="Predicted optimally-balanced total time per layout (1 deg)",
+    )
+    for i, n in enumerate(NODE_COUNTS):
+        table.add_row([n] + [float(curves[lay].times[i]) for lay in Layout])
+    print(table.render())
+
+    t1 = curves[Layout.HYBRID].times
+    t3 = curves[Layout.FULLY_SEQUENTIAL].times
+    print(
+        f"\nlayout 3 penalty vs layout 1: "
+        f"{t3[0] / t1[0] - 1:.0%} at {NODE_COUNTS[0]} nodes, "
+        f"{t3[-1] / t1[-1] - 1:.0%} at {NODE_COUNTS[-1]} nodes"
+        "\n(paper Fig. 4: layouts 1 and 2 similar, layout 3 the worst)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Machine-learned sea-ice decomposition selection (the paper's ref. [10]).
+
+The noisy ice scaling curves of the paper's Sec. IV-A come from CICE's
+default decomposition heuristic switching strategies across the node sweep.
+This example trains the k-NN cost models of `repro.mlice` and compares the
+ice component under three policies — the default heuristic, the learned
+selector, and the exhaustive oracle — at the awkward (odd/prime) node
+counts where the default stumbles.
+
+    python examples/ml_ice_decomposition.py
+"""
+
+import numpy as np
+
+from repro.cesm import ComponentId, CoupledRunSimulator, make_case
+from repro.cesm.decomp import default_strategy, imbalance_factor
+from repro.mlice import train_selector
+from repro.util.tables import TextTable
+
+ICE = ComponentId.ICE
+AWKWARD = (91, 113, 247, 331, 505, 1021, 2003)
+
+
+def main() -> None:
+    case = make_case("1deg", 2048, seed=0)
+    grid = case.ice_grid
+
+    print("training k-NN cost models on simulated decomposition timings...")
+    selector = train_selector(grid, n=500, seed=0)
+    loo = np.mean([m.loo_rmse() for m in selector.models.values()])
+    print(f"mean leave-one-out RMSE across the 7 strategy models: {loo:.4f}\n")
+
+    table = TextTable(
+        ["tasks", "default strategy", "learned strategy",
+         "default factor", "learned factor"],
+        title="Decomposition choice at awkward task counts (gx1 grid)",
+    )
+    for tasks in AWKWARD:
+        d = default_strategy(tasks)
+        s = selector.select(tasks)
+        table.add_row([
+            tasks, d.value, s.value,
+            f"{imbalance_factor(grid, tasks, d):.3f}",
+            f"{imbalance_factor(grid, tasks, s):.3f}",
+        ])
+    print(table.render())
+
+    sim_default = CoupledRunSimulator(case)
+    sim_learned = CoupledRunSimulator(case, ice_strategy_for=selector.select)
+    t_def = sum(sim_default.benchmark(ICE, n) for n in AWKWARD)
+    t_ml = sum(sim_learned.benchmark(ICE, n) for n in AWKWARD)
+    print(
+        f"\nice benchmark total over the sweep: {t_def:.1f} s (default) "
+        f"-> {t_ml:.1f} s (learned), {1 - t_ml / t_def:.1%} faster"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Project CESM tuning onto hypothetical hardware (paper Sec. IV-C).
+
+"... it might even be possible to do more exotic and less reliable
+predictions such as the prediction of CESM scaling on new hardware (e.g.,
+exascale supercomputers)".  This example does the defensible version of
+that: fit the curves once on the calibrated baseline, scale them for
+machines 2x/4x/8x faster per node, and re-optimize — while flagging which
+predictions leave the fit's calibrated node range entirely.
+
+    python examples/new_hardware_projection.py
+"""
+
+from repro.analysis import extrapolate_component
+from repro.cesm import ComponentId, make_case
+from repro.hslb import HSLBPipeline, solve_allocation
+from repro.util.tables import TextTable
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+def main() -> None:
+    case = make_case("1deg", 2048, seed=0)
+    pipeline = HSLBPipeline(case)
+    fits = pipeline.fit(pipeline.gather())
+
+    table = TextTable(
+        ["machine", "optimal total, sec", "speedup vs baseline"],
+        title="Projected optimally-balanced totals (1 deg, 2048 nodes)",
+    )
+    baseline = solve_allocation(case, fits, method="oracle").predicted_total
+    table.add_row(["baseline (Intrepid-like)", baseline, "1.00x"])
+    for speed in (2.0, 4.0, 8.0):
+        scaled = {comp: fit.model.scaled(speed) for comp, fit in fits.items()}
+        total = solve_allocation(case, scaled, method="oracle").predicted_total
+        table.add_row([f"{speed:g}x faster nodes", total, f"{baseline / total:.2f}x"])
+    print(table.render())
+
+    # The reliability caveat, quantified: which node counts would such a
+    # projection query outside the calibrated range?
+    lo, hi = case.component_bounds(A)
+    curve = extrapolate_component(
+        fits[A], [128, 2048, 16384, 40960], calibrated_range=(lo, hi)
+    )
+    flagged = [int(n) for n, ex in zip(curve.nodes, curve.extrapolated) if ex]
+    print(
+        f"\natm fit calibrated on [{lo}, {hi}] nodes; "
+        f"projections at {flagged} are extrapolations — "
+        "the paper calls these 'less reliable' for good reason."
+    )
+
+
+if __name__ == "__main__":
+    main()

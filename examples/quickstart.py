@@ -1,0 +1,44 @@
+"""Quickstart: tune a 1-degree CESM job on 128 nodes with HSLB.
+
+Runs the paper's four steps — gather benchmarks, fit the performance model,
+solve the layout MINLP, execute the coupled run — and prints a Table
+III-style report plus the solver statistics.
+
+    python examples/quickstart.py
+"""
+
+from repro.cesm import make_case
+from repro.hslb import HSLBPipeline
+
+
+def main() -> None:
+    # A case bundles resolution, job size, layout and the noise seed.
+    case = make_case("1deg", total_nodes=128, seed=0)
+    print(f"case: {case.grid_description}")
+    print(f"machine: {case.machine.name}, {case.machine.cores} cores "
+          f"({case.machine.cores_per_node}/node)\n")
+
+    pipeline = HSLBPipeline(case)
+    result = pipeline.run()
+
+    print(result.report())
+
+    print("\nfit quality (R^2):")
+    for comp, r2 in result.fit_r_squared().items():
+        print(f"  {comp.value}: {r2:.4f}")
+
+    solver = result.solve.solver_result
+    print(
+        f"\nMINLP solve: {solver.nodes} branch-and-bound nodes, "
+        f"{solver.cuts_added} outer-approximation cuts, "
+        f"{solver.wall_time:.2f} s wall"
+    )
+    print(
+        f"prediction error: {result.prediction_error():.1%} "
+        f"(predicted {result.predicted_total:.1f} s, "
+        f"actual {result.actual_total:.1f} s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

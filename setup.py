@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The runtime environment has setuptools 65 without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) fall back to this setup.py
+via ``--no-use-pep517``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

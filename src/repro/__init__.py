@@ -1,0 +1,38 @@
+"""repro — reproduction of "The Heuristic Static Load-Balancing Algorithm
+Applied to the Community Earth System Model" (Alexeev et al., IPDPSW 2014).
+
+The package implements the paper's HSLB pipeline end to end on a calibrated
+synthetic CESM performance simulator:
+
+- :mod:`repro.expr` / :mod:`repro.model` — algebraic modeling layer (the
+  AMPL stand-in) with symbolic differentiation,
+- :mod:`repro.lp` — bounded-variable revised simplex (the CLP stand-in),
+- :mod:`repro.nlp` — log-barrier interior-point solver (the filterSQP
+  stand-in),
+- :mod:`repro.minlp` — branch-and-bound MINLP solvers, including the paper's
+  LP/NLP outer-approximation algorithm with SOS1 branching (the MINOTAUR
+  stand-in),
+- :mod:`repro.fitting` — the performance model T(n) = a/n + b·n^c + d and
+  positivity-constrained least squares,
+- :mod:`repro.machine` / :mod:`repro.cesm` — machine abstraction and the
+  synthetic coupled-climate-model simulator calibrated to the paper's
+  Table III,
+- :mod:`repro.hslb` — the four-step HSLB algorithm and the Table I layout
+  models (the paper's contribution),
+- :mod:`repro.baselines`, :mod:`repro.analysis`, :mod:`repro.experiments` —
+  manual-tuning baselines, prediction tooling, and one module per paper
+  table/figure.
+
+Quickstart::
+
+    from repro.cesm import make_case
+    from repro.hslb import HSLBPipeline
+
+    case = make_case("1deg", total_nodes=128)
+    result = HSLBPipeline(case, seed=0).run()
+    print(result.report())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,42 @@
+"""Prediction and what-if tooling built on fitted models (paper Sec. IV-C).
+
+Once the performance curves are fitted, HSLB's mathematical machinery can
+answer questions without any further runs: how each layout scales
+(Figure 4), what the cost-efficient job size is, how constraining a
+component's node set hurts, and how the scaling curve of one component
+decomposes into its T_sca / T_nln / T_ser parts (Figure 2).
+"""
+
+from repro.analysis.scaling import (
+    ScalingCurve,
+    component_curve,
+    predicted_layout_scaling,
+    speedup,
+    parallel_efficiency,
+)
+from repro.analysis.whatif import (
+    NodeCountRecommendation,
+    constraint_cost,
+    optimal_node_count,
+)
+from repro.analysis.extrapolate import (
+    ExtrapolatedCurve,
+    SwapEffect,
+    component_swap_effect,
+    extrapolate_component,
+)
+
+__all__ = [
+    "ScalingCurve",
+    "component_curve",
+    "predicted_layout_scaling",
+    "speedup",
+    "parallel_efficiency",
+    "NodeCountRecommendation",
+    "constraint_cost",
+    "optimal_node_count",
+    "ExtrapolatedCurve",
+    "SwapEffect",
+    "component_swap_effect",
+    "extrapolate_component",
+]

@@ -1,0 +1,126 @@
+"""Speculative predictions (paper Sec. IV-C, second paragraph).
+
+"Later, as the mathematical model becomes more sophisticated, it might even
+be possible to do more exotic and less reliable predictions such as the
+prediction of CESM scaling on new hardware (e.g., exascale supercomputers)
+or prediction of what parts of the model need to be rewritten to improve
+performance."
+
+These helpers implement the two concrete tools behind that sentence —
+swapping one component's curve (what if POP were replaced / rewritten?) and
+evaluating fits outside their calibrated range — while making the paper's
+*reliability caveat* explicit: every result carries an ``extrapolated``
+flag, because Sec. III-C insists that "performance function predictions
+will be interpolated rather than extrapolated which is important for
+accuracy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cesm.components import ComponentId
+from repro.cesm.layouts import Layout
+from repro.exceptions import ConfigurationError
+from repro.hslb.objectives import ObjectiveKind
+from repro.hslb.oracle import LayoutOracle
+
+
+@dataclass(frozen=True)
+class SwapEffect:
+    """Result of replacing one component's performance curve."""
+
+    component: ComponentId
+    baseline_makespan: float
+    swapped_makespan: float
+    baseline_allocation: dict
+    swapped_allocation: dict
+
+    @property
+    def improvement(self) -> float:
+        """Relative make-span change (positive = the swap helps)."""
+        return 1.0 - self.swapped_makespan / self.baseline_makespan
+
+
+def component_swap_effect(
+    perf: dict,
+    bounds: dict,
+    total_nodes: int,
+    component: ComponentId,
+    replacement,
+    layout: Layout = Layout.HYBRID,
+    ocn_allowed: list | None = None,
+    atm_allowed: dict | None = None,
+) -> SwapEffect:
+    """Re-optimize the layout with ``component``'s curve replaced.
+
+    Answers "how replacing one component with another will affect scaling"
+    (Sec. IV-C): both configurations are solved to optimality, so the
+    comparison accounts for the re-balancing the swap enables, not just the
+    component's own speedup.
+    """
+    if component not in perf:
+        raise ConfigurationError(f"unknown component {component}")
+
+    def solve(p):
+        oracle = LayoutOracle(
+            layout, total_nodes, p, bounds,
+            ocn_allowed=ocn_allowed, atm_allowed=atm_allowed,
+        )
+        return oracle.solve(ObjectiveKind.MIN_MAX)
+
+    base = solve(perf)
+    swapped_perf = dict(perf)
+    swapped_perf[component] = (
+        replacement.model if hasattr(replacement, "model") else replacement
+    )
+    swapped = solve(swapped_perf)
+    return SwapEffect(
+        component=component,
+        baseline_makespan=base.makespan,
+        swapped_makespan=swapped.makespan,
+        baseline_allocation=base.allocation,
+        swapped_allocation=swapped.allocation,
+    )
+
+
+@dataclass(frozen=True)
+class ExtrapolatedCurve:
+    """A predicted series annotated with its trust region."""
+
+    nodes: np.ndarray
+    times: np.ndarray
+    extrapolated: np.ndarray      # bool mask: outside the calibrated range
+    calibrated_range: tuple       # (lo, hi) node counts the fit has seen
+
+    @property
+    def any_extrapolated(self) -> bool:
+        return bool(self.extrapolated.any())
+
+
+def extrapolate_component(
+    model,
+    node_counts,
+    calibrated_range: tuple,
+) -> ExtrapolatedCurve:
+    """Evaluate a fitted curve with explicit in/out-of-sample flags.
+
+    ``calibrated_range`` is the (min, max) node count the fit's benchmark
+    data covered; predictions outside it are the paper's "less reliable"
+    regime (cf. the 1/8-degree ocean at 9812 nodes, where the fit missed by
+    ~11% because "the ocean scaling curve was not captured well during our
+    fit step").
+    """
+    lo, hi = calibrated_range
+    if lo <= 0 or hi < lo:
+        raise ConfigurationError("calibrated_range must be 0 < lo <= hi")
+    n = np.asarray(sorted(int(v) for v in node_counts), dtype=float)
+    pm = model.model if hasattr(model, "model") else model
+    return ExtrapolatedCurve(
+        nodes=n,
+        times=np.asarray(pm(n)),
+        extrapolated=(n < lo) | (n > hi),
+        calibrated_range=(int(lo), int(hi)),
+    )

@@ -1,0 +1,97 @@
+"""Scaling-curve prediction (Figures 2 and 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cesm.components import ComponentId
+from repro.cesm.layouts import Layout
+from repro.exceptions import ConfigurationError
+from repro.fitting.perfmodel import PerfModel
+from repro.hslb.objectives import ObjectiveKind
+from repro.hslb.oracle import LayoutOracle
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """A predicted time-vs-nodes series."""
+
+    label: str
+    nodes: np.ndarray
+    times: np.ndarray
+
+    def __post_init__(self):
+        if self.nodes.shape != self.times.shape:
+            raise ConfigurationError("nodes/times shape mismatch")
+
+    def speedup_series(self) -> np.ndarray:
+        """Speedup relative to the smallest node count in the series."""
+        return self.times[0] / self.times
+
+
+def component_curve(
+    model: PerfModel, nodes, label: str = "", parts: bool = False
+):
+    """Fitted component curve over ``nodes`` (Figure 2).
+
+    With ``parts=True`` returns the (total, T_sca, T_nln, T_ser) split the
+    paper illustrates in Figure 2's inset.
+    """
+    n = np.asarray(nodes, dtype=float)
+    total = ScalingCurve(label or "total", n, np.asarray(model(n)))
+    if not parts:
+        return total
+    return {
+        "total": total,
+        "T_sca": ScalingCurve(f"{label} T_sca", n, np.asarray(model.scalable_part(n))),
+        "T_nln": ScalingCurve(f"{label} T_nln", n, np.asarray(model.nonlinear_part(n))),
+        "T_ser": ScalingCurve(f"{label} T_ser", n, np.full_like(n, model.serial_part)),
+    }
+
+
+def predicted_layout_scaling(
+    perf: dict,
+    bounds: dict,
+    node_counts,
+    layout: Layout,
+    ocn_allowed: list | None = None,
+    atm_allowed: dict | None = None,
+) -> ScalingCurve:
+    """Optimal total time at each job size for ``layout`` (Figure 4).
+
+    For each N the layout problem is re-optimized exactly (enumeration
+    oracle), so the curve is "scaling under optimal load balance" — the
+    quantity Figure 4 plots.
+    """
+    counts = [int(v) for v in node_counts]
+    times = []
+    for N in counts:
+        oracle = LayoutOracle(
+            layout,
+            N,
+            perf,
+            bounds,
+            ocn_allowed=ocn_allowed,
+            atm_allowed=atm_allowed,
+        )
+        times.append(oracle.solve(objective=ObjectiveKind.MIN_MAX).makespan)
+    return ScalingCurve(
+        f"layout ({layout.value})",
+        np.asarray(counts, dtype=float),
+        np.asarray(times),
+    )
+
+
+def speedup(t_base: float, t: float) -> float:
+    """Classic speedup t_base / t."""
+    check_positive(t_base, "t_base")
+    check_positive(t, "t")
+    return t_base / t
+
+
+def parallel_efficiency(t_base: float, n_base: int, t: float, n: int) -> float:
+    """Efficiency = speedup / (node ratio)."""
+    return speedup(t_base, t) / (n / n_base)

@@ -1,0 +1,122 @@
+"""What-if analyses (paper Sec. IV-C).
+
+"Another important HSLB application may be the prediction of the optimal
+nodes to run a job.  The definition of optimal depends on the goal; it
+could be a cost-efficient goal where nodes are increased until scaling is
+reduced to a predefined limit or it could be the shortest time to
+solution."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cesm.layouts import Layout
+from repro.exceptions import ConfigurationError
+from repro.hslb.objectives import ObjectiveKind
+from repro.hslb.oracle import LayoutOracle
+from repro.util.validation import check_in_range
+
+
+@dataclass(frozen=True)
+class NodeCountRecommendation:
+    """Result of an optimal-job-size search."""
+
+    criterion: str               # "fastest" or "cost_efficient"
+    total_nodes: int
+    total_time: float
+    efficiency: float            # marginal efficiency at the chosen size
+    evaluated: tuple             # (N, time) pairs examined
+
+
+def optimal_node_count(
+    perf: dict,
+    bounds: dict,
+    candidate_nodes,
+    layout: Layout = Layout.HYBRID,
+    criterion: str = "cost_efficient",
+    efficiency_floor: float = 0.5,
+    ocn_allowed: list | None = None,
+    atm_allowed: dict | None = None,
+) -> NodeCountRecommendation:
+    """Pick a job size from ``candidate_nodes`` under ``criterion``.
+
+    ``"fastest"`` returns the size with the smallest optimally-balanced
+    total time.  ``"cost_efficient"`` walks the sizes in increasing order
+    and keeps growing while the *marginal* parallel efficiency (speedup
+    gained / node-growth factor between consecutive candidates) stays at or
+    above ``efficiency_floor``.
+    """
+    if criterion not in ("fastest", "cost_efficient"):
+        raise ConfigurationError(f"unknown criterion {criterion!r}")
+    check_in_range(efficiency_floor, "efficiency_floor", 0.0, 1.0)
+    counts = sorted({int(v) for v in candidate_nodes})
+    if not counts:
+        raise ConfigurationError("no candidate node counts given")
+
+    evaluated = []
+    for N in counts:
+        oracle = LayoutOracle(
+            layout, N, perf, bounds, ocn_allowed=ocn_allowed, atm_allowed=atm_allowed
+        )
+        evaluated.append((N, oracle.solve(ObjectiveKind.MIN_MAX).makespan))
+
+    if criterion == "fastest":
+        best_n, best_t = min(evaluated, key=lambda p: p[1])
+        idx = [n for n, _ in evaluated].index(best_n)
+        eff = _marginal_efficiency(evaluated, idx)
+        return NodeCountRecommendation(
+            "fastest", best_n, best_t, eff, tuple(evaluated)
+        )
+
+    # cost-efficient: largest size whose step from the previous one still
+    # bought enough speedup.
+    chosen = 0
+    for idx in range(1, len(evaluated)):
+        if _marginal_efficiency(evaluated, idx) >= efficiency_floor:
+            chosen = idx
+        else:
+            break
+    n, t = evaluated[chosen]
+    return NodeCountRecommendation(
+        "cost_efficient", n, t, _marginal_efficiency(evaluated, chosen), tuple(evaluated)
+    )
+
+
+def _marginal_efficiency(evaluated: list, idx: int) -> float:
+    """Speedup over node-growth for the step ending at ``idx`` (1.0 at 0)."""
+    if idx == 0:
+        return 1.0
+    n0, t0 = evaluated[idx - 1]
+    n1, t1 = evaluated[idx]
+    return (t0 / t1) / (n1 / n0)
+
+
+def constraint_cost(
+    perf: dict,
+    bounds: dict,
+    total_nodes: int,
+    constrained_ocn: list,
+    unconstrained_ocn: list,
+    layout: Layout = Layout.HYBRID,
+    atm_allowed: dict | None = None,
+) -> dict:
+    """Quantify what a hard-coded ocean node set costs (paper Sec. IV-B).
+
+    Returns the constrained and unconstrained optimal totals and the
+    relative improvement from lifting the constraint — the paper's headline
+    40% (predicted) / 25% (actual) at 32,768 nodes.
+    """
+    def solve(ocn):
+        oracle = LayoutOracle(
+            layout, total_nodes, perf, bounds, ocn_allowed=ocn, atm_allowed=atm_allowed
+        )
+        return oracle.solve(ObjectiveKind.MIN_MAX)
+
+    con = solve(constrained_ocn)
+    unc = solve(unconstrained_ocn)
+    return {
+        "constrained": con,
+        "unconstrained": unc,
+        "improvement": 1.0 - unc.makespan / con.makespan,
+    }

@@ -1,0 +1,32 @@
+"""Baseline allocation strategies HSLB is compared against.
+
+- :mod:`repro.baselines.manual` — an iterative "human expert" tuner that
+  mimics the paper's manual process: eyeball per-component scaling curves,
+  pick allocations, run, adjust toward the bottleneck, repeat for five to
+  ten rounds (Sec. II: "This process may involve trial and error").  It
+  also carries the paper's *published* manual allocations for the Table III
+  configurations.
+- :mod:`repro.baselines.grid_search` — coarse exhaustive search over
+  allocation fractions, charged for every coupled run it executes.
+- :mod:`repro.baselines.proportional` — a single-shot split proportional to
+  observed single-benchmark work, the simplest defensible allocation.
+"""
+
+from repro.baselines.manual import (
+    PAPER_MANUAL_ALLOCATIONS,
+    ManualTuningResult,
+    manual_expert_tuning,
+    paper_manual_allocation,
+)
+from repro.baselines.grid_search import GridSearchResult, grid_search_allocation
+from repro.baselines.proportional import proportional_allocation
+
+__all__ = [
+    "PAPER_MANUAL_ALLOCATIONS",
+    "ManualTuningResult",
+    "manual_expert_tuning",
+    "paper_manual_allocation",
+    "GridSearchResult",
+    "grid_search_allocation",
+    "proportional_allocation",
+]

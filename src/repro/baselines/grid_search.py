@@ -1,0 +1,74 @@
+"""Coarse exhaustive grid-search baseline.
+
+Enumerates allocation *fractions* on a coarse grid and runs the coupled
+model at each feasible point — the brute-force answer to "what if we just
+tried everything", charged for every run.  Useful as a cost/quality anchor:
+it typically finds allocations close to HSLB's but spends one coupled run
+per grid point where HSLB spends ~5 cheap component benchmarks total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cesm.components import ComponentId
+from repro.cesm.layouts import Layout
+from repro.cesm.simulator import CoupledRunSimulator
+from repro.exceptions import ConfigurationError, SimulationError
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+@dataclass
+class GridSearchResult:
+    allocation: dict
+    total_time: float
+    coupled_runs: int
+    evaluated: list = field(default_factory=list)  # (allocation, total)
+
+
+def grid_search_allocation(
+    simulator: CoupledRunSimulator,
+    ocean_fractions: int = 6,
+    ice_fractions: int = 4,
+) -> GridSearchResult:
+    """Exhaustive coarse search over (ocean share, ice share) for layout 1."""
+    case = simulator.case
+    if case.layout is not Layout.HYBRID:
+        raise ConfigurationError("grid search models layout 1")
+    N = case.total_nodes
+    ocn_values = sorted(case.ocean_allowed())
+
+    best = None
+    evaluated = []
+    runs = 0
+    for f_o in np.linspace(0.08, 0.6, ocean_fractions):
+        n_o = min(ocn_values, key=lambda v: abs(v - f_o * N))
+        n_a_cap = N - n_o
+        lo_a, hi_a = case.component_bounds(A)
+        n_a = int(min(max(n_a_cap, lo_a), hi_a))
+        if n_a + n_o > N:
+            continue
+        for f_i in np.linspace(0.3, 0.9, ice_fractions):
+            lo_i, hi_i = case.component_bounds(I)
+            lo_l, hi_l = case.component_bounds(L)
+            n_i = int(min(max(round(f_i * n_a), lo_i), hi_i))
+            n_l = int(min(max(n_a - n_i, lo_l), hi_l))
+            if n_i + n_l > n_a:
+                continue
+            alloc = {I: n_i, L: n_l, A: n_a, O: n_o}
+            try:
+                t = simulator.run_coupled(alloc)
+            except SimulationError:
+                continue
+            runs += 1
+            evaluated.append((alloc, t.total))
+            if best is None or t.total < best[1]:
+                best = (alloc, t.total)
+    if best is None:
+        raise ConfigurationError("grid search found no feasible allocation")
+    return GridSearchResult(
+        allocation=best[0], total_time=best[1], coupled_runs=runs, evaluated=evaluated
+    )

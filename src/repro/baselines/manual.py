@@ -1,0 +1,142 @@
+"""The "manual/human optimization" baseline.
+
+Two artifacts:
+
+- :data:`PAPER_MANUAL_ALLOCATIONS` — the expert allocations the paper's
+  Table III reports verbatim, used by the Table III reproduction so the
+  comparison target is exactly the published one.
+- :func:`manual_expert_tuning` — an algorithmic stand-in for the human
+  process, for configurations the paper does not cover: run ~5 core counts,
+  plot, pick a layout from the curves, then iterate (build, submit, wait,
+  adjust toward the bottleneck) for a handful of rounds.  It is charged one
+  coupled run per iteration, mirroring the queue round-trips the paper
+  complains about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cesm.components import ComponentId
+from repro.cesm.layouts import Layout
+from repro.cesm.simulator import CoupledRunSimulator
+from repro.exceptions import ConfigurationError, SimulationError
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+#: Expert allocations published in Table III, keyed by
+#: (resolution, total_nodes).  Times are the paper's, recorded in
+#: repro.experiments.paperdata; only the node choices live here.
+PAPER_MANUAL_ALLOCATIONS = {
+    ("1deg", 128): {L: 24, I: 80, A: 104, O: 24},
+    ("1deg", 2048): {L: 384, I: 1280, A: 1664, O: 384},
+    ("8th", 8192): {L: 486, I: 5350, A: 5836, O: 2356},
+    ("8th", 32768): {L: 2220, I: 24424, A: 26644, O: 6124},
+}
+
+
+def paper_manual_allocation(resolution: str, total_nodes: int) -> dict:
+    """The paper's published manual allocation for a Table III entry."""
+    try:
+        return dict(PAPER_MANUAL_ALLOCATIONS[(resolution, total_nodes)])
+    except KeyError:
+        raise ConfigurationError(
+            f"the paper reports no manual allocation for "
+            f"({resolution!r}, {total_nodes})"
+        ) from None
+
+
+@dataclass
+class ManualTuningResult:
+    """Outcome of the iterative expert-tuning heuristic."""
+
+    allocation: dict
+    total_time: float
+    iterations: int
+    coupled_runs: int            # the cost the paper attributes to the human loop
+    history: list = field(default_factory=list)  # (allocation, total) per round
+
+
+def manual_expert_tuning(
+    simulator: CoupledRunSimulator,
+    max_iterations: int = 8,
+    step: float = 0.15,
+) -> ManualTuningResult:
+    """Iterative human-style tuning on ``simulator``'s case (layout 1).
+
+    Start from a curve-informed split (ocean sized so its time roughly
+    matches the rest, atmosphere gets the remainder, ice/land share the
+    atmosphere group weighted by their work), then repeatedly move ``step``
+    of the node budget toward whichever side of the concurrent split is the
+    bottleneck — exactly the "look at the timing output, nudge, resubmit"
+    loop the paper describes replacing.
+    """
+    case = simulator.case
+    if case.layout is not Layout.HYBRID:
+        raise ConfigurationError("the manual-tuning heuristic models layout 1")
+    N = case.total_nodes
+    ocn_values = sorted(case.ocean_allowed())
+
+    def snap_ocn(target: float) -> int:
+        return min(ocn_values, key=lambda v: abs(v - target))
+
+    def clamp(comp, value: float) -> int:
+        lo, hi = case.component_bounds(comp)
+        return int(min(max(round(value), lo), hi))
+
+    def build(frac_ocn: float, frac_ice: float) -> dict | None:
+        n_o = snap_ocn(frac_ocn * N)
+        n_a = N - n_o
+        lo_a, hi_a = case.component_bounds(A)
+        n_a = int(min(max(n_a, lo_a), hi_a))
+        if n_a + n_o > N:
+            n_o = snap_ocn(N - n_a)
+            if n_a + n_o > N:
+                return None
+        n_i = clamp(I, frac_ice * n_a)
+        n_l = clamp(L, n_a - n_i)
+        if n_i + n_l > n_a:
+            n_l = max(case.component_bounds(L)[0], n_a - n_i)
+            if n_i + n_l > n_a:
+                return None
+        return {I: n_i, L: n_l, A: n_a, O: n_o}
+
+    frac_ocn, frac_ice = 0.25, 0.8
+    best = None
+    history = []
+    runs = 0
+    for it in range(max_iterations):
+        alloc = build(frac_ocn, frac_ice)
+        if alloc is None:
+            break
+        try:
+            timings = simulator.run_coupled(alloc)
+        except SimulationError:
+            break
+        runs += 1
+        history.append((dict(alloc), timings.total))
+        if best is None or timings.total < best[1]:
+            best = (dict(alloc), timings.total)
+
+        # Adjust like an expert reading the timing table.
+        t = timings.times
+        stage1 = max(t[I], t[L]) + t[A]
+        if t[O] > stage1 * (1 + 1e-3):
+            frac_ocn = min(0.9, frac_ocn * (1 + step))     # ocean is the bottleneck
+        elif stage1 > t[O] * (1 + 1e-3):
+            frac_ocn = max(0.02, frac_ocn * (1 - step))    # shrink the ocean side
+        if t[I] > t[L] * (1 + 1e-3):
+            frac_ice = min(0.95, frac_ice * (1 + step / 2))
+        elif t[L] > t[I] * (1 + 1e-3):
+            frac_ice = max(0.05, frac_ice * (1 - step / 2))
+
+    if best is None:
+        raise ConfigurationError("manual tuning found no feasible allocation")
+    return ManualTuningResult(
+        allocation=best[0],
+        total_time=best[1],
+        iterations=len(history),
+        coupled_runs=runs,
+        history=history,
+    )

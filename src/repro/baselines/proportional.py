@@ -1,0 +1,51 @@
+"""Single-shot proportional allocation.
+
+Benchmarks each component once at a common reference size and splits the
+machine proportionally to the observed work — the simplest allocation a
+user could defend without any modeling.  It ignores the layout's
+concurrency structure entirely, which is exactly why HSLB beats it.
+"""
+
+from __future__ import annotations
+
+from repro.cesm.components import ComponentId
+from repro.cesm.layouts import Layout
+from repro.cesm.simulator import CoupledRunSimulator
+from repro.exceptions import ConfigurationError
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+def proportional_allocation(simulator: CoupledRunSimulator) -> dict:
+    """Work-proportional layout-1 allocation from one benchmark per component."""
+    case = simulator.case
+    if case.layout is not Layout.HYBRID:
+        raise ConfigurationError("proportional split models layout 1")
+    N = case.total_nodes
+
+    # One measurement per component at a shared reference size.
+    ref = {}
+    for comp in (I, L, A, O):
+        lo, hi = case.component_bounds(comp)
+        nodes = min(max(lo, N // 8), hi)
+        ref[comp] = simulator.benchmark(comp, nodes) * nodes  # ~ total work
+
+    # Ocean gets its work share of N; atmosphere group gets the rest.
+    stage1_work = ref[A] + max(ref[I], ref[L])
+    share_o = ref[O] / (ref[O] + stage1_work)
+    ocn_values = sorted(case.ocean_allowed())
+    n_o = min(ocn_values, key=lambda v: abs(v - share_o * N))
+    lo_a, hi_a = case.component_bounds(A)
+    n_a = int(min(max(N - n_o, lo_a), hi_a))
+
+    # Ice and land split the atmosphere group by their work ratio.
+    share_i = ref[I] / (ref[I] + ref[L])
+    lo_i, hi_i = case.component_bounds(I)
+    lo_l, hi_l = case.component_bounds(L)
+    n_i = int(min(max(round(share_i * n_a), lo_i), hi_i))
+    n_l = int(min(max(n_a - n_i, lo_l), hi_l))
+    if n_i + n_l > n_a:
+        n_i = max(lo_i, n_a - n_l)
+    if n_i + n_l > n_a or n_a + n_o > N:
+        raise ConfigurationError("proportional split infeasible for this case")
+    return {I: n_i, L: n_l, A: n_a, O: n_o}

@@ -1,0 +1,47 @@
+"""Synthetic CESM performance simulator (the paper's testbed stand-in).
+
+The paper's HSLB never inspects CESM internals — it consumes wall-clock
+samples ``(component, node count) -> seconds`` from short benchmark runs,
+plus the layout composition rules of Figure 1.  This subpackage provides
+exactly that surface:
+
+- :mod:`repro.cesm.components` — the six model components (CAM, POP, CICE,
+  CLM, RTM, CPL7) and their roles,
+- :mod:`repro.cesm.calibration` — ground-truth timing laws *calibrated by
+  least squares against the 44 published measurements in the paper's
+  Table III* (see the module docstring for the provenance of every number),
+- :mod:`repro.cesm.decomp` — the CICE block-decomposition model that makes
+  the sea-ice curve noisy (Sec. IV-A attributes the ice misfit to CICE's
+  seven decomposition strategies),
+- :mod:`repro.cesm.layouts` — the three component layouts of Figure 1 and
+  their make-span composition rules,
+- :mod:`repro.cesm.sweetspots` — the allowed ocean/atmosphere node-count
+  sets of Table I (lines 5-7),
+- :mod:`repro.cesm.case` / :mod:`repro.cesm.simulator` — experiment
+  configurations and the coupled-run simulator that produces benchmark
+  samples and "actual" run timings with reproducible noise.
+"""
+
+from repro.cesm.components import COMPONENTS, ComponentId
+from repro.cesm.calibration import CalibratedComponent, ground_truth
+from repro.cesm.layouts import Layout, composed_total, validate_allocation
+from repro.cesm.sweetspots import atm_allowed_nodes, ocn_allowed_nodes
+from repro.cesm.case import CESMCase, make_case
+from repro.cesm.simulator import Allocation, ComponentTimings, CoupledRunSimulator
+
+__all__ = [
+    "COMPONENTS",
+    "ComponentId",
+    "CalibratedComponent",
+    "ground_truth",
+    "Layout",
+    "composed_total",
+    "validate_allocation",
+    "atm_allowed_nodes",
+    "ocn_allowed_nodes",
+    "CESMCase",
+    "make_case",
+    "Allocation",
+    "ComponentTimings",
+    "CoupledRunSimulator",
+]

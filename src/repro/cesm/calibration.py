@@ -1,0 +1,145 @@
+"""Ground-truth timing laws, calibrated against the paper's Table III.
+
+The paper's measurements were taken on Intrepid (IBM Blue Gene/P), which we
+do not have; per the reproduction's substitution policy the simulator's
+"true" component behaviour is the performance-model family itself,
+
+    T(n) = a/n + b*n^c + d,
+
+with parameters obtained by running this library's own positivity-
+constrained least-squares fitter (:func:`repro.fitting.fit_perf_model`,
+16 multistarts, seed 0) over every published (nodes, seconds) pair in
+Table III — both the "manual" and the "HSLB actual" columns, i.e. 4 points
+per component at 1 degree and 6 points per component at 1/8 degree.  The
+resulting R^2 values (0.975..0.99997) match the paper's statement that
+"R^2 was very close to 1 for each component".
+
+On top of the smooth law the simulator adds (a) multiplicative log-normal
+run-to-run noise and (b) for CICE a deterministic decomposition-imbalance
+factor (:mod:`repro.cesm.decomp`), because the paper singles out the ice
+curve as the noisy one ("This increased the noise in the sea ice
+performance curve fit and impacted the timing estimates", Sec. IV-A).
+
+``noise_sigma`` values are chosen to reproduce the magnitude of the paper's
+predicted-vs-actual discrepancies (a few percent for atm/lnd/ocn, larger
+for ice); ``min_nodes`` models the memory floor the paper uses to pick the
+smallest benchmark size (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cesm.components import ComponentId
+from repro.fitting.perfmodel import PerfModel
+
+
+@dataclass(frozen=True)
+class CalibratedComponent:
+    """Ground truth for one component at one resolution."""
+
+    component: ComponentId
+    law: PerfModel
+    noise_sigma: float     # lognormal sigma of run-to-run variation
+    min_nodes: int         # memory floor: smallest node count that fits
+    max_nodes: int         # scaling ceiling used when generating benchmarks
+    decomp_sensitivity: float = 0.0  # amplitude of CICE decomposition bumps
+
+
+# -- 1 degree: FV atmosphere/land, 1-degree displaced-pole ocean/ice ----------
+# Fits over Table III rows "1deg/128" and "1deg/2048" (manual + HSLB-actual).
+
+_TRUTH_1DEG = {
+    ComponentId.LND: CalibratedComponent(
+        ComponentId.LND,
+        PerfModel(a=1465.25, b=0.0, c=1.0, d=2.58604),   # R^2 = 0.99992
+        noise_sigma=0.015,
+        min_nodes=4,
+        max_nodes=2048,
+    ),
+    ComponentId.ICE: CalibratedComponent(
+        ComponentId.ICE,
+        PerfModel(a=7985.71, b=0.0, c=1.0, d=18.2535),   # R^2 = 0.97475
+        noise_sigma=0.02,
+        min_nodes=8,
+        max_nodes=2048,
+        decomp_sensitivity=0.5,
+    ),
+    ComponentId.ATM: CalibratedComponent(
+        ComponentId.ATM,
+        PerfModel(a=27362.3, b=0.0, c=1.0, d=44.7259),   # R^2 = 0.99997
+        noise_sigma=0.01,
+        min_nodes=8,
+        max_nodes=2048,
+    ),
+    ComponentId.OCN: CalibratedComponent(
+        ComponentId.OCN,
+        PerfModel(a=7884.52, b=0.0237, c=1.0, d=36.24),  # R^2 = 0.99932
+        noise_sigma=0.015,
+        min_nodes=8,
+        max_nodes=2048,
+    ),
+    # Excluded-from-optimization components: small constant-ish overheads
+    # riding on their host component's processors (Sec. II).
+    ComponentId.RTM: CalibratedComponent(
+        ComponentId.RTM, PerfModel(a=60.0, d=1.0), 0.05, 1, 2048
+    ),
+    ComponentId.CPL: CalibratedComponent(
+        ComponentId.CPL, PerfModel(a=120.0, d=2.0), 0.05, 1, 2048
+    ),
+}
+
+# -- 1/8 degree: HOMME-SE atmosphere, 1/4-degree land, 1/10-degree ocean/ice --
+# Fits over Table III rows "8th/8192" and "8th/32768" (constrained +
+# unconstrained, manual + HSLB-actual).
+
+_TRUTH_8TH = {
+    ComponentId.LND: CalibratedComponent(
+        ComponentId.LND,
+        PerfModel(a=59218.0, b=0.0, c=1.0, d=22.9914),       # R^2 = 0.99828
+        noise_sigma=0.03,
+        min_nodes=64,
+        max_nodes=32768,
+    ),
+    ComponentId.ICE: CalibratedComponent(
+        ComponentId.ICE,
+        PerfModel(a=1.93075e6, b=0.00154, c=1.0, d=109.106),  # R^2 = 0.98345
+        noise_sigma=0.025,
+        min_nodes=512,
+        max_nodes=32768,
+        decomp_sensitivity=0.6,
+    ),
+    ComponentId.ATM: CalibratedComponent(
+        ComponentId.ATM,
+        PerfModel(a=1.3306e7, b=0.000427, c=1.0, d=290.581),  # R^2 = 0.99833
+        noise_sigma=0.02,
+        min_nodes=1024,
+        max_nodes=32768,
+    ),
+    ComponentId.OCN: CalibratedComponent(
+        ComponentId.OCN,
+        PerfModel(a=8.0932e6, b=0.0, c=1.0, d=424.097),       # R^2 = 0.98906
+        noise_sigma=0.03,
+        min_nodes=256,
+        max_nodes=32768,
+    ),
+    ComponentId.RTM: CalibratedComponent(
+        ComponentId.RTM, PerfModel(a=2000.0, d=5.0), 0.05, 1, 32768
+    ),
+    ComponentId.CPL: CalibratedComponent(
+        ComponentId.CPL, PerfModel(a=8000.0, d=10.0), 0.05, 1, 32768
+    ),
+}
+
+_BY_RESOLUTION = {"1deg": _TRUTH_1DEG, "8th": _TRUTH_8TH}
+
+
+def ground_truth(resolution: str) -> dict:
+    """Calibrated truth table for ``resolution`` ("1deg" or "8th")."""
+    try:
+        return _BY_RESOLUTION[resolution]
+    except KeyError:
+        raise ValueError(
+            f"unknown resolution {resolution!r}; expected one of "
+            f"{sorted(_BY_RESOLUTION)}"
+        ) from None

@@ -1,0 +1,117 @@
+"""Experiment configurations: which grids, machine partition and layout.
+
+A :class:`CESMCase` bundles everything HSLB needs to know about one tuning
+problem: the resolution (which selects the calibrated component truths and
+the sweet-spot sets), the target job size, the layout, and the noise seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cesm.calibration import ground_truth
+from repro.cesm.components import OPTIMIZED_COMPONENTS, ComponentId
+from repro.cesm.decomp import GX1, TX0_1, IceGrid
+from repro.cesm.layouts import Layout
+from repro.cesm.sweetspots import atm_allowed_nodes, ocn_allowed_nodes
+from repro.exceptions import ConfigurationError
+from repro.machine import INTREPID, Machine
+
+#: Human-readable grid descriptions per supported resolution.
+GRID_DESCRIPTIONS = {
+    "1deg": "1-deg FV atm/lnd, 1-deg displaced-pole ocn/ice (CESM 1.1.1)",
+    "8th": "1/8-deg HOMME-SE atm, 1/4-deg FV lnd, 1/10-deg tri-pole ocn/ice "
+    "(pre-release CESM 1.2)",
+}
+
+
+@dataclass(frozen=True)
+class CESMCase:
+    """One load-balancing problem instance."""
+
+    resolution: str
+    total_nodes: int
+    layout: Layout = Layout.HYBRID
+    unconstrained_ocean: bool = False
+    machine: Machine = INTREPID
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.resolution not in GRID_DESCRIPTIONS:
+            raise ConfigurationError(
+                f"unknown resolution {self.resolution!r}; expected one of "
+                f"{sorted(GRID_DESCRIPTIONS)}"
+            )
+        if not 1 <= self.total_nodes <= self.machine.nodes:
+            raise ConfigurationError(
+                f"total_nodes={self.total_nodes} outside machine capacity "
+                f"1..{self.machine.nodes}"
+            )
+
+    # -- derived configuration -------------------------------------------------
+
+    @property
+    def grid_description(self) -> str:
+        return GRID_DESCRIPTIONS[self.resolution]
+
+    @property
+    def ice_grid(self) -> IceGrid:
+        return GX1 if self.resolution == "1deg" else TX0_1
+
+    def truth(self, component: ComponentId):
+        """Calibrated ground truth for ``component`` at this resolution."""
+        return ground_truth(self.resolution)[component]
+
+    def optimized_components(self) -> tuple:
+        return OPTIMIZED_COMPONENTS
+
+    def ocean_allowed(self) -> list:
+        """Allowed ocean node counts for this case (Table I line 5)."""
+        return ocn_allowed_nodes(
+            self.resolution, self.total_nodes, self.unconstrained_ocean
+        )
+
+    def atm_allowed(self) -> dict:
+        """Allowed atmosphere node counts (Table I lines 6, 29-31)."""
+        return atm_allowed_nodes(self.resolution, self.total_nodes)
+
+    def component_bounds(self, component: ComponentId) -> tuple:
+        """Box (min_nodes, max_nodes) for a component within this job."""
+        truth = self.truth(component)
+        lo = min(truth.min_nodes, self.total_nodes)
+        hi = min(truth.max_nodes, self.total_nodes)
+        return (max(1, lo), max(1, hi))
+
+    def benchmark_node_counts(self, component: ComponentId, points: int = 5) -> list:
+        """Geometric sweep from the memory floor to the job size (Sec. III-C:
+        smallest allowed by memory, largest possible, a few in between)."""
+        import numpy as np
+
+        lo, hi = self.component_bounds(component)
+        if points < 2 or lo >= hi:
+            return [lo]
+        grid = np.unique(
+            np.round(np.geomspace(lo, hi, points)).astype(int)
+        )
+        return [int(v) for v in grid]
+
+
+def make_case(
+    resolution: str,
+    total_nodes: int,
+    layout: int | Layout = Layout.HYBRID,
+    unconstrained_ocean: bool = False,
+    seed: int = 0,
+    machine: Machine = INTREPID,
+) -> CESMCase:
+    """Convenience factory: ``make_case("1deg", 128)``."""
+    if not isinstance(layout, Layout):
+        layout = Layout(layout)
+    return CESMCase(
+        resolution=resolution,
+        total_nodes=total_nodes,
+        layout=layout,
+        unconstrained_ocean=unconstrained_ocean,
+        machine=machine,
+        seed=seed,
+    )

@@ -1,0 +1,87 @@
+"""CESM model components (paper Sec. II).
+
+CESM 1.1.1 couples six components through CPL7.  HSLB optimizes the four
+that dominate the runtime — atmosphere, ocean, sea ice, land — and excludes
+the river model and the coupler "because the contribution to the total time
+is small" (they still contribute small overheads to *actual* coupled-run
+totals in the simulator, which is why HSLB-predicted and actual times differ
+slightly, exactly as the paper describes in Sec. III-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ComponentId(enum.Enum):
+    """Short component keys as used in the paper's Table I (set C)."""
+
+    ATM = "atm"
+    OCN = "ocn"
+    ICE = "ice"
+    LND = "lnd"
+    RTM = "rtm"
+    CPL = "cpl"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ComponentInfo:
+    """Static description of one CESM component."""
+
+    id: ComponentId
+    model_name: str
+    description: str
+    optimized: bool  # included in the HSLB decision problem?
+
+
+COMPONENTS: dict = {
+    ComponentId.ATM: ComponentInfo(
+        ComponentId.ATM,
+        "CAM",
+        "Community Atmosphere Model (NCAR); FV or HOMME-SE dynamical core",
+        True,
+    ),
+    ComponentId.OCN: ComponentInfo(
+        ComponentId.OCN,
+        "POP",
+        "Parallel Ocean Program (LANL); displaced-pole or tri-pole grid",
+        True,
+    ),
+    ComponentId.ICE: ComponentInfo(
+        ComponentId.ICE,
+        "CICE",
+        "Community Ice Code (LANL); seven block-decomposition strategies",
+        True,
+    ),
+    ComponentId.LND: ComponentInfo(
+        ComponentId.LND,
+        "CLM",
+        "Community Land Model (NCAR)",
+        True,
+    ),
+    ComponentId.RTM: ComponentInfo(
+        ComponentId.RTM,
+        "RTM",
+        "River Transport Model; runs on the land model's processors",
+        False,
+    ),
+    ComponentId.CPL: ComponentInfo(
+        ComponentId.CPL,
+        "CPL7",
+        "Coupler; runs on the atmosphere model's processors",
+        False,
+    ),
+}
+
+#: The four components in the optimization set C = {ice, lnd, atm, ocn}
+#: (paper Table I, line 3), in the paper's table-reporting order.
+OPTIMIZED_COMPONENTS = (
+    ComponentId.LND,
+    ComponentId.ICE,
+    ComponentId.ATM,
+    ComponentId.OCN,
+)

@@ -1,0 +1,209 @@
+"""CICE block-decomposition model.
+
+The paper (Sec. IV-A): "The ice component supports seven decomposition
+strategies with varying block sizes ... In our tests, we used the default
+decompositions for CICE which resulted in the tests using varying
+decomposition types and block sizes.  This increased the noise in the sea
+ice performance curve fit and impacted the timing estimates."  A follow-up
+paper [10] selects decompositions by machine learning.
+
+This module reproduces the *mechanism*.  Two families:
+
+- **tile strategies** (cartesian, slender, square variants): the task count
+  factors into a ``px x py`` processor tiling (px constrained to divide the
+  task count); the busiest rank owns ``ceil(nx/px) * ceil(ny/py)`` cells
+  against the ideal ``nx*ny/tasks``, so awkward (prime-ish) task counts pay
+  a visible rounding penalty;
+- **block strategies** (round-robin, space-filling curve): the grid tiles
+  into small square blocks (size adapted to the task count) dealt out
+  round-robin; the busiest rank owns ``ceil(blocks/tasks)`` blocks.
+
+On top of the balance term each strategy carries a small halo/communication
+overhead (slender strips maximize perimeter, squares minimize it).  CICE's
+*default* strategy choice switches between families as the task count
+sweeps, so the efficiency factor bounces around — which is exactly what
+makes the paper's ice scaling data noisy.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.util.validation import check_integer, check_positive
+
+
+class DecompStrategy(enum.Enum):
+    """The seven CICE decomposition strategies."""
+
+    CARTESIAN = "cartesian"
+    SLENDERX1 = "slenderX1"
+    SLENDERX2 = "slenderX2"
+    SQUARE_ICE = "square-ice"
+    SQUARE_POP = "square-pop"
+    ROUNDROBIN = "roundrobin"
+    SPACECURVE = "spacecurve"
+
+
+#: Relative halo/communication overhead per strategy: slender strips
+#: maximize halo perimeter, square-ish tilings minimize it, round-robin and
+#: space-filling-curve trade halo cost for balance.
+_HALO_FACTOR = {
+    DecompStrategy.CARTESIAN: 0.35,
+    DecompStrategy.SLENDERX1: 1.00,
+    DecompStrategy.SLENDERX2: 0.70,
+    DecompStrategy.SQUARE_ICE: 0.25,
+    DecompStrategy.SQUARE_POP: 0.30,
+    DecompStrategy.ROUNDROBIN: 0.55,
+    DecompStrategy.SPACECURVE: 0.40,
+}
+
+_BLOCK_STRATEGIES = (DecompStrategy.ROUNDROBIN, DecompStrategy.SPACECURVE)
+
+
+class IceGrid:
+    """Horizontal grid dimensions of the sea-ice model."""
+
+    __slots__ = ("nx", "ny")
+
+    def __init__(self, nx: int, ny: int):
+        check_integer(nx, "nx")
+        check_positive(nx, "nx")
+        check_integer(ny, "ny")
+        check_positive(ny, "ny")
+        self.nx = nx
+        self.ny = ny
+
+    @property
+    def cells(self) -> int:
+        return self.nx * self.ny
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IceGrid({self.nx}x{self.ny})"
+
+
+#: gx1v6, the 1-degree displaced-pole ocean/ice grid.
+GX1 = IceGrid(nx=320, ny=384)
+#: tx0.1, the 1/10-degree tri-pole grid used with the 1/8-degree CESM case.
+TX0_1 = IceGrid(nx=3600, ny=2400)
+
+
+def _divisor_near(n: int, target: float) -> int:
+    """The divisor of ``n`` closest to ``target`` (ties -> smaller)."""
+    best, best_dist = 1, abs(1 - target)
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            for cand in (d, n // d):
+                dist = abs(cand - target)
+                if dist < best_dist:
+                    best, best_dist = cand, dist
+        d += 1
+    return best
+
+
+def tile_dims(grid: IceGrid, tasks: int, strategy: DecompStrategy) -> tuple:
+    """Processor tiling (px, py) with ``px * py == tasks`` for tile
+    strategies (raises for block strategies)."""
+    if strategy in _BLOCK_STRATEGIES:
+        raise ValueError(f"{strategy.value} distributes blocks, not tiles")
+    if strategy is DecompStrategy.SLENDERX1:
+        px = 1
+    elif strategy is DecompStrategy.SLENDERX2:
+        px = 2 if tasks % 2 == 0 else 1
+    elif strategy is DecompStrategy.CARTESIAN:
+        px = _divisor_near(tasks, math.sqrt(tasks * grid.nx / grid.ny))
+    elif strategy is DecompStrategy.SQUARE_ICE:
+        px = _divisor_near(tasks, math.sqrt(tasks))
+    else:  # SQUARE_POP: POP-style tiling biased toward wide tiles
+        px = _divisor_near(tasks, math.sqrt(2.0 * tasks))
+    return px, tasks // px
+
+
+def block_size(grid: IceGrid, tasks: int) -> int:
+    """Square block edge for the block strategies, adapted so there are at
+    least ~4 blocks per task (power-of-two edges, as CICE setups use)."""
+    target = math.sqrt(grid.cells / (4.0 * max(tasks, 1)))
+    for edge in (32, 16, 8, 4):
+        if edge <= target:
+            return edge
+    return 4
+
+
+def block_counts(grid: IceGrid, tasks: int, strategy: DecompStrategy) -> int:
+    """Number of distribution units (tiles or blocks) for ``strategy``."""
+    check_integer(tasks, "tasks")
+    check_positive(tasks, "tasks")
+    if strategy in _BLOCK_STRATEGIES:
+        bs = block_size(grid, tasks)
+        return math.ceil(grid.nx / bs) * math.ceil(grid.ny / bs)
+    px, py = tile_dims(grid, tasks, strategy)
+    return px * py
+
+
+def default_strategy(tasks: int) -> DecompStrategy:
+    """CICE's out-of-the-box strategy choice as a function of task count.
+
+    Mirrors the behaviour the paper describes: the default switches between
+    strategies across the sweep, so neighbouring node counts can land on
+    decompositions of quite different quality.
+    """
+    check_integer(tasks, "tasks")
+    check_positive(tasks, "tasks")
+    if tasks <= 16:
+        return DecompStrategy.SLENDERX1
+    if tasks <= 64:
+        return DecompStrategy.SLENDERX2
+    if tasks % 96 == 0:
+        return DecompStrategy.SQUARE_ICE
+    if tasks % 16 == 0:
+        return DecompStrategy.CARTESIAN
+    if tasks % 6 == 0:
+        return DecompStrategy.SQUARE_POP
+    if tasks % 2 == 0:
+        return DecompStrategy.ROUNDROBIN
+    return DecompStrategy.SPACECURVE
+
+
+def imbalance_factor(grid: IceGrid, tasks: int, strategy: DecompStrategy) -> float:
+    """Run-time inflation (>= 1) from load imbalance plus halo cost."""
+    check_integer(tasks, "tasks")
+    check_positive(tasks, "tasks")
+    ideal = grid.cells / tasks
+    if strategy in _BLOCK_STRATEGIES:
+        blocks = block_counts(grid, tasks, strategy)
+        bs = block_size(grid, tasks)
+        per_task = math.ceil(blocks / tasks)
+        busiest_cells = per_task * bs * bs
+        balance = max(1.0, busiest_cells / ideal)
+    else:
+        px, py = tile_dims(grid, tasks, strategy)
+        busiest_cells = math.ceil(grid.nx / px) * math.ceil(grid.ny / py)
+        balance = max(1.0, busiest_cells / ideal)
+    halo = 1.0 + 0.02 * _HALO_FACTOR[strategy]
+    return balance * halo
+
+
+def efficiency_factor(
+    grid: IceGrid, tasks: int, sensitivity: float, strategy: DecompStrategy | None = None
+) -> float:
+    """The multiplicative timing factor the simulator applies to CICE.
+
+    ``sensitivity`` in [0, 1] scales how strongly the imbalance shows up in
+    wall-clock (communication/compute overlap hides part of it); 0 disables
+    the decomposition effect entirely.
+    """
+    if sensitivity == 0.0:
+        return 1.0
+    strat = strategy or default_strategy(tasks)
+    raw = imbalance_factor(grid, tasks, strat)
+    return 1.0 + sensitivity * (raw - 1.0)
+
+
+def best_strategy(grid: IceGrid, tasks: int) -> DecompStrategy:
+    """The imbalance-minimizing strategy for ``tasks`` (what the paper's
+    machine-learning follow-up [10] effectively learns to predict)."""
+    return min(
+        DecompStrategy,
+        key=lambda s: imbalance_factor(grid, tasks, s),
+    )

@@ -1,0 +1,92 @@
+"""Component layouts and their make-span composition rules (Figure 1).
+
+Layout (1), "hybrid": the atmosphere runs sequentially after the
+concurrently-running ice and land models on one processor group, while the
+ocean runs concurrently on the rest.  Layout (2) runs ice, land and
+atmosphere sequentially on one group with the ocean concurrent.  Layout (3)
+runs all four sequentially across all processors.
+
+Total-time rules (Table I, "Minimize" rows):
+
+    (1)  max( max(T_ice, T_lnd) + T_atm,  T_ocn )
+    (2)  max( T_ice + T_lnd + T_atm,      T_ocn )
+    (3)  T_ice + T_lnd + T_atm + T_ocn
+
+Node-validity rules (Table I, lines 20-21, 24-26, 28):
+
+    (1)  n_ice + n_lnd <= n_atm,  n_atm + n_ocn <= N
+    (2)  n_ice, n_lnd, n_atm <= N - n_ocn
+    (3)  every component <= N
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cesm.components import ComponentId
+from repro.exceptions import SimulationError
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+class Layout(enum.Enum):
+    """The three layouts of Figure 1."""
+
+    HYBRID = 1
+    SEQUENTIAL_SPLIT = 2
+    FULLY_SEQUENTIAL = 3
+
+    @property
+    def figure_panel(self) -> int:
+        return self.value
+
+
+def composed_total(layout: Layout, times: dict) -> float:
+    """Coupled-run make-span from per-component times under ``layout``."""
+    t_i, t_l, t_a, t_o = times[I], times[L], times[A], times[O]
+    if layout is Layout.HYBRID:
+        return max(max(t_i, t_l) + t_a, t_o)
+    if layout is Layout.SEQUENTIAL_SPLIT:
+        return max(t_i + t_l + t_a, t_o)
+    return t_i + t_l + t_a + t_o
+
+
+def validate_allocation(layout: Layout, alloc: dict, total_nodes: int) -> None:
+    """Raise :class:`SimulationError` if ``alloc`` is invalid for ``layout``.
+
+    ``alloc`` maps the four optimized components to node counts.
+    """
+    for comp in (A, O, I, L):
+        if comp not in alloc:
+            raise SimulationError(f"allocation missing component {comp.value}")
+        n = alloc[comp]
+        if int(n) != n or n < 1:
+            raise SimulationError(
+                f"allocation for {comp.value} must be a positive integer, got {n!r}"
+            )
+    n_a, n_o, n_i, n_l = alloc[A], alloc[O], alloc[I], alloc[L]
+    if layout is Layout.HYBRID:
+        if n_i + n_l > n_a:
+            raise SimulationError(
+                f"layout 1 requires n_ice + n_lnd <= n_atm "
+                f"({n_i} + {n_l} > {n_a})"
+            )
+        if n_a + n_o > total_nodes:
+            raise SimulationError(
+                f"layout 1 requires n_atm + n_ocn <= N ({n_a} + {n_o} > {total_nodes})"
+            )
+    elif layout is Layout.SEQUENTIAL_SPLIT:
+        cap = total_nodes - n_o
+        for comp, n in ((I, n_i), (L, n_l), (A, n_a)):
+            if n > cap:
+                raise SimulationError(
+                    f"layout 2 requires n_{comp.value} <= N - n_ocn ({n} > {cap})"
+                )
+        if n_o > total_nodes:
+            raise SimulationError("layout 2 requires n_ocn <= N")
+    else:
+        for comp, n in ((I, n_i), (L, n_l), (A, n_a), (O, n_o)):
+            if n > total_nodes:
+                raise SimulationError(
+                    f"layout 3 requires n_{comp.value} <= N ({n} > {total_nodes})"
+                )

@@ -1,0 +1,170 @@
+"""The coupled-run simulator.
+
+Produces the two kinds of measurements HSLB consumes:
+
+- :meth:`CoupledRunSimulator.benchmark` — the wall-clock of one component in
+  a short (5-day) benchmark run at a given node count.  These feed the fit
+  step.  As in the paper, the timer *includes* intra-component communication
+  and internal load imbalance (the CICE decomposition factor lives here) but
+  *excludes* coupler time.
+- :meth:`CoupledRunSimulator.run_coupled` — a full coupled run at a concrete
+  allocation, returning per-component times and the total.  The total
+  additionally carries the small coupler + river overhead that HSLB excludes
+  from its model, which is why "the HSLB reported time for the whole run may
+  differ slightly from the one found in the CESM output files" (Sec. III-C).
+
+All randomness is deterministic in ``(case.seed, component, nodes)`` —
+conceptually each configuration is one recorded measurement, replayed on
+demand — so experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cesm.case import CESMCase
+from repro.cesm.components import OPTIMIZED_COMPONENTS, ComponentId
+from repro.cesm.decomp import efficiency_factor
+from repro.cesm.layouts import Layout, composed_total, validate_allocation
+from repro.exceptions import SimulationError
+from repro.util.rng import keyed_rng
+
+#: Allocation = node count per optimized component.
+Allocation = dict
+
+
+@dataclass(frozen=True)
+class ComponentTimings:
+    """One coupled run's timing record."""
+
+    allocation: dict
+    times: dict                 # ComponentId -> seconds (optimized four)
+    overhead: float             # coupler + river contribution to the total
+    layout: Layout
+    total: float = field(init=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "total",
+            composed_total(self.layout, self.times) + self.overhead,
+        )
+
+    def time_of(self, component: ComponentId) -> float:
+        return self.times[component]
+
+
+class CoupledRunSimulator:
+    """Synthetic CESM on a machine partition (see module docstring).
+
+    ``ice_strategy_for`` optionally overrides how the sea-ice decomposition
+    is chosen per task count (signature ``tasks -> DecompStrategy``); the
+    default is CICE's out-of-the-box heuristic, and :mod:`repro.mlice`
+    provides a learned alternative.
+    """
+
+    def __init__(self, case: CESMCase, ice_strategy_for=None):
+        self.case = case
+        self.ice_strategy_for = ice_strategy_for
+
+    # -- internal -----------------------------------------------------------------
+
+    def _noise(self, purpose: str, key: str, sigma: float) -> float:
+        """Log-normal factor that is a pure function of (seed, purpose, key):
+        each configuration is one recorded measurement, independent of the
+        order experiments sample it in."""
+        if sigma <= 0.0:
+            return 1.0
+        rng = keyed_rng(self.case.seed, purpose, key)
+        return float(rng.lognormal(mean=0.0, sigma=sigma))
+
+    def _component_time(
+        self, component: ComponentId, nodes: int, noise_key: str
+    ) -> float:
+        truth = self.case.truth(component)
+        if nodes < 1:
+            raise SimulationError(f"{component.value}: node count must be >= 1")
+        if nodes > self.case.machine.nodes:
+            raise SimulationError(
+                f"{component.value}: {nodes} nodes exceeds the machine"
+            )
+        if nodes < truth.min_nodes:
+            raise SimulationError(
+                f"{component.value}: {nodes} nodes is below the memory floor "
+                f"of {truth.min_nodes} at {self.case.resolution}"
+            )
+        base = float(truth.law(nodes)) / self.case.machine.relative_speed
+        if component is ComponentId.ICE and truth.decomp_sensitivity > 0.0:
+            tasks = nodes * self.case.machine.mpi_tasks_per_node
+            strategy = (
+                self.ice_strategy_for(tasks)
+                if self.ice_strategy_for is not None
+                else None
+            )
+            base *= efficiency_factor(
+                self.case.ice_grid, tasks, truth.decomp_sensitivity, strategy
+            )
+        return base * self._noise(
+            "bench" if noise_key.startswith("bench") else "run",
+            f"{noise_key}:{component.value}:{nodes}",
+            truth.noise_sigma,
+        )
+
+    # -- public API -----------------------------------------------------------------
+
+    def benchmark(self, component: ComponentId, nodes: int) -> float:
+        """Component wall-clock (seconds) of a 5-day benchmark run."""
+        return self._component_time(component, nodes, "bench")
+
+    def benchmark_sweep(self, component: ComponentId, node_counts) -> list:
+        """``[(nodes, seconds), ...]`` over a sweep of node counts."""
+        return [(int(n), self.benchmark(component, int(n))) for n in node_counts]
+
+    def run_coupled(self, allocation: Allocation) -> ComponentTimings:
+        """Execute a full coupled run at ``allocation``.
+
+        ``allocation`` maps the four optimized components (or their string
+        values) to node counts; validity under the case's layout is checked
+        first (science constraints from Table I).
+        """
+        alloc = _normalize_allocation(allocation)
+        validate_allocation(self.case.layout, alloc, self.case.total_nodes)
+        key = "run:" + ",".join(
+            f"{c.value}={alloc[c]}" for c in OPTIMIZED_COMPONENTS
+        )
+        times = {
+            comp: self._component_time(comp, alloc[comp], key)
+            for comp in OPTIMIZED_COMPONENTS
+        }
+        overhead = self._overhead(alloc, key)
+        return ComponentTimings(
+            allocation=dict(alloc),
+            times=times,
+            overhead=overhead,
+            layout=self.case.layout,
+        )
+
+    def _overhead(self, alloc: dict, key: str) -> float:
+        """Coupler (on the atmosphere's nodes) + river (on the land's)."""
+        speed = self.case.machine.relative_speed
+        cpl = self.case.truth(ComponentId.CPL)
+        rtm = self.case.truth(ComponentId.RTM)
+        t_cpl = float(cpl.law(alloc[ComponentId.ATM])) / speed
+        t_rtm = float(rtm.law(alloc[ComponentId.LND])) / speed
+        wiggle = self._noise("run", f"{key}:overhead", cpl.noise_sigma)
+        return (t_cpl + t_rtm) * wiggle
+
+
+def _normalize_allocation(allocation: dict) -> dict:
+    out = {}
+    for k, v in allocation.items():
+        comp = k if isinstance(k, ComponentId) else ComponentId(str(k))
+        out[comp] = int(v)
+    missing = [c for c in OPTIMIZED_COMPONENTS if c not in out]
+    if missing:
+        raise SimulationError(
+            f"allocation missing components: {[c.value for c in missing]}"
+        )
+    return out

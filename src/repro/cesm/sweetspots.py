@@ -1,0 +1,68 @@
+"""Allowed node-count ("sweet spot") sets for ocean and atmosphere.
+
+Table I, lines 5-7:
+
+    O = {2, 4, ..., 480, 768}       possible allocations for ocn (1 degree)
+    A = {1, 2, ..., 1638, 1664}     possible allocations for atm (1 degree)
+
+At 1/8 degree the ocean model "was initially limited to a few handful of
+node counts including 480, 512, 2356, 3136, 4564, 6124, and 19460 as a
+result of prior testing" (Sec. IV-B); the unconstrained variant relaxes that
+to the full range, which is the experiment where HSLB found the 25-40%
+improvement.  The 1/8-degree atmosphere's sweet spots "decompose the grid
+evenly"; the published allocations do not follow a closed form, so we model
+it as the full integer range (a contiguous special set degenerates to plain
+integer bounds).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+#: Hard-coded POP node counts at 1/8 degree (paper Sec. IV-B).
+OCN_8TH_CONSTRAINED = (480, 512, 2356, 3136, 4564, 6124, 19460)
+
+
+def ocn_allowed_nodes(
+    resolution: str, total_nodes: int, unconstrained: bool = False
+) -> list:
+    """Allowed ocean node counts, truncated to the job size."""
+    if resolution == "1deg":
+        values = list(range(2, 481, 2)) + [768]
+    elif resolution == "8th":
+        if unconstrained:
+            # "relatively arbitrary processor counts": even node counts from
+            # the memory floor up (POP wants an even decomposition).
+            values = list(range(256, total_nodes + 1, 2))
+        else:
+            values = list(OCN_8TH_CONSTRAINED)
+    else:
+        raise ConfigurationError(f"unknown resolution {resolution!r}")
+    out = [v for v in values if v <= total_nodes]
+    if not out:
+        raise ConfigurationError(
+            f"no allowed ocean node count fits in {total_nodes} nodes"
+        )
+    return out
+
+
+def atm_allowed_nodes(resolution: str, total_nodes: int) -> dict:
+    """Allowed atmosphere node counts.
+
+    Returns ``{"values": list | None, "lo": int, "hi": int}``: an explicit
+    list when the set is non-contiguous (1 degree: {1..1638} plus 1664) and
+    ``values=None`` with plain bounds when it degenerates to a range.
+    """
+    if resolution == "1deg":
+        values = list(range(1, 1639)) + [1664]
+        values = [v for v in values if v <= total_nodes]
+        if not values:
+            raise ConfigurationError("atmosphere set empty for this job size")
+        contiguous = values == list(range(values[0], values[0] + len(values)))
+        if contiguous:
+            return {"values": None, "lo": values[0], "hi": values[-1]}
+        return {"values": values, "lo": values[0], "hi": values[-1]}
+    if resolution == "8th":
+        hi = min(total_nodes, 32768)
+        return {"values": None, "lo": 1, "hi": hi}
+    raise ConfigurationError(f"unknown resolution {resolution!r}")

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still distinguishing solver-level failures
+(infeasible models, iteration limits) from user-level modeling mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """A model is malformed: unknown variables, bad bounds, empty SOS sets."""
+
+
+class ExpressionError(ReproError):
+    """An expression tree is used in an unsupported way (e.g. non-smooth
+    operator where a derivative is required)."""
+
+
+class SolverError(ReproError):
+    """Base class for numerical solver failures."""
+
+
+class InfeasibleError(SolverError):
+    """The problem instance has no feasible point.
+
+    Carries an optional certificate/explanation in ``args[0]``.
+    """
+
+
+class UnboundedError(SolverError):
+    """The problem instance has an unbounded optimum."""
+
+
+class IterationLimitError(SolverError):
+    """A solver hit its iteration budget before converging."""
+
+
+class FittingError(ReproError):
+    """Least-squares fitting failed (too few points, degenerate data...)."""
+
+
+class SimulationError(ReproError):
+    """The CESM simulator was asked to run an invalid configuration."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or pipeline was configured inconsistently."""

@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+Every artifact of the paper's evaluation section has a regeneration entry
+point here, shared by the pytest benchmarks (``benchmarks/``) and the CLI
+(``python -m repro``):
+
+- :mod:`repro.experiments.paperdata` — the published numbers (Table III and
+  the claims of Secs. III-E, IV-B) as data,
+- :mod:`repro.experiments.table3` — the six Table III blocks (T3-1..T3-6),
+- :mod:`repro.experiments.figures` — Figure 2 (component scaling curves),
+  Figure 3 (1/8-degree manual vs HSLB), Figure 4 (layout scaling),
+- :mod:`repro.experiments.ablations` — objective comparison (A-OBJ), SOS vs
+  binary branching (A-SOS), solver time at 40,960 nodes (A-SOLVE), T_sync
+  sweep (A-SYNC), benchmark-point count (A-FIT), multistart fitting
+  variability (A-START),
+- :mod:`repro.experiments.registry` — id -> runner mapping.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,169 @@
+"""Figure reproductions (F2, F3, F4).
+
+Figures are regenerated as *data series* (plus a text rendering): the same
+numbers the paper plots, so shape comparisons are assertable in benchmarks
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import component_curve, predicted_layout_scaling
+from repro.cesm import ComponentId, CoupledRunSimulator, Layout, make_case
+from repro.fitting.quality import r_squared
+from repro.hslb import HSLBPipeline
+from repro.hslb.oracle import oracle_for_case
+from repro.baselines import paper_manual_allocation
+from repro.util.tables import TextTable
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+FIG4_NODE_COUNTS = (128, 256, 512, 1024, 2048)
+
+
+# -- Figure 2: per-component scaling curves at 1 degree ------------------------
+
+
+@dataclass
+class Figure2Data:
+    """Per component: benchmark samples, fitted curve, and the
+    T_sca/T_nln/T_ser split of the fit (the paper's inset)."""
+
+    samples: dict        # comp -> (nodes, seconds)
+    fit_params: dict     # comp -> (a, b, c, d)
+    curves: dict         # comp -> {"total"/"T_sca"/"T_nln"/"T_ser": ScalingCurve}
+    r_squared: dict      # comp -> R^2 of the fit
+
+    def render(self) -> str:
+        t = TextTable(
+            ["component", "a", "b", "c", "d", "R^2"],
+            title="Figure 2: fitted T(n) = a/n + b*n^c + d per component (1 deg, layout 1)",
+        )
+        for comp, (a, b, c, d) in self.fit_params.items():
+            t.add_row([comp.value, f"{a:.4g}", f"{b:.4g}", f"{c:.3g}",
+                       f"{d:.4g}", f"{self.r_squared[comp]:.4f}"])
+        return t.render()
+
+
+def run_figure2(seed: int = 0, total_nodes: int = 2048) -> Figure2Data:
+    """Figure 2: scaling curves for each component in layout 1, 1 degree."""
+    case = make_case("1deg", total_nodes, seed=seed)
+    pipeline = HSLBPipeline(case)
+    data = pipeline.gather()
+    fits = pipeline.fit(data)
+    grid = np.unique(np.round(np.geomspace(8, total_nodes, 40)).astype(int))
+    curves = {
+        comp: component_curve(res.model, grid, label=comp.value, parts=True)
+        for comp, res in fits.items()
+    }
+    return Figure2Data(
+        samples={c: data.samples[c] for c in data.components()},
+        fit_params={c: res.model.as_tuple() for c, res in fits.items()},
+        curves=curves,
+        r_squared={c: res.r_squared for c, res in fits.items()},
+    )
+
+
+# -- Figure 3: 1/8-degree manual vs HSLB-predicted vs HSLB-actual --------------
+
+
+@dataclass
+class Figure3Data:
+    """Grouped-bar data: for each node count, the three totals."""
+
+    node_counts: tuple
+    manual: dict       # N -> seconds ("human guess")
+    predicted: dict    # N -> seconds (HSLB prediction)
+    actual: dict       # N -> seconds (HSLB executed)
+
+    def render(self) -> str:
+        t = TextTable(
+            ["# nodes", "human guess, sec", "HSLB predicted, sec", "HSLB actual, sec"],
+            title="Figure 3: 1/8 deg scaling, layout (1)",
+        )
+        for n in self.node_counts:
+            t.add_row([n, self.manual[n], self.predicted[n], self.actual[n]])
+        return t.render()
+
+
+def run_figure3(seed: int = 0, node_counts=(8192, 32768)) -> Figure3Data:
+    manual, predicted, actual = {}, {}, {}
+    for n in node_counts:
+        case = make_case("8th", n, seed=seed)
+        pipeline = HSLBPipeline(case)
+        result = pipeline.run()
+        manual_run = pipeline.simulator.run_coupled(
+            paper_manual_allocation("8th", n)
+        )
+        manual[n] = manual_run.total
+        predicted[n] = result.predicted_total
+        actual[n] = result.actual_total
+    return Figure3Data(tuple(node_counts), manual, predicted, actual)
+
+
+# -- Figure 4: predicted scaling of layouts 1-3 at 1 degree ---------------------
+
+
+@dataclass
+class Figure4Data:
+    """Predicted layout curves plus the 'experimental' layout-1 series."""
+
+    node_counts: tuple
+    predicted: dict          # Layout -> np.ndarray of seconds
+    experimental_layout1: np.ndarray
+    r2_layout1: float        # paper: 1.0
+
+    def render(self) -> str:
+        t = TextTable(
+            ["# nodes", "layout (1)", "layout (2)", "layout (3)", "layout (1exp)"],
+            title=f"Figure 4: layout scaling at 1 deg (R^2 layout 1 = {self.r2_layout1:.4f})",
+        )
+        for i, n in enumerate(self.node_counts):
+            t.add_row(
+                [
+                    n,
+                    float(self.predicted[Layout.HYBRID][i]),
+                    float(self.predicted[Layout.SEQUENTIAL_SPLIT][i]),
+                    float(self.predicted[Layout.FULLY_SEQUENTIAL][i]),
+                    float(self.experimental_layout1[i]),
+                ]
+            )
+        return t.render()
+
+
+def run_figure4(seed: int = 0, node_counts=FIG4_NODE_COUNTS) -> Figure4Data:
+    """Figure 4: re-optimize each layout at every job size from the fits of
+    the largest 1-degree case, and execute layout 1 for the experimental
+    series."""
+    base_case = make_case("1deg", max(node_counts), seed=seed)
+    pipeline = HSLBPipeline(base_case)
+    fits = pipeline.fit(pipeline.gather())
+    perf = {c: f.model for c, f in fits.items()}
+    bounds = {c: base_case.component_bounds(c) for c in (I, L, A, O)}
+
+    predicted = {}
+    for layout in Layout:
+        curve = predicted_layout_scaling(
+            perf,
+            bounds,
+            node_counts,
+            layout,
+            ocn_allowed=base_case.ocean_allowed(),
+            atm_allowed=base_case.atm_allowed(),
+        )
+        predicted[layout] = curve.times
+
+    experimental = []
+    for i, n in enumerate(node_counts):
+        case = make_case("1deg", n, seed=seed)
+        oracle = oracle_for_case(case, perf)
+        alloc = oracle.solve().allocation
+        run = CoupledRunSimulator(case).run_coupled(alloc)
+        experimental.append(run.total)
+    experimental = np.asarray(experimental)
+
+    r2 = r_squared(experimental, predicted[Layout.HYBRID])
+    return Figure4Data(tuple(node_counts), predicted, experimental, r2)

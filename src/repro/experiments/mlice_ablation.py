@@ -1,0 +1,81 @@
+"""A-MLICE: machine-learned sea-ice decomposition selection (ref. [10]).
+
+The paper's Sec. IV-A blames the noisy ice fit on CICE's default
+decomposition choice, and Sec. V announces a machine-learning follow-up.
+This experiment measures what that follow-up buys on our substrate: the ice
+benchmark sweep is refit under three decomposition policies (default
+heuristic / learned k-NN selector / exhaustive oracle), comparing curve
+smoothness (fit R²) and raw component speed at awkward task counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cesm import ComponentId, CoupledRunSimulator, make_case
+from repro.fitting import fit_perf_model
+from repro.mlice import IceDecompPolicy, train_selector
+from repro.mlice.selector import strategy_for
+from repro.util.tables import TextTable
+
+I = ComponentId.ICE
+
+
+@dataclass
+class MliceAblation:
+    """Per policy: mean ice time over the sweep and the refit R^2."""
+
+    node_counts: tuple
+    mean_seconds: dict           # IceDecompPolicy -> mean ice benchmark time
+    fit_r_squared: dict          # IceDecompPolicy -> R^2 of the curve refit
+    selector_loo_rmse: float     # k-NN model quality (leave-one-out)
+
+    def render(self) -> str:
+        t = TextTable(
+            ["decomposition policy", "mean ice time, sec", "ice fit R^2"],
+            title="A-MLICE: sea-ice decomposition selection (1 deg, awkward node counts)",
+        )
+        for policy in IceDecompPolicy:
+            t.add_row(
+                [policy.value, self.mean_seconds[policy],
+                 f"{self.fit_r_squared[policy]:.4f}"]
+            )
+        return t.render() + f"\nselector LOO-RMSE: {self.selector_loo_rmse:.4f}"
+
+
+def run_mlice_ablation(total_nodes: int = 2048, seed: int = 0) -> MliceAblation:
+    case = make_case("1deg", total_nodes, seed=seed)
+    selector = train_selector(case.ice_grid, n=500, seed=seed)
+    # Deliberately awkward sweep: odd, prime-ish and near-miss counts where
+    # the default heuristic's strategy switching shows as curve noise.
+    counts = sorted(
+        {9, 13, 27, 45, 91, 113, 183, 247, 331, 505, 731, 1021, 1477, 2003}
+    )
+    counts = [c for c in counts if c <= total_nodes]
+
+    mean_seconds, r2 = {}, {}
+    for policy in IceDecompPolicy:
+        if policy is IceDecompPolicy.DEFAULT:
+            sim = CoupledRunSimulator(case)
+        else:
+            chooser = (
+                selector.select
+                if policy is IceDecompPolicy.LEARNED
+                else (lambda tasks: strategy_for(case.ice_grid, tasks, IceDecompPolicy.ORACLE))
+            )
+            sim = CoupledRunSimulator(case, ice_strategy_for=chooser)
+        times = np.array([sim.benchmark(I, n) for n in counts])
+        mean_seconds[policy] = float(times.mean())
+        r2[policy] = fit_perf_model(np.array(counts, float), times).r_squared
+
+    loo = float(
+        np.mean([m.loo_rmse() for m in selector.models.values()])
+    )
+    return MliceAblation(
+        node_counts=tuple(counts),
+        mean_seconds=mean_seconds,
+        fit_r_squared=r2,
+        selector_loo_rmse=loo,
+    )

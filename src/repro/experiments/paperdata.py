@@ -1,0 +1,148 @@
+"""The paper's published numbers, as data.
+
+Everything the reproduction compares against lives here: the six Table III
+blocks (per-component node counts and seconds for the manual, HSLB-predicted
+and HSLB-actual columns) and the headline claims from the text.  Component
+keys are :class:`~repro.cesm.ComponentId`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cesm.components import ComponentId
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+@dataclass(frozen=True)
+class PaperTable3Entry:
+    """One block of Table III as published."""
+
+    key: str
+    resolution: str
+    total_nodes: int
+    unconstrained_ocean: bool
+    manual_nodes: dict | None
+    manual_times: dict | None
+    manual_total: float | None
+    hslb_nodes: dict
+    hslb_predicted: dict
+    hslb_predicted_total: float
+    hslb_actual_nodes: dict
+    hslb_actual: dict
+    hslb_actual_total: float
+
+
+TABLE3: dict = {
+    "1deg-128": PaperTable3Entry(
+        key="1deg-128",
+        resolution="1deg",
+        total_nodes=128,
+        unconstrained_ocean=False,
+        manual_nodes={L: 24, I: 80, A: 104, O: 24},
+        manual_times={L: 63.766, I: 109.054, A: 306.952, O: 362.669},
+        manual_total=416.006,
+        hslb_nodes={L: 15, I: 89, A: 104, O: 24},
+        hslb_predicted={L: 100.951, I: 102.972, A: 307.651, O: 365.649},
+        hslb_predicted_total=410.623,
+        hslb_actual_nodes={L: 15, I: 89, A: 104, O: 24},
+        hslb_actual={L: 100.202, I: 116.472, A: 308.699, O: 365.853},
+        hslb_actual_total=425.171,
+    ),
+    "1deg-2048": PaperTable3Entry(
+        key="1deg-2048",
+        resolution="1deg",
+        total_nodes=2048,
+        unconstrained_ocean=False,
+        manual_nodes={L: 384, I: 1280, A: 1664, O: 384},
+        manual_times={L: 5.777, I: 17.912, A: 61.987, O: 61.987},
+        manual_total=79.899,
+        hslb_nodes={L: 71, I: 1454, A: 1525, O: 256},
+        hslb_predicted={L: 22.693, I: 22.822, A: 61.662, O: 78.532},
+        hslb_predicted_total=84.484,
+        hslb_actual_nodes={L: 71, I: 1454, A: 1525, O: 256},
+        hslb_actual={L: 23.158, I: 18.242, A: 63.313, O: 79.139},
+        hslb_actual_total=86.471,
+    ),
+    "8th-8192": PaperTable3Entry(
+        key="8th-8192",
+        resolution="8th",
+        total_nodes=8192,
+        unconstrained_ocean=False,
+        manual_nodes={L: 486, I: 5350, A: 5836, O: 2356},
+        manual_times={L: 147.397, I: 475.614, A: 2533.76, O: 3785.333},
+        manual_total=3785.333,
+        hslb_nodes={L: 138, I: 4918, A: 5056, O: 3136},
+        hslb_predicted={L: 487.853, I: 511.596, A: 2878.798, O: 2919.052},
+        hslb_predicted_total=3390.394,
+        hslb_actual_nodes={L: 138, I: 4918, A: 5056, O: 3136},
+        hslb_actual={L: 457.052, I: 499.691, A: 2989.115, O: 2898.102},
+        hslb_actual_total=3488.806,
+    ),
+    "8th-32768": PaperTable3Entry(
+        key="8th-32768",
+        resolution="8th",
+        total_nodes=32768,
+        unconstrained_ocean=False,
+        manual_nodes={L: 2220, I: 24424, A: 26644, O: 6124},
+        manual_times={L: 44.225, I: 214.203, A: 787.478, O: 1645.009},
+        manual_total=1645.009,
+        hslb_nodes={L: 302, I: 13006, A: 13308, O: 19460},
+        hslb_predicted={L: 232.158, I: 290.088, A: 1302.562, O: 712.525},
+        hslb_predicted_total=1592.649,
+        hslb_actual_nodes={L: 302, I: 13006, A: 13308, O: 19460},
+        hslb_actual={L: 223.284, I: 311.195, A: 1301.136, O: 700.373},
+        hslb_actual_total=1612.331,
+    ),
+    "8th-8192-unconstrained": PaperTable3Entry(
+        key="8th-8192-unconstrained",
+        resolution="8th",
+        total_nodes=8192,
+        unconstrained_ocean=True,
+        manual_nodes=None,
+        manual_times=None,
+        manual_total=None,
+        hslb_nodes={L: 137, I: 5238, A: 5375, O: 2817},
+        hslb_predicted={L: 487.853, I: 489.904, A: 2727.934, O: 3216.924},
+        hslb_predicted_total=3217.837,
+        hslb_actual_nodes={L: 146, I: 5287, A: 5433, O: 2759},
+        hslb_actual={L: 417.162, I: 475.249, A: 2702.651, O: 3496.331},
+        hslb_actual_total=3496.331,
+    ),
+    "8th-32768-unconstrained": PaperTable3Entry(
+        key="8th-32768-unconstrained",
+        resolution="8th",
+        total_nodes=32768,
+        unconstrained_ocean=True,
+        manual_nodes=None,
+        manual_times=None,
+        manual_total=None,
+        hslb_nodes={L: 299, I: 22657, A: 22956, O: 9812},
+        hslb_predicted={L: 232.158, I: 232.735, A: 896.67, O: 1129.335},
+        hslb_predicted_total=1129.405,
+        hslb_actual_nodes={L: 272, I: 20616, A: 20888, O: 11880},
+        hslb_actual={L: 238.46, I: 231.631, A: 956.558, O: 1255.593},
+        hslb_actual_total=1255.593,
+    ),
+}
+
+#: Headline claims from the text, used as assertions in the benchmarks.
+CLAIMS = {
+    # Sec. III-E: "the MINLP for 40960 nodes took less than 60 seconds to
+    # solve on one core".
+    "solver_seconds_at_40960": 60.0,
+    # Sec. III-E: SOS branching "improved the runtime of the MINLP solver
+    # by two orders of magnitude".
+    "sos_speedup_orders": 2,
+    # Sec. V: "we improved the speed of CESM on 32,768 nodes for 1/8-degree
+    # resolution simulations by 25% compared to a baseline guess".
+    "actual_improvement_32768": 0.25,
+    # Sec. IV-B: predicted improvement ~40% (1129 vs 1593 seconds).
+    "predicted_improvement_32768": 0.40,
+    # Sec. IV (Figure 4): R^2 between predicted and experimental layout-1
+    # scaling equals 1.0.
+    "fig4_layout1_r2": 1.0,
+    # Sec. III-C: at least 4 benchmark points per component; R^2 close to 1.
+    "min_benchmark_points": 4,
+}

@@ -1,0 +1,100 @@
+"""Experiment registry: ids -> runners (shared by CLI and benchmarks)."""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+def _table3(key):
+    def run(seed: int = 0):
+        from repro.experiments.table3 import run_table3_entry
+
+        return run_table3_entry(key, seed=seed)
+
+    return run
+
+
+def _fig(runner_name):
+    def run(seed: int = 0):
+        from repro.experiments import figures
+
+        return getattr(figures, runner_name)(seed=seed)
+
+    return run
+
+
+def _ablation(runner_name):
+    def run(seed: int = 0):
+        from repro.experiments import ablations
+
+        return getattr(ablations, runner_name)(seed=seed)
+
+    return run
+
+
+def _mlice(seed: int = 0):
+    from repro.experiments.mlice_ablation import run_mlice_ablation
+
+    return run_mlice_ablation(seed=seed)
+
+
+def _seeds(seed: int = 0):
+    from repro.experiments.stability import run_seed_stability
+
+    return run_seed_stability(seed=seed)
+
+
+def _finetune(seed: int = 0):
+    from repro.experiments.finetune import run_finetune_comparison
+
+    return run_finetune_comparison(seed=seed)
+
+
+#: id -> (description, runner).  Runners take ``seed`` and return an object
+#: with a ``render()`` method.
+EXPERIMENTS = {
+    "t3-1": ("Table III: 1 deg, 128 nodes", _table3("1deg-128")),
+    "t3-2": ("Table III: 1 deg, 2048 nodes", _table3("1deg-2048")),
+    "t3-3": ("Table III: 1/8 deg, 8192 nodes, constrained ocean", _table3("8th-8192")),
+    "t3-4": ("Table III: 1/8 deg, 32768 nodes, constrained ocean", _table3("8th-32768")),
+    "t3-5": (
+        "Table III: 1/8 deg, 8192 nodes, unconstrained ocean",
+        _table3("8th-8192-unconstrained"),
+    ),
+    "t3-6": (
+        "Table III: 1/8 deg, 32768 nodes, unconstrained ocean",
+        _table3("8th-32768-unconstrained"),
+    ),
+    "fig2": ("Figure 2: component scaling curves (1 deg)", _fig("run_figure2")),
+    "fig3": ("Figure 3: 1/8 deg manual vs HSLB", _fig("run_figure3")),
+    "fig4": ("Figure 4: layout scaling (1 deg)", _fig("run_figure4")),
+    "a-obj": ("Ablation: objective functions", _ablation("run_objective_ablation")),
+    "a-sos": ("Ablation: SOS vs binary branching", _ablation("run_branching_ablation")),
+    "a-solve": ("Ablation: solver time at 40,960 nodes", _ablation("run_solver_time")),
+    "a-sync": ("Ablation: T_sync band", _ablation("run_tsync_ablation")),
+    "a-fit": ("Ablation: benchmark point count", _ablation("run_fit_points_ablation")),
+    "a-start": ("Ablation: multistart fitting", _ablation("run_multistart_ablation")),
+    "a-mlice": (
+        "Extension: ML-based sea-ice decomposition selection (ref. [10])",
+        _mlice,
+    ),
+    "a-seeds": (
+        "Extension: seed-replication of the Table III headline comparison",
+        _seeds,
+    ),
+    "a-finetune": (
+        "Extension: coupler/river fine-tuning (paper Sec. II deferred step)",
+        _finetune,
+    ),
+}
+
+
+def run_experiment(experiment_id: str, seed: int = 0):
+    """Run one experiment by id; returns its data object (has .render())."""
+    try:
+        _, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(seed=seed)

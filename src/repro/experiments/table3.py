@@ -1,0 +1,135 @@
+"""Table III reproduction (experiments T3-1 .. T3-6).
+
+For each published block this module runs the full pipeline on the
+calibrated simulator:
+
+1. the *manual* column re-executes the paper's published expert allocation,
+2. the *HSLB* columns run gather -> fit -> solve -> execute,
+
+then renders both our block and the paper's side by side and computes the
+comparison metrics the benchmarks assert on (who wins, by how much, and
+whether HSLB's predicted total tracks its actual total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cesm import make_case
+from repro.cesm.components import ComponentId
+from repro.exceptions import ConfigurationError
+from repro.hslb import HSLBPipeline
+from repro.hslb.report import format_table3_block as _block
+from repro.experiments.paperdata import TABLE3, PaperTable3Entry
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+@dataclass
+class Table3Reproduction:
+    """Our measurements for one Table III block, next to the paper's."""
+
+    paper: PaperTable3Entry
+    manual_times: dict | None     # our simulator at the paper's manual alloc
+    manual_total: float | None
+    hslb_nodes: dict
+    hslb_predicted: dict
+    hslb_predicted_total: float
+    hslb_actual: dict
+    hslb_actual_total: float
+    fit_r_squared: dict
+
+    # -- comparison metrics -------------------------------------------------
+
+    @property
+    def hslb_beats_or_ties_manual(self) -> bool:
+        if self.manual_total is None:
+            return True
+        return self.hslb_actual_total <= self.manual_total * 1.05
+
+    @property
+    def actual_improvement_over_manual(self) -> float:
+        """Relative improvement of HSLB-actual over the manual run (can be
+        negative when manual was already optimal)."""
+        if self.manual_total is None:
+            raise ConfigurationError("entry has no manual column")
+        return 1.0 - self.hslb_actual_total / self.manual_total
+
+    @property
+    def prediction_error(self) -> float:
+        return abs(self.hslb_predicted_total - self.hslb_actual_total) / (
+            self.hslb_actual_total
+        )
+
+    def render(self) -> str:
+        title = (
+            f"Table III block {self.paper.key} "
+            f"({self.paper.resolution}, {self.paper.total_nodes} nodes"
+            + (", unconstrained ocean)" if self.paper.unconstrained_ocean else ")")
+        )
+        ours = _block(
+            title=f"{title} - THIS REPRODUCTION",
+            manual=self.paper.manual_nodes,
+            manual_times=self.manual_times,
+            predicted_nodes=self.hslb_nodes,
+            predicted_times=self.hslb_predicted,
+            actual_times=self.hslb_actual,
+            manual_total=self.manual_total,
+            predicted_total=self.hslb_predicted_total,
+            actual_total=self.hslb_actual_total,
+        )
+        paper = _block(
+            title=f"{title} - PAPER",
+            manual=self.paper.manual_nodes,
+            manual_times=self.paper.manual_times,
+            predicted_nodes=self.paper.hslb_nodes,
+            predicted_times=self.paper.hslb_predicted,
+            actual_times=self.paper.hslb_actual,
+            manual_total=self.paper.manual_total,
+            predicted_total=self.paper.hslb_predicted_total,
+            actual_total=self.paper.hslb_actual_total,
+        )
+        return ours + "\n\n" + paper
+
+
+def run_table3_entry(key: str, seed: int = 0, points: int = 5) -> Table3Reproduction:
+    """Reproduce one Table III block (see :data:`TABLE3` for keys)."""
+    try:
+        paper = TABLE3[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown Table III entry {key!r}; known: {sorted(TABLE3)}"
+        ) from None
+
+    case = make_case(
+        paper.resolution,
+        paper.total_nodes,
+        unconstrained_ocean=paper.unconstrained_ocean,
+        seed=seed,
+    )
+    pipeline = HSLBPipeline(case, points=points)
+    result = pipeline.run()
+
+    manual_times = None
+    manual_total = None
+    if paper.manual_nodes is not None:
+        manual_run = pipeline.simulator.run_coupled(paper.manual_nodes)
+        manual_times = dict(manual_run.times)
+        manual_total = manual_run.total
+
+    return Table3Reproduction(
+        paper=paper,
+        manual_times=manual_times,
+        manual_total=manual_total,
+        hslb_nodes=result.allocation,
+        hslb_predicted=result.solve.predicted_times,
+        hslb_predicted_total=result.predicted_total,
+        hslb_actual=dict(result.actual.times),
+        hslb_actual_total=result.actual_total,
+        fit_r_squared=result.fit_r_squared(),
+    )
+
+
+def run_full_table3(seed: int = 0) -> dict:
+    """All six blocks; returns ``{key: Table3Reproduction}``."""
+    return {key: run_table3_entry(key, seed=seed) for key in TABLE3}

@@ -1,0 +1,64 @@
+"""Algebraic expression trees with symbolic differentiation.
+
+This subpackage is the computational core of the modeling layer
+(:mod:`repro.model`): constraints and objectives are expression trees over
+named variables.  It provides
+
+- node types (:mod:`repro.expr.node`): constants, variable references and the
+  smooth arithmetic operators ``+ - * / **`` plus ``neg``,
+- evaluation (scalar and numpy-vectorized) via :meth:`Expr.evaluate`,
+- symbolic differentiation (:mod:`repro.expr.diff`), used by the NLP barrier
+  solver (gradients + Hessians) and by outer-approximation cut generation,
+- simplification / constant folding (:mod:`repro.expr.simplify`),
+- linearity and linear-coefficient extraction (:mod:`repro.expr.linear`),
+- first-order linearization around a point (:mod:`repro.expr.linearize`),
+  i.e. the paper's equation (4) cut ``∇f(xk)ᵀ(x − xk) + f(xk) ≤ 0``,
+- rule-based convexity analysis (:mod:`repro.expr.convexity`) specialized to
+  the performance-model family ``a/n + b·n^c + d``.
+"""
+
+from repro.expr.node import (
+    Expr,
+    Const,
+    VarRef,
+    Add,
+    Mul,
+    Div,
+    Pow,
+    Neg,
+    as_expr,
+    var,
+    const,
+)
+from repro.expr.diff import differentiate, gradient, hessian
+from repro.expr.simplify import simplify
+from repro.expr.linear import is_linear, linear_coefficients, LinearForm
+from repro.expr.linearize import linearize_at, TangentCut
+from repro.expr.convexity import Curvature, curvature
+from repro.expr.substitute import substitute
+
+__all__ = [
+    "Expr",
+    "Const",
+    "VarRef",
+    "Add",
+    "Mul",
+    "Div",
+    "Pow",
+    "Neg",
+    "as_expr",
+    "var",
+    "const",
+    "differentiate",
+    "gradient",
+    "hessian",
+    "simplify",
+    "is_linear",
+    "linear_coefficients",
+    "LinearForm",
+    "linearize_at",
+    "TangentCut",
+    "Curvature",
+    "curvature",
+    "substitute",
+]

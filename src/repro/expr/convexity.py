@@ -1,0 +1,124 @@
+"""Rule-based convexity analysis.
+
+The LP/NLP branch-and-bound algorithm is globally optimal only when every
+nonlinear constraint function is convex (paper Sec. III-E: "The positivity of
+the coefficients a_j, b_j, d_j implies that the nonlinear functions are
+convex, which ensures that MINOTAUR finds a global solution").  This module
+implements a conservative disciplined-convex-programming-style calculus that
+certifies exactly that family:
+
+- constants and variables are affine,
+- nonnegative combinations preserve curvature; negation flips it,
+- ``k / x`` with ``k >= 0`` is convex on ``x > 0``,
+- ``k * x**p`` with ``k >= 0`` is convex on ``x > 0`` for ``p >= 1`` or
+  ``p <= 0``, concave for ``0 <= p <= 1``.
+
+Verdicts are *conservative*: :attr:`Curvature.UNKNOWN` means "could not
+certify", not "nonconvex".  Domain assumption throughout: all variables are
+positive (node counts are >= 1), which the model layer enforces via bounds.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.expr.node import Add, Const, Div, Expr, Mul, Neg, Pow, VarRef
+from repro.expr.simplify import simplify
+
+__all__ = ["Curvature", "curvature"]
+
+
+class Curvature(enum.Enum):
+    """Curvature verdict for an expression over the positive orthant."""
+
+    CONSTANT = "constant"
+    AFFINE = "affine"
+    CONVEX = "convex"
+    CONCAVE = "concave"
+    UNKNOWN = "unknown"
+
+    def is_convex(self) -> bool:
+        return self in (Curvature.CONSTANT, Curvature.AFFINE, Curvature.CONVEX)
+
+    def is_concave(self) -> bool:
+        return self in (Curvature.CONSTANT, Curvature.AFFINE, Curvature.CONCAVE)
+
+    def negated(self) -> "Curvature":
+        if self is Curvature.CONVEX:
+            return Curvature.CONCAVE
+        if self is Curvature.CONCAVE:
+            return Curvature.CONVEX
+        return self
+
+
+def curvature(expr: Expr) -> Curvature:
+    """Certify the curvature of ``expr`` assuming all variables are > 0."""
+    return _curv(simplify(expr))
+
+
+def _combine_sum(curvatures) -> Curvature:
+    kinds = set(curvatures)
+    if Curvature.UNKNOWN in kinds:
+        return Curvature.UNKNOWN
+    if Curvature.CONVEX in kinds and Curvature.CONCAVE in kinds:
+        return Curvature.UNKNOWN  # convex + concave: indeterminate
+    if Curvature.CONVEX in kinds:
+        return Curvature.CONVEX
+    if Curvature.CONCAVE in kinds:
+        return Curvature.CONCAVE
+    if Curvature.AFFINE in kinds:
+        return Curvature.AFFINE
+    return Curvature.CONSTANT
+
+
+def _curv(expr: Expr) -> Curvature:
+    if isinstance(expr, Const):
+        return Curvature.CONSTANT
+    if isinstance(expr, VarRef):
+        return Curvature.AFFINE
+    if isinstance(expr, Neg):
+        return _curv(expr.operand).negated()
+    if isinstance(expr, Add):
+        return _combine_sum([_curv(t) for t in expr.terms])
+    if isinstance(expr, Mul):
+        left, right = expr.left, expr.right
+        if isinstance(left, Const):
+            scale, body = left.value, right
+        elif isinstance(right, Const):
+            scale, body = right.value, left
+        else:
+            return Curvature.UNKNOWN
+        inner = _curv(body)
+        if scale >= 0:
+            return inner
+        return inner.negated()
+    if isinstance(expr, Div):
+        numer, denom = expr.numerator, expr.denominator
+        if isinstance(denom, Const):
+            if denom.value == 0.0:
+                return Curvature.UNKNOWN
+            return _curv(Mul(Const(1.0 / denom.value), numer))
+        # k / x  (k const, x a bare variable): convex on x > 0 for k >= 0.
+        if isinstance(numer, Const) and isinstance(denom, VarRef):
+            return Curvature.CONVEX if numer.value >= 0 else Curvature.CONCAVE
+        # k / x**p with p > 0 behaves like k * x**(-p): convex for k >= 0.
+        if (
+            isinstance(numer, Const)
+            and isinstance(denom, Pow)
+            and isinstance(denom.base, VarRef)
+            and isinstance(denom.exponent, Const)
+            and denom.exponent.value > 0
+        ):
+            return Curvature.CONVEX if numer.value >= 0 else Curvature.CONCAVE
+        return Curvature.UNKNOWN
+    if isinstance(expr, Pow):
+        base, expo = expr.base, expr.exponent
+        if isinstance(base, VarRef) and isinstance(expo, Const):
+            p = expo.value
+            if p >= 1.0 or p <= 0.0:
+                return Curvature.CONVEX
+            return Curvature.CONCAVE
+        # Affine base to a constant power >= 1 is convex where the base >= 0;
+        # we cannot certify sign of a general affine base, so be conservative.
+        return Curvature.UNKNOWN
+    return Curvature.UNKNOWN

@@ -1,0 +1,100 @@
+"""Symbolic differentiation of expression trees.
+
+The rules cover exactly the node family in :mod:`repro.expr.node`.  For
+``Pow`` we distinguish the common case of a *constant* exponent (power rule),
+which covers the performance-model family ``a/n + b·n^c + d``; general
+``f(x)**g(x)`` would require logarithms of possibly-negative bases and is
+rejected with :class:`~repro.exceptions.ExpressionError`, except for the
+constant-base case ``k**g(x)`` with k > 0.
+
+Derivatives are simplified on the way out so repeated differentiation (for
+Hessians) does not blow up the tree.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ExpressionError
+from repro.expr.node import Add, Const, Div, Expr, Mul, Neg, Pow, VarRef
+from repro.expr.simplify import simplify
+
+__all__ = ["differentiate", "gradient", "hessian"]
+
+_ZERO = Const(0.0)
+_ONE = Const(1.0)
+
+
+def differentiate(expr: Expr, name: str) -> Expr:
+    """Return the simplified partial derivative ``d expr / d name``."""
+    return simplify(_diff(expr, name))
+
+
+def gradient(expr: Expr, names: list) -> dict:
+    """Partial derivatives of ``expr`` w.r.t. each name, as ``{name: Expr}``."""
+    return {n: differentiate(expr, n) for n in names}
+
+
+def hessian(expr: Expr, names: list) -> dict:
+    """Second partials as ``{(ni, nj): Expr}`` for the upper triangle.
+
+    Symmetric entries are stored once with ``ni <= nj`` in list order; the
+    NLP solver mirrors them when assembling the dense Hessian.
+    """
+    grads = gradient(expr, names)
+    out = {}
+    for i, ni in enumerate(names):
+        for nj in names[i:]:
+            out[(ni, nj)] = differentiate(grads[ni], nj)
+    return out
+
+
+def _diff(expr: Expr, name: str) -> Expr:
+    if isinstance(expr, Const):
+        return _ZERO
+    if isinstance(expr, VarRef):
+        return _ONE if expr.name == name else _ZERO
+    if isinstance(expr, Add):
+        return Add(tuple(_diff(t, name) for t in expr.terms))
+    if isinstance(expr, Neg):
+        return Neg(_diff(expr.operand, name))
+    if isinstance(expr, Mul):
+        # Product rule.
+        return Add(
+            (
+                Mul(_diff(expr.left, name), expr.right),
+                Mul(expr.left, _diff(expr.right, name)),
+            )
+        )
+    if isinstance(expr, Div):
+        # Quotient rule: (u'v - uv') / v^2.
+        u, v = expr.numerator, expr.denominator
+        numer = Add((Mul(_diff(u, name), v), Neg(Mul(u, _diff(v, name)))))
+        return Div(numer, Mul(v, v))
+    if isinstance(expr, Pow):
+        return _diff_pow(expr, name)
+    raise ExpressionError(f"cannot differentiate node type {type(expr).__name__}")
+
+
+def _diff_pow(expr: Pow, name: str) -> Expr:
+    base, expo = expr.base, expr.exponent
+    expo_s = simplify(expo)
+    if isinstance(expo_s, Const):
+        # Power rule: d/dx f^k = k * f^(k-1) * f'.
+        k = expo_s.value
+        if k == 0.0:
+            return _ZERO
+        inner = _diff(base, name)
+        return Mul(Mul(Const(k), Pow(base, Const(k - 1.0))), inner)
+    base_s = simplify(base)
+    if isinstance(base_s, Const):
+        # d/dx k^g = k^g * ln(k) * g'   (requires k > 0).
+        k = base_s.value
+        if k <= 0.0:
+            raise ExpressionError(
+                "cannot differentiate k**g(x) with non-positive constant base"
+            )
+        return Mul(Mul(expr, Const(math.log(k))), _diff(expo, name))
+    raise ExpressionError(
+        "cannot differentiate f(x)**g(x) with both base and exponent variable"
+    )

@@ -1,0 +1,93 @@
+"""Linearity detection and linear-coefficient extraction.
+
+The LP/NLP branch-and-bound solver separates a model's constraints into a
+*linear* part (handed to the simplex LP solver directly) and a *nonlinear*
+part (handled via outer-approximation cuts).  This module decides which side
+each constraint falls on and extracts ``coeffs · x + constant`` for the
+linear ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ExpressionError
+from repro.expr.node import Add, Const, Div, Expr, Mul, Neg, Pow, VarRef
+from repro.expr.simplify import simplify
+
+__all__ = ["LinearForm", "is_linear", "linear_coefficients"]
+
+
+@dataclass
+class LinearForm:
+    """An affine function ``sum_j coeffs[name_j] * x_j + constant``."""
+
+    coeffs: dict = field(default_factory=dict)
+    constant: float = 0.0
+
+    def scaled(self, factor: float) -> "LinearForm":
+        return LinearForm(
+            {k: v * factor for k, v in self.coeffs.items()}, self.constant * factor
+        )
+
+    def plus(self, other: "LinearForm") -> "LinearForm":
+        coeffs = dict(self.coeffs)
+        for k, v in other.coeffs.items():
+            coeffs[k] = coeffs.get(k, 0.0) + v
+        return LinearForm(coeffs, self.constant + other.constant)
+
+    def evaluate(self, env: dict) -> float:
+        return self.constant + sum(c * env[k] for k, c in self.coeffs.items())
+
+
+def is_linear(expr: Expr) -> bool:
+    """True iff ``expr`` is affine in its variables."""
+    try:
+        linear_coefficients(expr)
+        return True
+    except ExpressionError:
+        return False
+
+
+def linear_coefficients(expr: Expr) -> LinearForm:
+    """Extract the affine form of ``expr`` or raise :class:`ExpressionError`.
+
+    Handles sums, negation, products/quotients with one constant side, and
+    powers that fold to constants.  Anything genuinely nonlinear (a product
+    of two variable subtrees, a variable exponent or denominator...) raises.
+    """
+    return _extract(simplify(expr))
+
+
+def _extract(expr: Expr) -> LinearForm:
+    if isinstance(expr, Const):
+        return LinearForm({}, expr.value)
+    if isinstance(expr, VarRef):
+        return LinearForm({expr.name: 1.0}, 0.0)
+    if isinstance(expr, Neg):
+        return _extract(expr.operand).scaled(-1.0)
+    if isinstance(expr, Add):
+        total = LinearForm()
+        for t in expr.terms:
+            total = total.plus(_extract(t))
+        return total
+    if isinstance(expr, Mul):
+        left, right = expr.left, expr.right
+        if isinstance(left, Const):
+            return _extract(right).scaled(left.value)
+        if isinstance(right, Const):
+            return _extract(left).scaled(right.value)
+        raise ExpressionError("product of two non-constant subtrees is nonlinear")
+    if isinstance(expr, Div):
+        if isinstance(expr.denominator, Const):
+            if expr.denominator.value == 0.0:
+                raise ExpressionError("division by constant zero")
+            return _extract(expr.numerator).scaled(1.0 / expr.denominator.value)
+        raise ExpressionError("variable denominator is nonlinear")
+    if isinstance(expr, Pow):
+        # simplify() already folded x**1 and constants; any remaining Pow
+        # with variables is nonlinear.
+        if not expr.variables():
+            return LinearForm({}, float(expr.evaluate({})))
+        raise ExpressionError("power of a variable is nonlinear")
+    raise ExpressionError(f"unsupported node type {type(expr).__name__}")

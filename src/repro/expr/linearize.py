@@ -1,0 +1,61 @@
+"""First-order linearization of nonlinear expressions (outer approximation).
+
+Given a smooth constraint ``f(x) <= 0`` and a point ``xk``, the paper's
+equation (4) relaxes it to the supporting hyperplane
+
+    f(xk) + grad f(xk) . (x - xk) <= 0
+
+which is valid (an *outer* approximation) whenever ``f`` is convex.  The
+LP/NLP branch-and-bound solver adds these :class:`TangentCut` rows to its
+mixed-integer linear relaxation lazily, only for constraints the current LP
+solution violates (Sec. III-E of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.expr.diff import gradient
+from repro.expr.node import Expr
+from repro.util.validation import check_finite_array
+
+__all__ = ["TangentCut", "linearize_at"]
+
+
+@dataclass(frozen=True)
+class TangentCut:
+    """An affine inequality ``sum coeffs[name]*x_name <= rhs``."""
+
+    coeffs: dict
+    rhs: float
+
+    def violation(self, env: dict) -> float:
+        """Positive amount by which ``env`` violates the cut (0 if satisfied)."""
+        lhs = sum(c * env[k] for k, c in self.coeffs.items())
+        return max(0.0, lhs - self.rhs)
+
+
+def linearize_at(expr: Expr, point: dict) -> TangentCut:
+    """Linearize the constraint ``expr <= 0`` around ``point``.
+
+    Returns the tangent cut ``grad . x <= grad . xk - f(xk)``.  The caller is
+    responsible for only using this on convex ``expr`` (for concave ``expr``
+    the same formula yields an *inner* approximation and would cut off
+    feasible points).
+    """
+    names = sorted(expr.variables())
+    try:
+        f0 = float(expr.evaluate(point))
+        grads = gradient(expr, names)
+        gvals = np.array([float(grads[n].evaluate(point)) for n in names])
+    except ArithmeticError as exc:
+        raise ValueError(f"cannot linearize at {point!r}: {exc}") from exc
+    check_finite_array(gvals, "gradient at linearization point")
+    if not np.isfinite(f0):
+        raise ValueError("expression value at linearization point is not finite")
+    xk = np.array([float(point[n]) for n in names])
+    rhs = float(gvals @ xk - f0)
+    coeffs = {n: float(g) for n, g in zip(names, gvals) if g != 0.0}
+    return TangentCut(coeffs=coeffs, rhs=rhs)

@@ -1,0 +1,273 @@
+"""Expression-tree node types.
+
+Expressions are immutable trees over *named* variables.  ``VarRef("n_atm")``
+stands for whatever value the evaluation environment binds to ``"n_atm"``;
+the model layer owns the mapping from names to :class:`~repro.model.Variable`
+objects.  Python operators are overloaded so models read like AMPL:
+
+>>> n = var("n")
+>>> t = 100.0 / n + 0.01 * n ** 1.2 + 5.0
+>>> round(t.evaluate({"n": 10.0}), 4)
+15.1585
+
+Evaluation accepts numpy arrays as bindings and broadcasts, which the fitting
+and analysis layers use to evaluate scaling curves over whole node grids at
+once (per the vectorize-don't-loop guidance for numerical Python).
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ExpressionError
+
+__all__ = [
+    "Expr",
+    "Const",
+    "VarRef",
+    "Add",
+    "Mul",
+    "Div",
+    "Pow",
+    "Neg",
+    "as_expr",
+    "var",
+    "const",
+]
+
+
+def as_expr(value) -> "Expr":
+    """Coerce a number or Expr to an Expr (numbers become :class:`Const`)."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise ExpressionError("booleans are not valid expression constants")
+    if isinstance(value, numbers.Real):
+        return Const(float(value))
+    raise ExpressionError(
+        f"cannot convert {type(value).__name__} to an expression"
+    )
+
+
+def var(name: str) -> "VarRef":
+    """Shorthand for :class:`VarRef`."""
+    return VarRef(name)
+
+
+def const(value: float) -> "Const":
+    """Shorthand for :class:`Const`."""
+    return Const(float(value))
+
+
+class Expr:
+    """Base class for expression nodes.
+
+    Subclasses are frozen dataclasses; trees are safe to share and hash.
+    """
+
+    __slots__ = ()
+
+    # -- structural API -----------------------------------------------------
+
+    def children(self) -> tuple:
+        """Child expressions, left to right."""
+        return ()
+
+    def variables(self) -> frozenset:
+        """The set of variable names appearing in this tree."""
+        out = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, VarRef):
+                out.add(node.name)
+            else:
+                stack.extend(node.children())
+        return frozenset(out)
+
+    def evaluate(self, env: dict):
+        """Evaluate with ``env`` mapping variable names to floats/arrays."""
+        raise NotImplementedError
+
+    # -- operator overloading ------------------------------------------------
+
+    def __add__(self, other):
+        return Add((self, as_expr(other)))
+
+    def __radd__(self, other):
+        return Add((as_expr(other), self))
+
+    def __sub__(self, other):
+        return Add((self, Neg(as_expr(other))))
+
+    def __rsub__(self, other):
+        return Add((as_expr(other), Neg(self)))
+
+    def __mul__(self, other):
+        return Mul(self, as_expr(other))
+
+    def __rmul__(self, other):
+        return Mul(as_expr(other), self)
+
+    def __truediv__(self, other):
+        return Div(self, as_expr(other))
+
+    def __rtruediv__(self, other):
+        return Div(as_expr(other), self)
+
+    def __pow__(self, other):
+        return Pow(self, as_expr(other))
+
+    def __rpow__(self, other):
+        return Pow(as_expr(other), self)
+
+    def __neg__(self):
+        return Neg(self)
+
+    def __pos__(self):
+        return self
+
+    # Expressions are compared structurally via dataclass __eq__; they are
+    # not booleans, so refuse implicit truthiness to catch `if expr:` bugs.
+    def __bool__(self):
+        raise ExpressionError(
+            "expressions have no truth value; use .evaluate() or build a "
+            "Constraint via repro.model"
+        )
+
+
+@dataclass(frozen=True, eq=True)
+class Const(Expr):
+    """A floating-point constant leaf."""
+
+    value: float
+
+    def evaluate(self, env: dict):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True, eq=True)
+class VarRef(Expr):
+    """A reference to a named variable."""
+
+    name: str
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise ExpressionError("variable name must be a non-empty string")
+
+    def evaluate(self, env: dict):
+        try:
+            return env[self.name]
+        except KeyError:
+            raise ExpressionError(f"no value bound for variable {self.name!r}") from None
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=True)
+class Add(Expr):
+    """N-ary sum of terms."""
+
+    terms: tuple
+
+    def __post_init__(self):
+        if not self.terms:
+            raise ExpressionError("Add requires at least one term")
+        for t in self.terms:
+            if not isinstance(t, Expr):
+                raise ExpressionError("Add terms must be expressions")
+
+    def children(self) -> tuple:
+        return self.terms
+
+    def evaluate(self, env: dict):
+        total = self.terms[0].evaluate(env)
+        for t in self.terms[1:]:
+            total = total + t.evaluate(env)
+        return total
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(map(repr, self.terms)) + ")"
+
+
+@dataclass(frozen=True, eq=True)
+class Mul(Expr):
+    """Binary product."""
+
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def evaluate(self, env: dict):
+        return self.left.evaluate(env) * self.right.evaluate(env)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} * {self.right!r})"
+
+
+@dataclass(frozen=True, eq=True)
+class Div(Expr):
+    """Binary quotient."""
+
+    numerator: Expr
+    denominator: Expr
+
+    def children(self) -> tuple:
+        return (self.numerator, self.denominator)
+
+    def evaluate(self, env: dict):
+        denom = self.denominator.evaluate(env)
+        return self.numerator.evaluate(env) / denom
+
+    def __repr__(self) -> str:
+        return f"({self.numerator!r} / {self.denominator!r})"
+
+
+@dataclass(frozen=True, eq=True)
+class Pow(Expr):
+    """Power ``base ** exponent``.
+
+    The NLP machinery only needs smooth powers; evaluation uses numpy
+    semantics, so fractional powers of negative bases produce ``nan`` which
+    the solvers guard against with variable lower bounds.
+    """
+
+    base: Expr
+    exponent: Expr
+
+    def children(self) -> tuple:
+        return (self.base, self.exponent)
+
+    def evaluate(self, env: dict):
+        base = self.base.evaluate(env)
+        expo = self.exponent.evaluate(env)
+        return np.power(base, expo) if isinstance(base, np.ndarray) else base ** expo
+
+    def __repr__(self) -> str:
+        return f"({self.base!r} ** {self.exponent!r})"
+
+
+@dataclass(frozen=True, eq=True)
+class Neg(Expr):
+    """Unary negation."""
+
+    operand: Expr
+
+    def children(self) -> tuple:
+        return (self.operand,)
+
+    def evaluate(self, env: dict):
+        return -self.operand.evaluate(env)
+
+    def __repr__(self) -> str:
+        return f"(-{self.operand!r})"

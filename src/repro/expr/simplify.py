@@ -1,0 +1,119 @@
+"""Expression simplification: constant folding and identity elimination.
+
+This is a single bottom-up pass applying local rewrite rules.  It is not a
+full computer-algebra system — the goal is to keep derivative trees small
+(differentiation produces many ``0 * f`` and ``f + 0`` patterns) and to fold
+fully-constant subtrees so linearity detection sees through them.
+"""
+
+from __future__ import annotations
+
+from repro.expr.node import Add, Const, Div, Expr, Mul, Neg, Pow, VarRef
+
+__all__ = ["simplify"]
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return an equivalent, usually smaller, expression."""
+    if isinstance(expr, (Const, VarRef)):
+        return expr
+    if isinstance(expr, Add):
+        return _simplify_add(expr)
+    if isinstance(expr, Neg):
+        return _simplify_neg(expr)
+    if isinstance(expr, Mul):
+        return _simplify_mul(expr)
+    if isinstance(expr, Div):
+        return _simplify_div(expr)
+    if isinstance(expr, Pow):
+        return _simplify_pow(expr)
+    return expr
+
+
+def _is_const(expr: Expr, value=None) -> bool:
+    if not isinstance(expr, Const):
+        return False
+    return value is None or expr.value == value
+
+
+def _simplify_add(expr: Add) -> Expr:
+    # Flatten nested sums, fold constants, drop zeros.
+    terms = []
+    const_total = 0.0
+    stack = list(expr.terms)
+    while stack:
+        t = simplify(stack.pop(0))
+        if isinstance(t, Add):
+            stack = list(t.terms) + stack
+        elif isinstance(t, Const):
+            const_total += t.value
+        else:
+            terms.append(t)
+    if const_total != 0.0 or not terms:
+        terms.append(Const(const_total))
+    if len(terms) == 1:
+        return terms[0]
+    return Add(tuple(terms))
+
+
+def _simplify_neg(expr: Neg) -> Expr:
+    inner = simplify(expr.operand)
+    if isinstance(inner, Const):
+        return Const(-inner.value)
+    if isinstance(inner, Neg):
+        return inner.operand
+    return Neg(inner)
+
+
+def _simplify_mul(expr: Mul) -> Expr:
+    left = simplify(expr.left)
+    right = simplify(expr.right)
+    if _is_const(left, 0.0) or _is_const(right, 0.0):
+        return Const(0.0)
+    if isinstance(left, Const) and isinstance(right, Const):
+        return Const(left.value * right.value)
+    if _is_const(left, 1.0):
+        return right
+    if _is_const(right, 1.0):
+        return left
+    if _is_const(left, -1.0):
+        return _simplify_neg(Neg(right))
+    if _is_const(right, -1.0):
+        return _simplify_neg(Neg(left))
+    # Pull constants to the left and merge c1 * (c2 * f) -> (c1*c2) * f.
+    if isinstance(right, Const):
+        left, right = right, left
+    if isinstance(left, Const) and isinstance(right, Mul) and isinstance(right.left, Const):
+        return Mul(Const(left.value * right.left.value), right.right)
+    return Mul(left, right)
+
+
+def _simplify_div(expr: Div) -> Expr:
+    numer = simplify(expr.numerator)
+    denom = simplify(expr.denominator)
+    if _is_const(numer, 0.0):
+        return Const(0.0)
+    if isinstance(numer, Const) and isinstance(denom, Const):
+        return Const(numer.value / denom.value)
+    if _is_const(denom, 1.0):
+        return numer
+    return Div(numer, denom)
+
+
+def _simplify_pow(expr: Pow) -> Expr:
+    base = simplify(expr.base)
+    expo = simplify(expr.exponent)
+    if _is_const(expo, 1.0):
+        return base
+    if _is_const(expo, 0.0):
+        return Const(1.0)
+    if isinstance(base, Const) and isinstance(expo, Const):
+        return Const(base.value ** expo.value)
+    # (f ** k1) ** k2  ->  f ** (k1*k2) for constant exponents.
+    if (
+        isinstance(base, Pow)
+        and isinstance(base.exponent, Const)
+        and isinstance(expo, Const)
+    ):
+        return Pow(base.base, Const(base.exponent.value * expo.value))
+    return Pow(base, expo)

@@ -1,0 +1,42 @@
+"""Partial evaluation: replace variables with constants (or other trees).
+
+Used by the NLP layer to eliminate *fixed* variables before a barrier solve
+(a variable with ``lb == ub`` has no strict interior, so it must leave the
+problem), and by the HSLB layout models to instantiate fitted performance
+curves into constraint templates.
+"""
+
+from __future__ import annotations
+
+from repro.expr.node import Add, Const, Div, Expr, Mul, Neg, Pow, VarRef, as_expr
+from repro.expr.simplify import simplify
+
+__all__ = ["substitute"]
+
+
+def substitute(expr: Expr, bindings: dict) -> Expr:
+    """Return ``expr`` with each ``VarRef(name)`` in ``bindings`` replaced.
+
+    Binding values may be numbers (become :class:`Const`) or expressions.
+    The result is simplified, so fully-bound subtrees fold to constants.
+    """
+    replacements = {k: as_expr(v) for k, v in bindings.items()}
+    return simplify(_walk(expr, replacements))
+
+
+def _walk(expr: Expr, repl: dict) -> Expr:
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, VarRef):
+        return repl.get(expr.name, expr)
+    if isinstance(expr, Add):
+        return Add(tuple(_walk(t, repl) for t in expr.terms))
+    if isinstance(expr, Neg):
+        return Neg(_walk(expr.operand, repl))
+    if isinstance(expr, Mul):
+        return Mul(_walk(expr.left, repl), _walk(expr.right, repl))
+    if isinstance(expr, Div):
+        return Div(_walk(expr.numerator, repl), _walk(expr.denominator, repl))
+    if isinstance(expr, Pow):
+        return Pow(_walk(expr.base, repl), _walk(expr.exponent, repl))
+    raise TypeError(f"cannot substitute into node type {type(expr).__name__}")

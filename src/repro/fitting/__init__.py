@@ -1,0 +1,31 @@
+"""Performance-model fitting (paper Sec. III-B/III-C, Table II).
+
+The model family is
+
+    T(n) = a/n + b*n**c + d        with a, b, c, d >= 0
+
+where ``a/n`` is the perfectly scalable part (T_sca), ``b*n^c`` the
+partially-parallel/communication part (T_nln, "parameters c, b almost equal
+to zero" on the paper's machine), and ``d`` the serial floor (T_ser).
+
+Fitting minimizes the sum of squared residuals over observed
+``(nodes, seconds)`` pairs under positivity constraints (Table II line 11)
+with a projected Levenberg–Marquardt method from multiple starting points —
+the paper notes the problem is nonconvex with several local optima whose
+allocations are nonetheless of similar quality, and the multistart ablation
+reproduces that observation.
+"""
+
+from repro.fitting.perfmodel import PerfModel
+from repro.fitting.least_squares import FitOptions, FitResult, fit_perf_model
+from repro.fitting.quality import fit_diagnostics, r_squared, rmse
+
+__all__ = [
+    "PerfModel",
+    "FitOptions",
+    "FitResult",
+    "fit_perf_model",
+    "fit_diagnostics",
+    "r_squared",
+    "rmse",
+]

@@ -1,0 +1,113 @@
+"""The performance function T(n) = a/n + b*n^c + d."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.expr.node import Expr, VarRef, const
+from repro.util.validation import check_nonnegative
+
+
+@dataclass(frozen=True)
+class PerfModel:
+    """Fitted performance function for one component.
+
+    Attributes mirror Table II of the paper: ``a`` scales the perfectly
+    parallel part, ``b``/``c`` the nonlinear part, ``d`` is the serial
+    floor.  All are nonnegative; ``c >= 1`` additionally certifies convexity
+    (b·n^c with c in (0, 1) is concave), which the MINLP layer requires for
+    global optimality — fits produced by :func:`repro.fitting.fit_perf_model`
+    keep ``c`` in its convex range by default.
+    """
+
+    a: float
+    b: float = 0.0
+    c: float = 1.0
+    d: float = 0.0
+
+    def __post_init__(self):
+        check_nonnegative(self.a, "a")
+        check_nonnegative(self.b, "b")
+        check_nonnegative(self.c, "c")
+        check_nonnegative(self.d, "d")
+
+    # -- evaluation ---------------------------------------------------------
+
+    def __call__(self, n):
+        """Vectorized T(n); accepts scalars or arrays of node counts."""
+        n = np.asarray(n, dtype=float)
+        out = self.a / n + self.b * np.power(n, self.c) + self.d
+        return float(out) if out.ndim == 0 else out
+
+    def scalable_part(self, n):
+        """T_sca(n) = a/n."""
+        n = np.asarray(n, dtype=float)
+        out = self.a / n
+        return float(out) if out.ndim == 0 else out
+
+    def nonlinear_part(self, n):
+        """T_nln(n) = b*n^c."""
+        n = np.asarray(n, dtype=float)
+        out = self.b * np.power(n, self.c)
+        return float(out) if out.ndim == 0 else out
+
+    @property
+    def serial_part(self) -> float:
+        """T_ser = d."""
+        return self.d
+
+    def derivative(self, n):
+        """dT/dn, vectorized."""
+        n = np.asarray(n, dtype=float)
+        out = -self.a / n**2 + self.b * self.c * np.power(n, self.c - 1.0)
+        return float(out) if out.ndim == 0 else out
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def is_convex(self) -> bool:
+        """True when T is convex on n > 0 (b = 0, or c outside (0, 1))."""
+        return self.b == 0.0 or self.c >= 1.0 or self.c == 0.0
+
+    def expr(self, n: str | VarRef) -> Expr:
+        """The symbolic T(n) over variable ``n`` for layout models."""
+        ref = VarRef(n) if isinstance(n, str) else n
+        out: Expr = const(self.a) / ref + const(self.d)
+        if self.b > 0.0:
+            out = out + const(self.b) * ref ** const(self.c)
+        return out
+
+    def min_nodes_for_time(self, target: float, n_max: int) -> int | None:
+        """Smallest integer n in [1, n_max] with T(n) <= target, or None.
+
+        T is decreasing-then-(possibly)-increasing; a vectorized scan is
+        exact and cheap for the node ranges this library deals with.
+        """
+        grid = np.arange(1, int(n_max) + 1, dtype=float)
+        ok = np.flatnonzero(self(grid) <= target)
+        return int(ok[0] + 1) if ok.size else None
+
+    def best_nodes(self, n_max: int) -> int:
+        """The integer n in [1, n_max] minimizing T (ties -> smallest n)."""
+        grid = np.arange(1, int(n_max) + 1, dtype=float)
+        return int(np.argmin(self(grid)) + 1)
+
+    def scaled(self, speed: float) -> "PerfModel":
+        """The same curve on a machine ``speed`` times faster per node.
+
+        A uniform speed factor divides every time contribution; the exponent
+        ``c`` (shape of the nonlinear term) is machine-structure, not speed,
+        so it stays.  This is the paper's Sec. IV-C "prediction ... on new
+        hardware" primitive — explicitly one of its "less reliable"
+        predictions, since real machines shift the compute/communication
+        balance as well.
+        """
+        check_nonnegative(speed, "speed")
+        if speed <= 0:
+            raise ValueError("speed must be > 0")
+        return PerfModel(a=self.a / speed, b=self.b / speed, c=self.c, d=self.d / speed)
+
+    def as_tuple(self) -> tuple:
+        return (self.a, self.b, self.c, self.d)

@@ -1,0 +1,60 @@
+"""Fit-quality metrics (the paper judges fits by R^2, Sec. III-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_finite_array
+
+
+def r_squared(observed, predicted) -> float:
+    """Coefficient of determination; 1.0 for a perfect fit.
+
+    Degenerate case: when the observations are constant, returns 1.0 if the
+    predictions match them (to residual-noise precision) and 0.0 otherwise.
+    """
+    y = check_finite_array(observed, "observed")
+    p = check_finite_array(predicted, "predicted")
+    if y.shape != p.shape:
+        raise ValueError("observed/predicted shape mismatch")
+    ss_res = float(np.sum((y - p) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res <= 1e-12 * max(1.0, float(np.abs(y).max())) else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def rmse(observed, predicted) -> float:
+    """Root-mean-square error."""
+    y = check_finite_array(observed, "observed")
+    p = check_finite_array(predicted, "predicted")
+    if y.shape != p.shape:
+        raise ValueError("observed/predicted shape mismatch")
+    return float(np.sqrt(np.mean((y - p) ** 2)))
+
+
+@dataclass(frozen=True)
+class FitDiagnostics:
+    """Summary statistics for one fitted component curve."""
+
+    r_squared: float
+    rmse: float
+    max_abs_pct_error: float
+    n_points: int
+
+
+def fit_diagnostics(observed, predicted) -> FitDiagnostics:
+    """Bundle of fit-quality metrics."""
+    y = check_finite_array(observed, "observed")
+    p = check_finite_array(predicted, "predicted")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pct = np.abs((p - y) / np.where(y == 0.0, np.nan, y)) * 100.0
+    max_pct = float(np.nanmax(pct)) if np.any(np.isfinite(pct)) else float("nan")
+    return FitDiagnostics(
+        r_squared=r_squared(y, p),
+        rmse=rmse(y, p),
+        max_abs_pct_error=max_pct,
+        n_points=int(y.size),
+    )

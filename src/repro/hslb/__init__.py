@@ -1,0 +1,44 @@
+"""The Heuristic Static Load-Balancing algorithm (the paper's contribution).
+
+The four steps (paper Sec. III-F):
+
+1. **Gather** (:mod:`repro.hslb.gather`) — benchmark every component at a
+   handful of node counts (smallest allowed by memory, largest possible,
+   a few between; Sec. III-C).
+2. **Fit** (:mod:`repro.hslb.fitstep`) — per-component least squares for
+   T(n) = a/n + b n^c + d (Table II).
+3. **Solve** (:mod:`repro.hslb.solve`) — build the Table I layout MINLP
+   (:mod:`repro.hslb.layout_models`) and solve it with the LP/NLP
+   branch-and-bound solver; :mod:`repro.hslb.oracle` provides an exact
+   enumeration solver used for validation and for the nonconvex ablations
+   (T_sync, max-min objective).
+4. **Execute** (:mod:`repro.hslb.pipeline`) — run the coupled model at the
+   chosen allocation and compare predicted vs. actual.
+
+:class:`HSLBPipeline` wires the steps together over a
+:class:`~repro.cesm.CESMCase`.
+"""
+
+from repro.hslb.objectives import ObjectiveKind
+from repro.hslb.gather import BenchmarkData, gather_benchmarks
+from repro.hslb.fitstep import fit_components
+from repro.hslb.layout_models import build_layout_model
+from repro.hslb.oracle import LayoutOracle, OracleResult
+from repro.hslb.solve import SolveOutcome, solve_allocation
+from repro.hslb.pipeline import HSLBPipeline, HSLBRunResult
+from repro.hslb.report import format_table3_block
+
+__all__ = [
+    "ObjectiveKind",
+    "BenchmarkData",
+    "gather_benchmarks",
+    "fit_components",
+    "build_layout_model",
+    "LayoutOracle",
+    "OracleResult",
+    "SolveOutcome",
+    "solve_allocation",
+    "HSLBPipeline",
+    "HSLBRunResult",
+    "format_table3_block",
+]

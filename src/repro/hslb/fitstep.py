@@ -1,0 +1,26 @@
+"""HSLB step 2: fit the performance model per component (Table II)."""
+
+from __future__ import annotations
+
+from repro.fitting import FitOptions, FitResult, fit_perf_model
+from repro.hslb.gather import BenchmarkData
+
+
+def fit_components(
+    data: BenchmarkData, options: FitOptions | None = None
+) -> dict:
+    """Least-squares fits for every component in ``data``.
+
+    Returns ``{ComponentId: FitResult}``.  Four separate problems, one per
+    component, exactly as the paper's step 2 ("solve 4 ... different least
+    squares problems outlined in Table II").
+    """
+    return {
+        comp: fit_perf_model(data.nodes(comp), data.times(comp), options)
+        for comp in data.components()
+    }
+
+
+def fit_quality_summary(fits: dict) -> dict:
+    """``{component: R^2}`` — the paper's fit-quality check (Sec. III-C)."""
+    return {comp: res.r_squared for comp, res in fits.items()}

@@ -1,0 +1,79 @@
+"""HSLB step 1: gather benchmarking data (paper Sec. III-C).
+
+"CESM should be run on the minimal number of nodes allowed by memory
+requirements and on the greatest number of nodes possible.  In addition, a
+few simulations should be done in between to capture the curvature of the
+scaling. ... the number of benchmarking runs ... should be at least greater
+than four for each component."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cesm.case import CESMCase
+from repro.cesm.components import OPTIMIZED_COMPONENTS, ComponentId
+from repro.cesm.simulator import CoupledRunSimulator
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class BenchmarkData:
+    """Observed (nodes, seconds) samples per optimized component."""
+
+    samples: dict = field(default_factory=dict)  # ComponentId -> (nodes, times)
+
+    def add(self, component: ComponentId, nodes, times) -> None:
+        n = np.asarray(nodes, dtype=float)
+        t = np.asarray(times, dtype=float)
+        if n.shape != t.shape:
+            raise ConfigurationError("nodes/times length mismatch")
+        if component in self.samples:
+            n0, t0 = self.samples[component]
+            n, t = np.concatenate([n0, n]), np.concatenate([t0, t])
+        order = np.argsort(n)
+        self.samples[component] = (n[order], t[order])
+
+    def nodes(self, component: ComponentId) -> np.ndarray:
+        return self.samples[component][0]
+
+    def times(self, component: ComponentId) -> np.ndarray:
+        return self.samples[component][1]
+
+    def components(self) -> list:
+        return list(self.samples)
+
+    def point_count(self, component: ComponentId) -> int:
+        return int(self.samples[component][0].size)
+
+
+def gather_benchmarks(
+    simulator: CoupledRunSimulator,
+    points: int = 5,
+    components: tuple = OPTIMIZED_COMPONENTS,
+) -> BenchmarkData:
+    """Run the benchmark sweeps for ``components`` on ``simulator``.
+
+    ``points`` node counts per component are spread geometrically between
+    the memory floor and the job size (the paper's recommendation, with the
+    geometric spacing capturing the curvature where it lives).
+    """
+    if points < 3:
+        raise ConfigurationError(
+            "need at least 3 benchmark points per component to fit the model "
+            "(the paper recommends more than 4)"
+        )
+    case: CESMCase = simulator.case
+    data = BenchmarkData()
+    for comp in components:
+        counts = case.benchmark_node_counts(comp, points=points)
+        if len(counts) < 3:
+            raise ConfigurationError(
+                f"component {comp.value}: node range too narrow for "
+                f"{points} distinct benchmark sizes"
+            )
+        sweep = simulator.benchmark_sweep(comp, counts)
+        data.add(comp, [n for n, _ in sweep], [t for _, t in sweep])
+    return data

@@ -1,0 +1,219 @@
+"""HSLB step 3a: build the Table I layout MINLPs.
+
+Variable names follow the paper: ``n_ice, n_lnd, n_atm, n_ocn`` (integer
+node counts), ``T`` (total wall-clock) and ``T_icelnd`` (the balanced
+ice/land stage time of layout 1).  Constraint names carry the Table I line
+numbers they implement.
+
+The fitted performance functions enter as convex expressions
+``T_j(n_j) = a/n + b n^c + d`` via :meth:`repro.fitting.PerfModel.expr`, and
+the allowed-value sets for the ocean (line 5) and, at 1 degree, the
+atmosphere (line 6) become binary set-choice blocks with SOS1 branching
+structure (lines 12, 29-31).
+"""
+
+from __future__ import annotations
+
+from repro.cesm.components import ComponentId
+from repro.cesm.layouts import Layout
+from repro.exceptions import ConfigurationError
+from repro.fitting.perfmodel import PerfModel
+from repro.hslb.objectives import ObjectiveKind
+from repro.model import Model, Objective, ObjSense, Sense, VarType
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+#: Model variable name per component.
+VAR_NAMES = {A: "n_atm", O: "n_ocn", I: "n_ice", L: "n_lnd"}
+
+
+def build_layout_model(
+    layout: Layout,
+    total_nodes: int,
+    perf: dict,
+    bounds: dict,
+    ocn_allowed: list | None = None,
+    atm_allowed: dict | None = None,
+    objective: ObjectiveKind = ObjectiveKind.MIN_MAX,
+    tsync: float | None = None,
+    fine_tuning: bool = False,
+    name: str = "hslb",
+) -> Model:
+    """Construct the MINLP for ``layout`` (paper Table I).
+
+    ``perf`` maps the four optimized components to fitted
+    :class:`~repro.fitting.PerfModel` curves; ``bounds`` maps them to
+    ``(min_nodes, max_nodes)`` boxes.  ``ocn_allowed`` (line 5) and
+    ``atm_allowed`` (line 6, the dict from
+    :func:`repro.cesm.sweetspots.atm_allowed_nodes`) are optional explicit
+    node sets.  ``tsync`` adds the line 18-19 synchronization band (note:
+    those rows are differences of convex functions — the resulting model is
+    not convex-certifiable and must be solved with the enumeration oracle).
+
+    ``fine_tuning`` implements the paper's deferred refinement ("the coupler
+    and the river models take less time to run ... so these components were
+    not included in our HSLB models, but they can be added later for fine
+    tuning"): ``perf`` must then also carry RTM (riding the land model's
+    nodes) and CPL (riding the atmosphere's); their fitted times join the
+    objective, so the optimizer sees the overhead the four-component model
+    ignores.  Supported for the min-max objective on layout 1.
+    """
+    for comp in (A, O, I, L):
+        if comp not in perf:
+            raise ConfigurationError(f"missing performance model for {comp.value}")
+        if comp not in bounds:
+            raise ConfigurationError(f"missing bounds for {comp.value}")
+    if fine_tuning:
+        if layout is not Layout.HYBRID or objective is not ObjectiveKind.MIN_MAX:
+            raise ConfigurationError(
+                "coupler/river fine-tuning is defined for layout 1 with the "
+                "min-max objective"
+            )
+        for comp in (ComponentId.RTM, ComponentId.CPL):
+            if comp not in perf:
+                raise ConfigurationError(
+                    f"fine-tuning needs a performance model for {comp.value}"
+                )
+
+    m = Model(name=f"{name}_layout{layout.value}_{objective.value}")
+
+    n = {}
+    for comp in (I, L, A, O):
+        lo, hi = bounds[comp]
+        lo = max(1, int(lo))
+        hi = min(int(hi), total_nodes)
+        if lo > hi:
+            raise ConfigurationError(
+                f"{comp.value}: empty node box [{lo}, {hi}] for N={total_nodes}"
+            )
+        n[comp] = m.add_variable(VAR_NAMES[comp], VarType.INTEGER, lo, hi)
+
+    t_expr = {comp: perf[comp].expr(VAR_NAMES[comp]) for comp in (I, L, A, O)}
+    # A safe upper bound for the time variables: every component at its
+    # smallest allowed size, summed (the fully sequential worst case).
+    t_cap = 2.0 * sum(float(perf[c](bounds[c][0])) for c in (I, L, A, O)) + 10.0
+
+    # -- allowed-value sets (Table I lines 5-7, 29-31) --------------------------
+    if ocn_allowed is not None:
+        values = [v for v in ocn_allowed if n[O].lb <= v <= n[O].ub]
+        if not values:
+            raise ConfigurationError(
+                "no allowed ocean node count inside the ocean's node box"
+            )
+        m.add_allowed_values(n[O], values, prefix="z_ocn")
+    if atm_allowed is not None:
+        if atm_allowed.get("values"):
+            values = [v for v in atm_allowed["values"] if n[A].lb <= v <= n[A].ub]
+            if not values:
+                raise ConfigurationError(
+                    "no allowed atmosphere node count inside the atmosphere box"
+                )
+            m.add_allowed_values(n[A], values, prefix="z_atm")
+        else:
+            n[A].lb = max(n[A].lb, float(atm_allowed["lo"]))
+            n[A].ub = min(n[A].ub, float(atm_allowed["hi"]))
+            if n[A].lb > n[A].ub:
+                raise ConfigurationError("empty atmosphere node range")
+
+    # -- node constraints (lines 20-21, 24-26, 28) ------------------------------
+    if layout is Layout.HYBRID:
+        m.add_constraint("node_na_no_leq_N_l20", n[A].ref() + n[O].ref(), Sense.LE, float(total_nodes))
+        m.add_constraint("node_ni_nl_leq_na_l21", n[I].ref() + n[L].ref(), Sense.LE, n[A].ref())
+    elif layout is Layout.SEQUENTIAL_SPLIT:
+        for comp, line in ((L, 24), (I, 25), (A, 26)):
+            m.add_constraint(
+                f"node_{comp.value}_leq_N_minus_no_l{line}",
+                n[comp].ref() + n[O].ref(),
+                Sense.LE,
+                float(total_nodes),
+            )
+    else:  # FULLY_SEQUENTIAL: boxes already say n_j <= N (line 28)
+        pass
+
+    # -- temporal constraints + objective ---------------------------------------
+    if objective is ObjectiveKind.MIN_MAX:
+        T = m.add_variable("T", VarType.CONTINUOUS, 0.0, t_cap)
+        if layout is Layout.HYBRID:
+            T_il = m.add_variable("T_icelnd", VarType.CONTINUOUS, 0.0, t_cap)
+            m.add_constraint("t_icelnd_geq_ice_l15", T_il.ref(), Sense.GE, t_expr[I])
+            m.add_constraint("t_icelnd_geq_lnd_l16", T_il.ref(), Sense.GE, t_expr[L])
+            m.add_constraint("t_geq_icelnd_plus_atm_l17", T.ref(), Sense.GE, T_il.ref() + t_expr[A])
+            m.add_constraint("t_geq_ocn_l18", T.ref(), Sense.GE, t_expr[O])
+        elif layout is Layout.SEQUENTIAL_SPLIT:
+            m.add_constraint(
+                "t_geq_ice_lnd_atm_l22", T.ref(), Sense.GE,
+                t_expr[I] + t_expr[L] + t_expr[A],
+            )
+            m.add_constraint("t_geq_ocn_l23", T.ref(), Sense.GE, t_expr[O])
+        else:
+            m.add_constraint(
+                "t_geq_all_l27", T.ref(), Sense.GE,
+                t_expr[I] + t_expr[L] + t_expr[A] + t_expr[O],
+            )
+        if fine_tuning:
+            # The coupler rides the atmosphere's processors and the river
+            # model the land's; their fitted times join the objective so the
+            # optimizer sees the overhead the four-component model ignores.
+            total = (
+                T.ref()
+                + perf[ComponentId.CPL].expr(VAR_NAMES[A])
+                + perf[ComponentId.RTM].expr(VAR_NAMES[L])
+            )
+            m.set_objective(Objective("total_time", total, ObjSense.MINIMIZE))
+        else:
+            m.set_objective(Objective("total_time", T.ref(), ObjSense.MINIMIZE))
+    elif objective is ObjectiveKind.MIN_SUM:
+        total = t_expr[I] + t_expr[L] + t_expr[A] + t_expr[O]
+        m.set_objective(Objective("sum_time", total, ObjSense.MINIMIZE))
+    else:  # MAX_MIN
+        Tmin = m.add_variable("T_min", VarType.CONTINUOUS, 0.0, t_cap)
+        for comp in (I, L, A, O):
+            # T_min <= T_j(n_j): nonconvex rows (documented; oracle-only).
+            m.add_constraint(
+                f"tmin_leq_{comp.value}", Tmin.ref(), Sense.LE, t_expr[comp]
+            )
+        m.set_objective(Objective("min_time", Tmin.ref(), ObjSense.MAXIMIZE))
+
+    # -- synchronization band (lines 18-19 of the layout-1 block) ---------------
+    if tsync is not None:
+        if layout is not Layout.HYBRID:
+            raise ConfigurationError("T_sync applies to layout 1 only")
+        m.add_constraint(
+            "sync_lnd_geq_ice_l19a", t_expr[L], Sense.GE, t_expr[I] - float(tsync)
+        )
+        m.add_constraint(
+            "sync_lnd_leq_ice_l19b", t_expr[L], Sense.LE, t_expr[I] + float(tsync)
+        )
+
+    return m
+
+
+def layout_model_for_case(
+    case,
+    fits: dict,
+    objective: ObjectiveKind = ObjectiveKind.MIN_MAX,
+    tsync: float | None = None,
+    layout: Layout | None = None,
+    fine_tuning: bool = False,
+) -> Model:
+    """Table I model for a :class:`~repro.cesm.CESMCase` and fitted curves.
+
+    ``fits`` maps components to :class:`~repro.fitting.FitResult` or
+    directly to :class:`~repro.fitting.PerfModel`; with ``fine_tuning`` it
+    must also cover RTM and CPL.
+    """
+    perf = {
+        comp: (f.model if hasattr(f, "model") else f) for comp, f in fits.items()
+    }
+    return build_layout_model(
+        layout=layout or case.layout,
+        total_nodes=case.total_nodes,
+        perf=perf,
+        bounds={c: case.component_bounds(c) for c in (A, O, I, L)},
+        ocn_allowed=case.ocean_allowed(),
+        atm_allowed=case.atm_allowed(),
+        objective=objective,
+        tsync=tsync,
+        fine_tuning=fine_tuning,
+        name=f"{case.resolution}_{case.total_nodes}",
+    )

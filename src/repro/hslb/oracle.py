@@ -1,0 +1,369 @@
+"""Exact layout optimizer by structured enumeration.
+
+Branch-and-bound answers must be *verifiable*: this module solves the same
+Table I problems by exhaustive (but structured) enumeration over the integer
+node counts, using the monotone structure of the prefix-minimized component
+curves.  It is exact for every objective and constraint combination —
+including the nonconvex ones (T_sync band, max-min objective) that the
+LP/NLP solver's convexity certificate excludes — at the cost of scaling with
+the node budget instead of with the combinatorial structure.
+
+Complexities (N = total nodes):
+
+- layout 1, min-max: O(N log N) via prefix minima + a bisection per budget,
+- layouts 2/3: O(N) — the sequential stages separate,
+- min-sum / max-min / T_sync on layout 1: O(N^2) pair scans, gated to
+  N <= 8192 (they exist for the 1-degree ablations).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cesm.components import ComponentId
+from repro.cesm.layouts import Layout, composed_total
+from repro.exceptions import ConfigurationError
+from repro.hslb.objectives import ObjectiveKind
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+_BRUTE_FORCE_LIMIT = 8192
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Exact optimum of one layout problem."""
+
+    allocation: dict            # ComponentId -> int
+    objective_value: float      # value of the chosen objective
+    predicted_times: dict       # ComponentId -> seconds under the fits
+    makespan: float             # layout composition of predicted_times
+
+    def nodes_used(self) -> int:
+        return sum(self.allocation.values())
+
+
+class _Curve:
+    """A component curve tabulated on [0, N] with prefix minima."""
+
+    def __init__(self, perf, lo: int, hi: int, N: int, allowed=None):
+        self.lo, self.hi = lo, hi
+        values = np.full(N + 1, np.inf)
+        if allowed is not None:
+            idx = np.array([v for v in allowed if lo <= v <= hi], dtype=int)
+        else:
+            idx = np.arange(lo, hi + 1)
+        if idx.size == 0:
+            raise ConfigurationError("component has no admissible node count")
+        values[idx] = perf(idx.astype(float))
+        self.values = values
+        # prefix minimum and its arg: best time using at most x nodes.
+        self.best = np.minimum.accumulate(values)
+        arg = np.arange(N + 1)
+        improving = values <= self.best  # True where a new minimum is set
+        arg[~improving] = 0
+        self.best_arg = np.maximum.accumulate(np.where(improving, arg, 0))
+
+    def at(self, n: int) -> float:
+        return float(self.values[n])
+
+
+class LayoutOracle:
+    """Exact solver over tabulated performance curves."""
+
+    def __init__(
+        self,
+        layout: Layout,
+        total_nodes: int,
+        perf: dict,
+        bounds: dict,
+        ocn_allowed: list | None = None,
+        atm_allowed: dict | None = None,
+    ):
+        self.layout = layout
+        self.N = int(total_nodes)
+        get = lambda c: (max(1, int(bounds[c][0])), min(int(bounds[c][1]), self.N))
+        lo_i, hi_i = get(I)
+        lo_l, hi_l = get(L)
+        lo_a, hi_a = get(A)
+        lo_o, hi_o = get(O)
+        self.ice = _Curve(perf[I], lo_i, hi_i, self.N)
+        self.lnd = _Curve(perf[L], lo_l, hi_l, self.N)
+
+        if atm_allowed is not None and atm_allowed.get("values"):
+            a_vals = [v for v in atm_allowed["values"] if lo_a <= v <= hi_a]
+        else:
+            if atm_allowed is not None:
+                lo_a = max(lo_a, int(atm_allowed["lo"]))
+                hi_a = min(hi_a, int(atm_allowed["hi"]))
+            a_vals = list(range(lo_a, hi_a + 1))
+        if not a_vals:
+            raise ConfigurationError("empty atmosphere node set")
+        self.atm = _Curve(perf[A], lo_a, hi_a, self.N, allowed=a_vals)
+        self.atm_values = sorted(a_vals)
+
+        if ocn_allowed is not None:
+            o_vals = [v for v in ocn_allowed if lo_o <= v <= hi_o]
+        else:
+            o_vals = list(range(lo_o, hi_o + 1))
+        if not o_vals:
+            raise ConfigurationError("empty ocean node set")
+        self.ocn = _Curve(perf[O], lo_o, hi_o, self.N, allowed=o_vals)
+        self.ocn_values = sorted(o_vals)
+        self.perf = perf
+
+    # -- public ------------------------------------------------------------------
+
+    def solve(
+        self,
+        objective: ObjectiveKind = ObjectiveKind.MIN_MAX,
+        tsync: float | None = None,
+    ) -> OracleResult:
+        """Exact optimum for ``objective`` (optionally with a T_sync band)."""
+        if tsync is not None and self.layout is not Layout.HYBRID:
+            raise ConfigurationError("T_sync applies to layout 1 only")
+        if self.layout is Layout.HYBRID:
+            if objective is ObjectiveKind.MIN_MAX:
+                return self._solve_hybrid_minmax(tsync)
+            if objective is ObjectiveKind.MIN_SUM:
+                return self._solve_hybrid_pairscan(tsync, combine="sum")
+            return self._solve_hybrid_maxmin(tsync)
+        if objective is ObjectiveKind.MAX_MIN:
+            raise ConfigurationError("max-min oracle is implemented for layout 1 only")
+        return self._solve_sequential(objective)
+
+    # -- layout 1 ----------------------------------------------------------------
+
+    def _pair_minmax(self, budget_cap: int):
+        """pair[m] = min over ice/lnd budgets summing to <= m of
+        max(T_ice, T_lnd); plus the (ni, nl) choices realizing it."""
+        ice, lnd = self.ice, self.lnd
+        pair = np.full(budget_cap + 1, np.inf)
+        choice = np.zeros((budget_cap + 1, 2), dtype=int)
+        lo = ice.lo + lnd.lo
+        for m in range(lo, budget_cap + 1):
+            x_lo, x_hi = ice.lo, m - lnd.lo
+            # max(ice.best[x], lnd.best[m-x]) is unimodal: bisect the
+            # crossing of the non-increasing and non-decreasing branches.
+            lo_b, hi_b = x_lo, x_hi
+            while lo_b < hi_b:
+                mid = (lo_b + hi_b) // 2
+                if ice.best[mid] > lnd.best[m - mid]:
+                    lo_b = mid + 1
+                else:
+                    hi_b = mid
+            best_v, best_x = np.inf, x_lo
+            for x in {lo_b, max(x_lo, lo_b - 1), x_hi, x_lo}:
+                if x_lo <= x <= x_hi:
+                    v = max(ice.best[x], lnd.best[m - x])
+                    if v < best_v:
+                        best_v, best_x = v, x
+            pair[m] = best_v
+            choice[m] = (ice.best_arg[best_x], lnd.best_arg[m - best_x])
+        # enforce monotonicity (a bigger budget can reuse a smaller one)
+        for m in range(lo + 1, budget_cap + 1):
+            if pair[m - 1] < pair[m]:
+                pair[m] = pair[m - 1]
+                choice[m] = choice[m - 1]
+        return pair, choice
+
+    def _pair_scan(self, budget_cap: int, combine: str, tsync: float | None):
+        """O(N^2) pair table for the nonconvex variants (gated by size)."""
+        if budget_cap > _BRUTE_FORCE_LIMIT:
+            raise ConfigurationError(
+                f"pair scan needs N <= {_BRUTE_FORCE_LIMIT} "
+                f"(requested budget {budget_cap}); use min-max without T_sync "
+                "for large jobs"
+            )
+        ice, lnd = self.ice, self.lnd
+        ni = np.arange(ice.lo, min(ice.hi, budget_cap) + 1)
+        ti = ice.values[ni]
+        pair = np.full(budget_cap + 1, np.inf)
+        choice = np.zeros((budget_cap + 1, 2), dtype=int)
+        for m in range(ice.lo + lnd.lo, budget_cap + 1):
+            nl_for = m - ni
+            ok = (nl_for >= lnd.lo) & (nl_for <= lnd.hi)
+            if not ok.any():
+                continue
+            tl = np.full(ni.shape, np.inf)
+            tl[ok] = lnd.values[nl_for[ok]]
+            if combine == "sum":
+                agg = ti + tl
+            else:  # minmax
+                agg = np.maximum(ti, tl)
+            if tsync is not None:
+                agg = np.where(np.abs(ti - tl) <= tsync, agg, np.inf)
+            j = int(np.argmin(agg))
+            if np.isfinite(agg[j]):
+                pair[m] = float(agg[j])
+                choice[m] = (int(ni[j]), int(m - ni[j]))
+        for m in range(1, budget_cap + 1):  # budget monotonicity
+            if pair[m - 1] < pair[m]:
+                pair[m] = pair[m - 1]
+                choice[m] = choice[m - 1]
+        return pair, choice
+
+    def _solve_hybrid_minmax(self, tsync):
+        budget_cap = min(self.atm.hi, self.N - self.ocn.lo)
+        if budget_cap < self.atm.lo:
+            raise ConfigurationError("no room for the atmosphere group")
+        if tsync is None:
+            pair, choice = self._pair_minmax(budget_cap)
+        else:
+            pair, choice = self._pair_scan(budget_cap, "minmax", tsync)
+        return self._combine_hybrid(pair, choice, stage_combine="minmax")
+
+    def _solve_hybrid_pairscan(self, tsync, combine: str):
+        budget_cap = min(self.atm.hi, self.N - self.ocn.lo)
+        pair, choice = self._pair_scan(budget_cap, combine, tsync)
+        return self._combine_hybrid(pair, choice, stage_combine=combine)
+
+    def _combine_hybrid(self, pair, choice, stage_combine: str):
+        """Minimize over (n_atm, n_ocn) given the ice/land pair table."""
+        a_vals = [v for v in self.atm_values if v < pair.shape[0]]
+        h = np.array([pair[v] + self.atm.values[v] for v in a_vals])
+        # prefix-min of h over ascending atmosphere sizes
+        h_pref = np.minimum.accumulate(h)
+        h_arg = np.arange(len(a_vals))
+        improving = h <= h_pref
+        h_arg = np.maximum.accumulate(np.where(improving, h_arg, 0))
+
+        best = (np.inf, None, None)
+        for no in self.ocn_values:
+            na_cap = self.N - no
+            idx = bisect.bisect_right(a_vals, na_cap) - 1
+            if idx < 0:
+                continue
+            na = a_vals[int(h_arg[idx])]
+            stage1 = float(h_pref[idx])
+            t_o = self.ocn.at(no)
+            if stage_combine == "sum":
+                total = stage1 + t_o
+            else:
+                total = max(stage1, t_o)
+            if total < best[0]:
+                best = (total, na, no)
+        total, na, no = best
+        if na is None:
+            raise ConfigurationError("no feasible (atm, ocn) split")
+        ni, nl = map(int, choice[na])
+        return self._result({I: ni, L: nl, A: int(na), O: int(no)}, total)
+
+    def _solve_hybrid_maxmin(self, tsync):
+        """max-min with full node use: n_ice + n_lnd = n_atm, n_atm + n_ocn = N."""
+        if self.N > _BRUTE_FORCE_LIMIT:
+            raise ConfigurationError(
+                f"max-min oracle needs N <= {_BRUTE_FORCE_LIMIT}"
+            )
+        ice, lnd = self.ice, self.lnd
+        best = (-np.inf, None)
+        a_set = set(self.atm_values)
+        for no in self.ocn_values:
+            na = self.N - no
+            if na not in a_set or not np.isfinite(self.atm.values[na]):
+                continue
+            ni = np.arange(ice.lo, min(ice.hi, na - lnd.lo) + 1)
+            if ni.size == 0:
+                continue
+            nl = na - ni
+            ok = (nl >= lnd.lo) & (nl <= lnd.hi)
+            if not ok.any():
+                continue
+            ti, tl = ice.values[ni[ok]], lnd.values[nl[ok]]
+            if tsync is not None:
+                band = np.abs(ti - tl) <= tsync
+                if not band.any():
+                    continue
+                ti, tl = ti[band], tl[band]
+                ni_ok = ni[ok][band]
+            else:
+                ni_ok = ni[ok]
+            inner = np.minimum(ti, tl)
+            j = int(np.argmax(inner))
+            value = min(
+                float(inner[j]), self.atm.at(na), self.ocn.at(no)
+            )
+            if value > best[0]:
+                best = (value, {I: int(ni_ok[j]), L: int(na - ni_ok[j]), A: na, O: no})
+        value, alloc = best
+        if alloc is None:
+            raise ConfigurationError("no fully-using allocation exists for max-min")
+        return self._result(alloc, value)
+
+    # -- layouts 2 and 3 -----------------------------------------------------------
+
+    def _solve_sequential(self, objective: ObjectiveKind):
+        if self.layout is Layout.SEQUENTIAL_SPLIT:
+            best = (np.inf, None)
+            a_vals = self.atm_values
+            for no in self.ocn_values:
+                cap = self.N - no
+                if cap < 1:
+                    continue
+                idx = bisect.bisect_right(a_vals, cap) - 1
+                if idx < 0:
+                    continue
+                cap_i = min(cap, self.ice.hi)
+                cap_l = min(cap, self.lnd.hi)
+                if cap_i < self.ice.lo or cap_l < self.lnd.lo:
+                    continue
+                # each stage-1 component independently prefix-minimized
+                na = self._best_atm_upto(cap)
+                if na is None:
+                    continue
+                ni = int(self.ice.best_arg[cap_i])
+                nl = int(self.lnd.best_arg[cap_l])
+                stage1 = (
+                    self.ice.at(ni) + self.lnd.at(nl) + self.atm.at(na)
+                )
+                t_o = self.ocn.at(no)
+                total = stage1 + t_o if objective is ObjectiveKind.MIN_SUM else max(stage1, t_o)
+                if total < best[0]:
+                    best = (total, {I: ni, L: nl, A: na, O: no})
+            total, alloc = best
+            if alloc is None:
+                raise ConfigurationError("layout 2: no feasible allocation")
+            return self._result(alloc, total)
+
+        # FULLY_SEQUENTIAL: all components independent within N.
+        ni = int(self.ice.best_arg[min(self.ice.hi, self.N)])
+        nl = int(self.lnd.best_arg[min(self.lnd.hi, self.N)])
+        na = self._best_atm_upto(self.N)
+        no = min(self.ocn_values, key=self.ocn.at)
+        alloc = {I: ni, L: nl, A: na, O: no}
+        total = sum(self.perf[c](float(alloc[c])) for c in (I, L, A, O))
+        return self._result(alloc, float(total))
+
+    def _best_atm_upto(self, cap: int):
+        vals = [v for v in self.atm_values if v <= cap]
+        if not vals:
+            return None
+        return min(vals, key=self.atm.at)
+
+    # -- shared ---------------------------------------------------------------------
+
+    def _result(self, alloc: dict, objective_value: float) -> OracleResult:
+        times = {c: float(self.perf[c](float(alloc[c]))) for c in (I, L, A, O)}
+        return OracleResult(
+            allocation=alloc,
+            objective_value=float(objective_value),
+            predicted_times=times,
+            makespan=composed_total(self.layout, times),
+        )
+
+
+def oracle_for_case(case, fits: dict) -> LayoutOracle:
+    """Oracle over a case's configuration and fitted curves."""
+    perf = {c: (f.model if hasattr(f, "model") else f) for c, f in fits.items()}
+    return LayoutOracle(
+        layout=case.layout,
+        total_nodes=case.total_nodes,
+        perf=perf,
+        bounds={c: case.component_bounds(c) for c in (A, O, I, L)},
+        ocn_allowed=case.ocean_allowed(),
+        atm_allowed=case.atm_allowed(),
+    )

@@ -1,0 +1,145 @@
+"""The end-to-end HSLB pipeline (paper Sec. III-F).
+
+Gather -> fit -> solve -> execute over one :class:`~repro.cesm.CESMCase`:
+
+>>> from repro.cesm import make_case
+>>> from repro.hslb import HSLBPipeline
+>>> result = HSLBPipeline(make_case("1deg", 128)).run()   # doctest: +SKIP
+>>> print(result.report())                                # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cesm.case import CESMCase
+from repro.cesm.components import OPTIMIZED_COMPONENTS
+from repro.cesm.simulator import ComponentTimings, CoupledRunSimulator
+from repro.fitting import FitOptions
+from repro.hslb.fitstep import fit_components
+from repro.hslb.gather import BenchmarkData, gather_benchmarks
+from repro.hslb.objectives import ObjectiveKind
+from repro.hslb.report import format_run_result
+from repro.hslb.solve import SolveOutcome, solve_allocation
+from repro.minlp import MINLPOptions
+
+
+@dataclass
+class HSLBRunResult:
+    """Everything one HSLB pass produced."""
+
+    case: CESMCase
+    benchmarks: BenchmarkData
+    fits: dict                    # ComponentId -> FitResult
+    solve: SolveOutcome
+    actual: ComponentTimings
+
+    @property
+    def allocation(self) -> dict:
+        return self.solve.allocation
+
+    @property
+    def predicted_total(self) -> float:
+        return self.solve.predicted_total
+
+    @property
+    def actual_total(self) -> float:
+        return self.actual.total
+
+    def prediction_error(self) -> float:
+        """Relative |predicted - actual| / actual of the total time."""
+        return abs(self.predicted_total - self.actual_total) / self.actual_total
+
+    def fit_r_squared(self) -> dict:
+        return {c: f.r_squared for c, f in self.fits.items()}
+
+    def report(self) -> str:
+        """Table III-style text block for this run."""
+        return format_run_result(self)
+
+
+class HSLBPipeline:
+    """Configure once, :meth:`run` to execute all four steps."""
+
+    def __init__(
+        self,
+        case: CESMCase,
+        points: int = 5,
+        objective: ObjectiveKind = ObjectiveKind.MIN_MAX,
+        method: str = "lpnlp",
+        fit_options: FitOptions | None = None,
+        minlp_options: MINLPOptions | None = None,
+        seed: int | None = None,
+        fine_tuning: bool = False,
+    ):
+        # A pipeline-level seed overrides the case's (convenience for
+        # repeated runs with fresh noise).
+        if seed is not None and seed != case.seed:
+            case = CESMCase(
+                resolution=case.resolution,
+                total_nodes=case.total_nodes,
+                layout=case.layout,
+                unconstrained_ocean=case.unconstrained_ocean,
+                machine=case.machine,
+                seed=seed,
+            )
+        self.case = case
+        self.points = points
+        self.objective = objective
+        self.method = method
+        self.fit_options = fit_options
+        self.minlp_options = minlp_options
+        self.fine_tuning = fine_tuning
+        self.simulator = CoupledRunSimulator(self.case)
+
+    # individual steps exposed for experimentation ------------------------------
+
+    def gather(self) -> BenchmarkData:
+        """Step 1: benchmark sweeps for the optimized components (plus the
+        riding coupler/river components under fine-tuning)."""
+        components = OPTIMIZED_COMPONENTS
+        if self.fine_tuning:
+            from repro.cesm.components import ComponentId
+
+            components = OPTIMIZED_COMPONENTS + (
+                ComponentId.RTM,
+                ComponentId.CPL,
+            )
+        return gather_benchmarks(
+            self.simulator, points=self.points, components=components
+        )
+
+    def fit(self, data: BenchmarkData) -> dict:
+        """Step 2: least-squares fits."""
+        return fit_components(data, self.fit_options)
+
+    def solve(self, fits: dict) -> SolveOutcome:
+        """Step 3: MINLP for the optimal allocation."""
+        return solve_allocation(
+            self.case,
+            fits,
+            objective=self.objective,
+            method=self.method,
+            options=self.minlp_options,
+            fine_tuning=self.fine_tuning,
+        )
+
+    def execute(self, outcome: SolveOutcome) -> ComponentTimings:
+        """Step 4: coupled run at the chosen allocation."""
+        return self.simulator.run_coupled(
+            {c: outcome.allocation[c] for c in OPTIMIZED_COMPONENTS}
+        )
+
+    def run(self) -> HSLBRunResult:
+        """All four steps."""
+        data = self.gather()
+        fits = self.fit(data)
+        outcome = self.solve(fits)
+        actual = self.execute(outcome)
+        return HSLBRunResult(
+            case=self.case,
+            benchmarks=data,
+            fits=fits,
+            solve=outcome,
+            actual=actual,
+        )

@@ -1,0 +1,69 @@
+"""Table III-style text reporting."""
+
+from __future__ import annotations
+
+from repro.cesm.components import OPTIMIZED_COMPONENTS
+from repro.util.tables import TextTable
+
+
+def format_table3_block(
+    title: str,
+    manual: dict | None,
+    manual_times: dict | None,
+    predicted_nodes: dict,
+    predicted_times: dict,
+    actual_times: dict | None,
+    manual_total: float | None = None,
+    predicted_total: float | None = None,
+    actual_total: float | None = None,
+) -> str:
+    """One block of the paper's Table III as aligned text.
+
+    ``manual*`` columns are optional (the unconstrained-ocean entries of the
+    paper's table have no manual column either).
+    """
+    headers = ["components"]
+    if manual is not None:
+        headers += ["manual # nodes", "manual time, sec"]
+    headers += ["HSLB # nodes", "HSLB predicted, sec"]
+    if actual_times is not None:
+        headers += ["HSLB actual, sec"]
+
+    table = TextTable(headers, title=title)
+    for comp in OPTIMIZED_COMPONENTS:
+        row = [comp.value]
+        if manual is not None:
+            row += [manual[comp], manual_times[comp]]
+        row += [predicted_nodes[comp], predicted_times[comp]]
+        if actual_times is not None:
+            row += [actual_times[comp]]
+        table.add_row(row)
+
+    total_row = ["Total time, sec"]
+    if manual is not None:
+        total_row += ["", manual_total if manual_total is not None else ""]
+    total_row += ["", predicted_total if predicted_total is not None else ""]
+    if actual_times is not None:
+        total_row += [actual_total if actual_total is not None else ""]
+    table.add_row(total_row)
+    return table.render()
+
+
+def format_run_result(result) -> str:
+    """Render an :class:`~repro.hslb.pipeline.HSLBRunResult`."""
+    case = result.case
+    title = (
+        f"{case.resolution} resolution, {case.total_nodes} nodes, "
+        f"layout ({case.layout.value})"
+        + (", unconstrained ocean nodes" if case.unconstrained_ocean else "")
+    )
+    return format_table3_block(
+        title=title,
+        manual=None,
+        manual_times=None,
+        predicted_nodes=result.allocation,
+        predicted_times=result.solve.predicted_times,
+        actual_times=result.actual.times,
+        predicted_total=result.predicted_total,
+        actual_total=result.actual_total,
+    )

@@ -1,0 +1,110 @@
+"""HSLB step 3b: solve the layout MINLP for the optimal allocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cesm.components import ComponentId
+from repro.cesm.layouts import composed_total
+from repro.exceptions import ConfigurationError, SolverError
+from repro.hslb.layout_models import VAR_NAMES, layout_model_for_case
+from repro.hslb.objectives import ObjectiveKind
+from repro.hslb.oracle import oracle_for_case
+from repro.minlp import MINLPOptions, solve_lpnlp, solve_nlp_bnb
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+@dataclass
+class SolveOutcome:
+    """Optimal allocation plus the model's own predictions."""
+
+    allocation: dict            # ComponentId -> int nodes
+    predicted_times: dict       # ComponentId -> seconds under the fits
+    predicted_total: float      # layout make-span of predicted_times
+    objective_value: float
+    method: str
+    solver_result: object = None  # MINLPResult when a B&B method ran
+
+    def nodes_used(self) -> int:
+        return sum(self.allocation.values())
+
+
+def solve_allocation(
+    case,
+    fits: dict,
+    objective: ObjectiveKind = ObjectiveKind.MIN_MAX,
+    tsync: float | None = None,
+    method: str = "lpnlp",
+    options: MINLPOptions | None = None,
+    fine_tuning: bool = False,
+) -> SolveOutcome:
+    """Determine the optimal node allocation for ``case`` under ``fits``.
+
+    ``method`` selects the decision engine:
+
+    - ``"lpnlp"`` — the paper's LP/NLP branch-and-bound (default),
+    - ``"bnb"`` — classic NLP-based branch-and-bound (cross-check),
+    - ``"oracle"`` — exact enumeration (required for the nonconvex
+      max-min / T_sync variants).
+
+    ``fine_tuning`` includes the coupler/river overhead in the decision
+    (paper Sec. II's deferred refinement); requires a B&B method and fits
+    for RTM and CPL.
+    """
+    perf = {c: (f.model if hasattr(f, "model") else f) for c, f in fits.items()}
+
+    if method == "oracle":
+        if fine_tuning:
+            raise ConfigurationError(
+                "fine_tuning is solved by the B&B methods, not the oracle"
+            )
+        oracle = oracle_for_case(case, perf)
+        res = oracle.solve(objective=objective, tsync=tsync)
+        return SolveOutcome(
+            allocation=res.allocation,
+            predicted_times=res.predicted_times,
+            predicted_total=res.makespan,
+            objective_value=res.objective_value,
+            method="oracle",
+        )
+
+    if method not in ("lpnlp", "bnb"):
+        raise ConfigurationError(f"unknown solve method {method!r}")
+    if not objective.bnb_solvable or tsync is not None:
+        raise ConfigurationError(
+            "the max-min objective and the T_sync band are nonconvex; "
+            "solve them with method='oracle'"
+        )
+
+    model = layout_model_for_case(
+        case, perf, objective=objective, tsync=tsync, fine_tuning=fine_tuning
+    )
+    solver = solve_lpnlp if method == "lpnlp" else solve_nlp_bnb
+    result = solver(model, options)
+    if result.solution is None:
+        raise SolverError(
+            f"MINLP solve failed: {result.status.value} {result.message}"
+        )
+
+    allocation = {
+        comp: int(round(result.solution[VAR_NAMES[comp]]))
+        for comp in (I, L, A, O)
+    }
+    predicted = {comp: float(perf[comp](allocation[comp])) for comp in (I, L, A, O)}
+    predicted_total = composed_total(case.layout, predicted)
+    if fine_tuning:
+        # The fine-tuned prediction includes the riding components' time.
+        from repro.cesm.components import ComponentId as _C
+
+        predicted_total += float(perf[_C.CPL](allocation[A])) + float(
+            perf[_C.RTM](allocation[L])
+        )
+    return SolveOutcome(
+        allocation=allocation,
+        predicted_times=predicted,
+        predicted_total=predicted_total,
+        objective_value=float(result.objective),
+        method=method,
+        solver_result=result,
+    )

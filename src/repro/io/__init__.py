@@ -1,0 +1,32 @@
+"""Persistence: benchmark data, fitted models and run results as JSON.
+
+The paper (Sec. III-F): "The data gathering step (1) can be avoided
+altogether if reliable benchmarks are already available, for example, from
+previous experiments."  These helpers make that workflow concrete: gather
+once, save, and re-run fit/solve from the file — also how a user would feed
+*real* CESM timing logs into this library instead of the simulator.
+"""
+
+from repro.io.serialize import (
+    benchmark_data_to_dict,
+    benchmark_data_from_dict,
+    fits_to_dict,
+    fits_from_dict,
+    save_benchmarks,
+    load_benchmarks,
+    save_fits,
+    load_fits,
+    run_result_to_dict,
+)
+
+__all__ = [
+    "benchmark_data_to_dict",
+    "benchmark_data_from_dict",
+    "fits_to_dict",
+    "fits_from_dict",
+    "save_benchmarks",
+    "load_benchmarks",
+    "save_fits",
+    "load_fits",
+    "run_result_to_dict",
+]

@@ -1,0 +1,139 @@
+"""JSON (de)serialization for benchmark data, fits and run results.
+
+Formats are versioned ("repro/benchmarks@1", "repro/fits@1") so files can
+be validated on load; everything is plain JSON so the artifacts diff and
+archive cleanly next to a case's run scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cesm.components import ComponentId
+from repro.exceptions import ConfigurationError
+from repro.fitting.perfmodel import PerfModel
+from repro.hslb.gather import BenchmarkData
+
+_BENCH_FORMAT = "repro/benchmarks@1"
+_FITS_FORMAT = "repro/fits@1"
+
+
+# -- benchmark data --------------------------------------------------------------
+
+
+def benchmark_data_to_dict(data: BenchmarkData, meta: dict | None = None) -> dict:
+    """Serializable form of a :class:`BenchmarkData`."""
+    return {
+        "format": _BENCH_FORMAT,
+        "meta": dict(meta or {}),
+        "samples": {
+            comp.value: {
+                "nodes": [int(v) for v in data.nodes(comp)],
+                "seconds": [float(v) for v in data.times(comp)],
+            }
+            for comp in data.components()
+        },
+    }
+
+
+def benchmark_data_from_dict(payload: dict) -> BenchmarkData:
+    if payload.get("format") != _BENCH_FORMAT:
+        raise ConfigurationError(
+            f"not a benchmark file (format={payload.get('format')!r})"
+        )
+    data = BenchmarkData()
+    for key, block in payload["samples"].items():
+        try:
+            comp = ComponentId(key)
+        except ValueError:
+            raise ConfigurationError(f"unknown component {key!r}") from None
+        nodes = block["nodes"]
+        seconds = block["seconds"]
+        if len(nodes) != len(seconds):
+            raise ConfigurationError(f"{key}: nodes/seconds length mismatch")
+        data.add(comp, nodes, seconds)
+    return data
+
+
+def save_benchmarks(path, data: BenchmarkData, meta: dict | None = None) -> None:
+    """Write benchmark samples as JSON."""
+    Path(path).write_text(
+        json.dumps(benchmark_data_to_dict(data, meta), indent=2, sort_keys=True)
+    )
+
+
+def load_benchmarks(path) -> BenchmarkData:
+    """Read benchmark samples written by :func:`save_benchmarks`."""
+    return benchmark_data_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- fitted models -----------------------------------------------------------------
+
+
+def fits_to_dict(fits: dict, meta: dict | None = None) -> dict:
+    """Serializable form of ``{ComponentId: FitResult | PerfModel}``."""
+    out = {"format": _FITS_FORMAT, "meta": dict(meta or {}), "models": {}}
+    for comp, fit in fits.items():
+        model = fit.model if hasattr(fit, "model") else fit
+        entry = {"a": model.a, "b": model.b, "c": model.c, "d": model.d}
+        if hasattr(fit, "diagnostics"):
+            entry["r_squared"] = fit.diagnostics.r_squared
+            entry["rmse"] = fit.diagnostics.rmse
+        out["models"][comp.value] = entry
+    return out
+
+
+def fits_from_dict(payload: dict) -> dict:
+    """Load ``{ComponentId: PerfModel}`` (diagnostics are not round-tripped)."""
+    if payload.get("format") != _FITS_FORMAT:
+        raise ConfigurationError(f"not a fits file (format={payload.get('format')!r})")
+    out = {}
+    for key, entry in payload["models"].items():
+        try:
+            comp = ComponentId(key)
+        except ValueError:
+            raise ConfigurationError(f"unknown component {key!r}") from None
+        out[comp] = PerfModel(
+            a=float(entry["a"]),
+            b=float(entry["b"]),
+            c=float(entry["c"]),
+            d=float(entry["d"]),
+        )
+    return out
+
+
+def save_fits(path, fits: dict, meta: dict | None = None) -> None:
+    Path(path).write_text(json.dumps(fits_to_dict(fits, meta), indent=2, sort_keys=True))
+
+
+def load_fits(path) -> dict:
+    return fits_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- run results ---------------------------------------------------------------------
+
+
+def run_result_to_dict(result) -> dict:
+    """Flatten an :class:`~repro.hslb.pipeline.HSLBRunResult` for archiving."""
+    case = result.case
+    return {
+        "format": "repro/run@1",
+        "case": {
+            "resolution": case.resolution,
+            "total_nodes": case.total_nodes,
+            "layout": case.layout.value,
+            "unconstrained_ocean": case.unconstrained_ocean,
+            "seed": case.seed,
+        },
+        "allocation": {c.value: int(n) for c, n in result.allocation.items()},
+        "predicted_times": {
+            c.value: float(t) for c, t in result.solve.predicted_times.items()
+        },
+        "predicted_total": float(result.predicted_total),
+        "actual_times": {c.value: float(t) for c, t in result.actual.times.items()},
+        "actual_total": float(result.actual_total),
+        "fit_r_squared": {
+            c.value: float(v) for c, v in result.fit_r_squared().items()
+        },
+    }

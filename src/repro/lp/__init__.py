@@ -1,0 +1,35 @@
+"""Linear programming substrate (the paper's CLP stand-in).
+
+:mod:`repro.lp` provides a dense, bounded-variable, two-phase revised
+simplex solver.  Problems are stated in the matrix form
+
+    minimize    c . x
+    subject to  A x  (<=, >=, =)  b,     l <= x <= u
+
+via :class:`LinearProgram`; :func:`solve_lp` returns an :class:`LPResult`
+with primal solution, objective, duals and a status flag.  The MINLP
+branch-and-bound layer builds these from :class:`~repro.model.Model`
+objects, appending outer-approximation rows between solves; passing a
+previous solve's :class:`WarmStart` re-optimizes through the dual simplex
+(bound tightenings and appended cut rows break primal but not dual
+feasibility, the branch-and-bound sweet spot).
+
+Scale expectations: the paper's layout LPs have tens of rows and up to a
+couple thousand columns (one binary per allowed atmosphere node count), so a
+dense ``numpy`` implementation with an m×m basis factorization per iteration
+is comfortably fast and, more importantly, exact and debuggable.
+"""
+
+from repro.lp.problem import LinearProgram, RowSense
+from repro.lp.result import LPResult, LPStatus, WarmStart
+from repro.lp.simplex import SimplexOptions, solve_lp
+
+__all__ = [
+    "LinearProgram",
+    "RowSense",
+    "LPResult",
+    "LPStatus",
+    "WarmStart",
+    "SimplexOptions",
+    "solve_lp",
+]

@@ -1,0 +1,90 @@
+"""Matrix-form linear programs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+class RowSense(enum.Enum):
+    """Row sense for ``a . x  SENSE  b``."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "="
+
+
+@dataclass
+class LinearProgram:
+    """``min c.x  s.t.  A x sense b,  l <= x <= u``.
+
+    ``A`` is dense ``(m, n)``; ``senses`` has one entry per row.  Variable
+    names are optional and only used for reporting.  Rows can be appended
+    after construction (the LP/NLP solver adds outer-approximation cuts),
+    so ``A``/``b``/``senses`` are kept as growable lists until
+    :meth:`matrices` snapshots them.
+    """
+
+    c: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    names: list = field(default_factory=list)
+    rows: list = field(default_factory=list)      # list of 1-D coefficient arrays
+    senses: list = field(default_factory=list)    # list of RowSense
+    rhs: list = field(default_factory=list)       # list of floats
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=float)
+        self.lb = np.asarray(self.lb, dtype=float)
+        self.ub = np.asarray(self.ub, dtype=float)
+        n = self.c.shape[0]
+        if self.lb.shape != (n,) or self.ub.shape != (n,):
+            raise ModelError("c, lb, ub must have matching 1-D shapes")
+        if np.any(self.lb > self.ub):
+            raise ModelError("lb > ub for some variable")
+        if not self.names:
+            self.names = [f"x{j}" for j in range(n)]
+        if len(self.names) != n:
+            raise ModelError("names length must match number of variables")
+
+    @property
+    def num_vars(self) -> int:
+        return self.c.shape[0]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def add_row(self, coeffs: np.ndarray, sense: RowSense, rhs: float) -> int:
+        """Append a row; returns its index."""
+        row = np.asarray(coeffs, dtype=float)
+        if row.shape != (self.num_vars,):
+            raise ModelError(
+                f"row has {row.shape} coefficients, expected ({self.num_vars},)"
+            )
+        if not np.all(np.isfinite(row)) or not np.isfinite(rhs):
+            raise ModelError("row coefficients and rhs must be finite")
+        self.rows.append(row)
+        self.senses.append(sense)
+        self.rhs.append(float(rhs))
+        return len(self.rows) - 1
+
+    def matrices(self):
+        """Snapshot ``(A, b)`` as dense arrays (empty-shaped when no rows)."""
+        if self.rows:
+            return np.vstack(self.rows), np.asarray(self.rhs, dtype=float)
+        return np.zeros((0, self.num_vars)), np.zeros(0)
+
+    def copy(self) -> "LinearProgram":
+        """Deep copy (used by branch-and-bound to branch on bounds)."""
+        lp = LinearProgram(
+            self.c.copy(), self.lb.copy(), self.ub.copy(), list(self.names)
+        )
+        lp.rows = [r.copy() for r in self.rows]
+        lp.senses = list(self.senses)
+        lp.rhs = list(self.rhs)
+        return lp

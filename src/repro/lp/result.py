@@ -1,0 +1,61 @@
+"""LP solve results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class LPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass
+class WarmStart:
+    """A basis snapshot for re-solving a perturbed LP.
+
+    ``basis`` holds one column index per row over the structural+slack
+    column space (structural columns first, then one slack per row, in row
+    order); ``status`` holds the basic/at-lower/at-upper code for each of
+    those columns.  Valid to reuse after bound tightening and after
+    *appending* rows (the new rows' slacks join the basis); the dual simplex
+    then repairs primal feasibility in a handful of pivots.
+    """
+
+    basis: np.ndarray
+    status: np.ndarray
+
+
+@dataclass
+class LPResult:
+    """Outcome of a simplex solve.
+
+    ``x`` and ``objective`` are meaningful only when ``status`` is OPTIMAL.
+    ``duals`` holds one multiplier per row (simplex ``y = c_B B^{-1}``),
+    ``iterations`` the pivot count — the ablation benchmarks report it.
+    """
+
+    status: LPStatus
+    x: np.ndarray | None = None
+    objective: float = float("nan")
+    duals: np.ndarray | None = None
+    iterations: int = 0
+    phase1_iterations: int = 0
+    dual_iterations: int = 0
+    message: str = ""
+    warm: "WarmStart | None" = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+    def value_map(self, names: list) -> dict:
+        """Solution as ``{name: value}`` (requires optimal status)."""
+        if self.x is None:
+            raise ValueError(f"no solution available (status={self.status.value})")
+        return dict(zip(names, (float(v) for v in self.x)))

@@ -1,0 +1,5 @@
+"""Machine abstraction (the paper's Intrepid Blue Gene/P)."""
+
+from repro.machine.machine import INTREPID, Machine
+
+__all__ = ["Machine", "INTREPID"]

@@ -1,0 +1,86 @@
+"""Machine descriptions.
+
+The paper allocates *nodes* (not cores): on Intrepid CESM runs 1 MPI task
+with 4 OpenMP threads per node, so the node is the natural scheduling unit
+(Sec. III-C).  :class:`Machine` records that mapping so reports can convert
+between nodes and cores, and so cases can validate allocation totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A homogeneous cluster/supercomputer partition.
+
+    ``relative_speed`` scales per-node throughput against the calibration
+    baseline (Intrepid = 1.0): the simulator divides component times by it.
+    This enables the paper's Sec. IV-C "prediction of CESM scaling on new
+    hardware" workflow — with all the reliability caveats the paper attaches
+    to it (a uniform speed factor ignores network/memory balance shifts).
+    """
+
+    name: str
+    nodes: int
+    cores_per_node: int = 4
+    mpi_tasks_per_node: int = 1
+    threads_per_task: int = 4
+    relative_speed: float = 1.0
+
+    def __post_init__(self):
+        check_integer(self.nodes, "nodes")
+        check_positive(self.nodes, "nodes")
+        check_integer(self.cores_per_node, "cores_per_node")
+        check_positive(self.cores_per_node, "cores_per_node")
+        check_positive(self.mpi_tasks_per_node, "mpi_tasks_per_node")
+        check_positive(self.threads_per_task, "threads_per_task")
+        check_positive(self.relative_speed, "relative_speed")
+
+    @property
+    def cores(self) -> int:
+        """Total core count."""
+        return self.nodes * self.cores_per_node
+
+    def cores_for(self, nodes: int) -> int:
+        """Cores used by an allocation of ``nodes`` nodes."""
+        if not 0 < nodes <= self.nodes:
+            raise ValueError(
+                f"allocation of {nodes} nodes outside machine capacity "
+                f"1..{self.nodes}"
+            )
+        return nodes * self.cores_per_node
+
+    def partition(self, nodes: int) -> "Machine":
+        """A sub-partition of this machine (used to target job sizes)."""
+        if not 0 < nodes <= self.nodes:
+            raise ValueError(f"partition of {nodes} nodes exceeds {self.nodes}")
+        return Machine(
+            name=f"{self.name}[{nodes}]",
+            nodes=nodes,
+            cores_per_node=self.cores_per_node,
+            mpi_tasks_per_node=self.mpi_tasks_per_node,
+            threads_per_task=self.threads_per_task,
+            relative_speed=self.relative_speed,
+        )
+
+    def scaled(self, speed: float, name: str | None = None) -> "Machine":
+        """A hypothetical machine ``speed`` times faster per node."""
+        check_positive(speed, "speed")
+        return Machine(
+            name=name or f"{self.name}x{speed:g}",
+            nodes=self.nodes,
+            cores_per_node=self.cores_per_node,
+            mpi_tasks_per_node=self.mpi_tasks_per_node,
+            threads_per_task=self.threads_per_task,
+            relative_speed=self.relative_speed * speed,
+        )
+
+
+#: Intrepid, the IBM Blue Gene/P at the Argonne Leadership Computing
+#: Facility: 40,960 quad-core nodes (163,840 cores).  CESM is run with one
+#: MPI task and four threads per node (paper Sec. I and III-C).
+INTREPID = Machine(name="intrepid", nodes=40_960, cores_per_node=4)

@@ -1,0 +1,35 @@
+"""Mixed-integer nonlinear programming solvers (the MINOTAUR stand-in).
+
+Two branch-and-bound algorithms over :class:`repro.model.Model` instances:
+
+- :func:`solve_lpnlp` — the paper's LP/NLP-based branch-and-bound
+  (Quesada–Grossmann).  A single tree search over mixed-integer *linear*
+  relaxations: nonlinear constraints enter only through lazily-added
+  outer-approximation cuts (paper eq. (4)), and every integer-feasible LP
+  point triggers a fixed-integer NLP solve that supplies incumbents and new
+  linearization points.  Globally optimal when every nonlinear row passes
+  the convexity calculus (which the performance-model family does).
+- :func:`solve_nlp_bnb` — classic NLP-based branch-and-bound that solves a
+  continuous barrier relaxation at every node.  Slower, used as a
+  cross-check and in the branching ablation.
+
+Both support branching on individual integer variables and on SOS1 sets;
+the latter is what makes the paper's atmosphere allowed-node-count sets
+tractable (Sec. III-E reports two orders of magnitude).
+"""
+
+from repro.minlp.options import BranchRule, MINLPOptions, NodeSelection, VarBranchRule
+from repro.minlp.result import MINLPResult, MINLPStatus
+from repro.minlp.lpnlp import solve_lpnlp
+from repro.minlp.bnb import solve_nlp_bnb
+
+__all__ = [
+    "BranchRule",
+    "MINLPOptions",
+    "NodeSelection",
+    "VarBranchRule",
+    "MINLPResult",
+    "MINLPStatus",
+    "solve_lpnlp",
+    "solve_nlp_bnb",
+]

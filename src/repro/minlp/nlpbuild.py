@@ -1,0 +1,270 @@
+"""Build NLP subproblems from a model plus variable fixings.
+
+Used for (a) the initial continuous relaxation that seeds the
+outer-approximation cut pool, and (b) the fixed-integer subproblems NLP(ŷ)
+of the LP/NLP algorithm.  A light presolve repeatedly substitutes fixed
+variables and eliminates singleton equalities, because the barrier solver
+requires every remaining variable to have a strict interior (fixing the
+binaries of an allowed-values set pins the linked node-count variable
+through its linear link row, which would otherwise leave an interior-less
+equality behind).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.expr.linear import linear_coefficients
+from repro.expr.node import Expr
+from repro.expr.substitute import substitute
+from repro.exceptions import ExpressionError
+from repro.model.constraint import Sense
+from repro.model.model import Model
+from repro.nlp.problem import NLPProblem
+
+_FEAS_TOL = 1e-6
+
+
+@dataclass
+class BuiltNLP:
+    """Result of :func:`build_nlp`.
+
+    Exactly one of three shapes:
+
+    - ``infeasible_reason`` set: the fixings contradict the constraints.
+    - ``problem`` set: a genuine NLP remains over ``problem.names``.
+    - neither set: everything got fixed; ``fixed`` is the complete point and
+      ``objective_value`` its objective.
+    """
+
+    fixed: dict = field(default_factory=dict)
+    problem: NLPProblem | None = None
+    objective: Expr | None = None
+    objective_value: float = float("nan")
+    infeasible_reason: str | None = None
+
+    @property
+    def fully_fixed(self) -> bool:
+        return self.problem is None and self.infeasible_reason is None
+
+
+def build_nlp(
+    model: Model,
+    objective: Expr,
+    fixings: dict,
+    bounds: dict | None = None,
+) -> BuiltNLP:
+    """Construct the NLP left after fixing ``fixings`` and applying node
+    ``bounds`` overrides.  Integer variables that are not fixed are relaxed
+    to their (possibly overridden) boxes.
+    """
+    bounds = bounds or {}
+    lo: dict = {}
+    hi: dict = {}
+    for name, v in model.variables.items():
+        b_lo, b_hi = bounds.get(name, (-math.inf, math.inf))
+        lo[name] = max(v.lb, b_lo)
+        hi[name] = min(v.ub, b_hi)
+
+    fixed = dict(fixings)
+    for name, value in fixed.items():
+        if name not in model.variables:
+            raise ModelError(f"fixing references unknown variable {name!r}")
+        if value < lo[name] - _FEAS_TOL or value > hi[name] + _FEAS_TOL:
+            return BuiltNLP(fixed=fixed, infeasible_reason=f"fixing {name}={value} outside bounds")
+
+    integral = {name for name, v in model.variables.items() if v.is_integral}
+
+    # Presolve loop: substitute fixings, eliminate singleton equalities,
+    # and propagate interval bounds through the linear rows.  The bound
+    # propagation matters beyond speed: a node whose box and capacity rows
+    # pinch a variable to a single value has no strict interior, which the
+    # barrier method cannot handle — pinching must become *fixing*.
+    bodies = {c.name: (c.body, c.sense) for c in model.constraints.values()}
+    for _presolve_round in range(50):
+        # (a) collapse degenerate boxes into fixings
+        changed = False
+        for name in model.variables:
+            if name not in fixed and hi[name] - lo[name] <= 1e-9:
+                if hi[name] < lo[name] - 1e-7:
+                    return BuiltNLP(
+                        fixed=fixed,
+                        infeasible_reason=f"{name}: empty box after propagation",
+                    )
+                fixed[name] = 0.5 * (lo[name] + hi[name])
+                changed = True
+        if fixed:
+            bodies = {
+                name: (substitute(body, fixed), sense)
+                for name, (body, sense) in bodies.items()
+            }
+        # (b) singleton equalities pin their variable
+        new_fix = _find_singleton_equality(bodies, lo, hi)
+        if new_fix is not None:
+            name, value, reason = new_fix
+            if reason is not None:
+                return BuiltNLP(fixed=fixed, infeasible_reason=reason)
+            fixed[name] = value
+            continue
+        # (c) interval propagation over linear rows
+        outcome, tightened = _propagate_linear_bounds(bodies, lo, hi, fixed, integral)
+        if outcome is not None:
+            return BuiltNLP(fixed=fixed, infeasible_reason=outcome)
+        if not changed and not tightened and not _any_degenerate(model, fixed, lo, hi):
+            break
+
+    # Classify what's left.
+    obj = substitute(objective, fixed) if fixed else objective
+    free_names = [n for n in model.variables if n not in fixed]
+
+    inequalities = []
+    eq_rows = []
+    for name, (body, sense) in bodies.items():
+        if not body.variables():
+            value = float(body.evaluate({}))
+            bad = (
+                (sense is Sense.LE and value > _FEAS_TOL)
+                or (sense is Sense.GE and value < -_FEAS_TOL)
+                or (sense is Sense.EQ and abs(value) > _FEAS_TOL)
+            )
+            if bad:
+                return BuiltNLP(
+                    fixed=fixed,
+                    infeasible_reason=f"constraint {name} violated by {value:.3e} after fixing",
+                )
+            continue
+        if sense is Sense.EQ:
+            try:
+                form = linear_coefficients(body)
+            except ExpressionError:
+                raise ModelError(
+                    f"nonlinear equality constraint {name!r} is not supported"
+                ) from None
+            eq_rows.append((dict(form.coeffs), -form.constant))
+        elif sense is Sense.LE:
+            inequalities.append((name, body))
+        else:  # GE -> negate into <= 0
+            inequalities.append((name, substitute(-body, {})))
+
+    if not free_names:
+        env = dict(fixed)
+        return BuiltNLP(fixed=fixed, objective_value=float(obj.evaluate(env)))
+
+    problem = NLPProblem(
+        names=free_names,
+        objective=obj,
+        inequalities=inequalities,
+        lb=np.array([lo[n] for n in free_names]),
+        ub=np.array([hi[n] for n in free_names]),
+        eq_rows=eq_rows,
+    )
+    return BuiltNLP(fixed=fixed, problem=problem, objective=obj)
+
+
+def _any_degenerate(model: Model, fixed: dict, lo: dict, hi: dict) -> bool:
+    """True if some unfixed variable's box has collapsed (another presolve
+    round will turn it into a fixing)."""
+    return any(
+        name not in fixed and hi[name] - lo[name] <= 1e-9
+        for name in model.variables
+    )
+
+
+def _propagate_linear_bounds(
+    bodies: dict, lo: dict, hi: dict, fixed: dict, integral: set
+) -> str | None:
+    """One pass of interval propagation over the linear rows.
+
+    Tightens ``lo``/``hi`` in place; returns ``(infeasibility_message,
+    tightened_anything)``.  For a row ``sum a_i x_i + c <= 0`` the implied
+    bound on x_j is ``(-c - min over the others) / a_j``.
+    """
+    tightened = False
+    for cname, (body, sense) in bodies.items():
+        if sense is Sense.EQ:
+            senses = (Sense.LE, Sense.GE)
+        else:
+            senses = (sense,)
+        try:
+            form = linear_coefficients(body)
+        except ExpressionError:
+            continue
+        if not form.coeffs:
+            continue
+        for eff_sense in senses:
+            # normalize to sum a_i x_i <= rhs
+            if eff_sense is Sense.LE:
+                coeffs = form.coeffs
+                rhs = -form.constant
+            else:  # GE: negate
+                coeffs = {k: -v for k, v in form.coeffs.items()}
+                rhs = form.constant
+            unknown = [k for k in coeffs if k not in fixed]
+            if not unknown:
+                continue
+            # minimal contribution of every term
+            mins = {}
+            for name, a in coeffs.items():
+                if name in fixed:
+                    mins[name] = a * fixed[name]
+                else:
+                    mins[name] = a * (lo[name] if a > 0 else hi[name])
+                if not math.isfinite(mins[name]):
+                    mins = None
+                    break
+            if mins is None:
+                continue
+            total_min = sum(mins.values())
+            if total_min > rhs + 1e-7 * (1.0 + abs(rhs)):
+                return (
+                    f"row {cname} proven infeasible by interval propagation",
+                    tightened,
+                )
+            for name in unknown:
+                a = coeffs[name]
+                slack = rhs - (total_min - mins[name])
+                implied = slack / a
+                if a > 0 and implied < hi[name] - 1e-12 * (1.0 + abs(hi[name])):
+                    hi[name] = (
+                        math.floor(implied + 1e-9) if name in integral else implied
+                    )
+                    tightened = True
+                elif a < 0 and implied > lo[name] + 1e-12 * (1.0 + abs(lo[name])):
+                    lo[name] = (
+                        math.ceil(implied - 1e-9) if name in integral else implied
+                    )
+                    tightened = True
+    return None, tightened
+
+
+def _find_singleton_equality(bodies: dict, lo: dict, hi: dict):
+    """First equality row with exactly one variable -> (name, value, error).
+
+    Returns None when no singleton exists; the error slot is set when the
+    implied value falls outside the variable's box.
+    """
+    for cname, (body, sense) in bodies.items():
+        if sense is not Sense.EQ:
+            continue
+        names = body.variables()
+        if len(names) != 1:
+            continue
+        try:
+            form = linear_coefficients(body)
+        except ExpressionError:
+            continue  # nonlinear single-var equality: leave for the caller
+        (var_name, coef), = form.coeffs.items()
+        if coef == 0.0:
+            continue
+        value = -form.constant / coef
+        if value < lo[var_name] - _FEAS_TOL or value > hi[var_name] + _FEAS_TOL:
+            return var_name, value, (
+                f"equality {cname} pins {var_name}={value:.6g} outside "
+                f"[{lo[var_name]:.6g}, {hi[var_name]:.6g}]"
+            )
+        return var_name, value, None
+    return None

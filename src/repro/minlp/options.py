@@ -1,0 +1,53 @@
+"""Shared MINLP solver options."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lp.simplex import SimplexOptions
+from repro.nlp.barrier import BarrierOptions
+
+
+class BranchRule(enum.Enum):
+    """How to branch when the relaxation is fractional.
+
+    ``SOS_FIRST`` prefers splitting a violated SOS1 set (the paper's
+    special-ordered-set branching); ``INTEGER_ONLY`` ignores SOS structure
+    and branches on the most fractional binary/integer variable — the
+    configuration the paper reports as two orders of magnitude slower.
+    """
+
+    SOS_FIRST = "sos_first"
+    INTEGER_ONLY = "integer_only"
+
+
+class NodeSelection(enum.Enum):
+    BEST_BOUND = "best_bound"
+    DEPTH_FIRST = "depth_first"
+
+
+class VarBranchRule(enum.Enum):
+    """How to pick *which* fractional integer variable to branch on."""
+
+    MOST_FRACTIONAL = "most_fractional"
+    PSEUDO_COST = "pseudo_cost"
+
+
+@dataclass
+class MINLPOptions:
+    """Tuning knobs shared by both branch-and-bound solvers."""
+
+    rel_gap: float = 1e-6          # stop when (incumbent - bound) / |incumbent| below
+    abs_gap: float = 1e-7
+    int_tol: float = 1e-6          # integrality tolerance on relaxation values
+    max_nodes: int = 200_000
+    time_limit: float = 120.0      # seconds, wall clock
+    branch_rule: BranchRule = BranchRule.SOS_FIRST
+    var_branch_rule: VarBranchRule = VarBranchRule.PSEUDO_COST
+    node_selection: NodeSelection = NodeSelection.BEST_BOUND
+    require_convex: bool = True    # refuse non-certified models (global optimality)
+    max_cut_rounds: int = 40       # OA cut passes per node before forced branch
+    use_warm_start: bool = True    # dual-simplex warm starts for node LPs
+    lp_options: SimplexOptions = field(default_factory=SimplexOptions)
+    nlp_options: BarrierOptions = field(default_factory=BarrierOptions)

@@ -1,0 +1,118 @@
+"""The master mixed-integer linear relaxation.
+
+:class:`MasterLP` owns one column per model variable plus a growing pool of
+outer-approximation cuts (valid globally under convexity).  Branch-and-bound
+nodes materialize their LP by copying the base problem and tightening
+variable bounds — with tens of rows this is cheaper than bookkeeping a
+mutable shared tableau, and it keeps node solves independent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.expr.linear import LinearForm
+from repro.expr.linearize import TangentCut
+from repro.lp.problem import LinearProgram, RowSense
+from repro.model.constraint import Sense
+from repro.model.model import Model
+
+_SENSE_MAP = {Sense.LE: RowSense.LE, Sense.GE: RowSense.GE, Sense.EQ: RowSense.EQ}
+
+
+class MasterLP:
+    """LP relaxation of a model's linear part plus an OA cut pool."""
+
+    def __init__(self, model: Model, objective: LinearForm):
+        self.model = model
+        self.names = model.variable_names()
+        self.index = {n: i for i, n in enumerate(self.names)}
+        n = len(self.names)
+
+        c = np.zeros(n)
+        for name, coef in objective.coeffs.items():
+            c[self.index[name]] = coef
+        self.obj_constant = objective.constant
+
+        lb = np.array([model.variables[v].lb for v in self.names])
+        ub = np.array([model.variables[v].ub for v in self.names])
+        self.base = LinearProgram(c, lb, ub, list(self.names))
+
+        for con in model.linear_constraints():
+            form = con.linear_form()
+            row = np.zeros(n)
+            for name, coef in form.coeffs.items():
+                row[self.index[name]] = coef
+            # body = coeffs.x + constant SENSE 0  ->  coeffs.x SENSE -constant
+            self.base.add_row(row, _SENSE_MAP[con.sense], -form.constant)
+
+        self.cuts: list[TangentCut] = []
+        self._cut_keys: set = set()
+
+    @property
+    def num_cuts(self) -> int:
+        return len(self.cuts)
+
+    def add_cut(self, cut: TangentCut) -> bool:
+        """Add an OA cut to the pool; returns False for (near-)duplicates."""
+        key = (
+            tuple(sorted((k, round(v, 9)) for k, v in cut.coeffs.items())),
+            round(cut.rhs, 9),
+        )
+        if key in self._cut_keys:
+            return False
+        self._cut_keys.add(key)
+        self.cuts.append(cut)
+        row = np.zeros(len(self.names))
+        for name, coef in cut.coeffs.items():
+            if name not in self.index:
+                raise ModelError(f"cut references unknown variable {name!r}")
+            row[self.index[name]] = coef
+        self.base.add_row(row, RowSense.LE, cut.rhs)
+        return True
+
+    def lp_for_node(self, bounds: dict) -> LinearProgram:
+        """Copy the base LP and apply a node's ``{name: (lb, ub)}`` overrides."""
+        lp = self.base.copy()
+        for name, (lo, hi) in bounds.items():
+            j = self.index[name]
+            lp.lb[j] = max(lp.lb[j], lo)
+            lp.ub[j] = min(lp.ub[j], hi)
+            if lp.lb[j] > lp.ub[j]:
+                # Signal trivially-empty box with a crossed, harmless marker;
+                # solve_lp will report infeasible via phase 1 anyway if we
+                # clamp, so instead raise to let the caller prune directly.
+                raise _EmptyBox(name)
+        return lp
+
+
+class _EmptyBox(Exception):
+    """A node's bound overrides crossed (empty box) — prune without an LP."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+
+def integer_env(model: Model, env: dict, int_tol: float) -> dict | None:
+    """Round integer variables in ``env``; None if any is too fractional."""
+    out = dict(env)
+    for v in model.integer_variables():
+        val = env[v.name]
+        if abs(val - round(val)) > int_tol:
+            return None
+        out[v.name] = float(round(val))
+    return out
+
+
+def bounds_with(
+    bounds: dict, name: str, lo: float = -math.inf, hi: float = math.inf
+) -> dict:
+    """A child's bound dict: parent bounds narrowed by one override."""
+    child = dict(bounds)
+    old_lo, old_hi = child.get(name, (-math.inf, math.inf))
+    child[name] = (max(old_lo, lo), min(old_hi, hi))
+    return child

@@ -1,0 +1,50 @@
+"""MINLP solve results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MINLPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
+
+
+@dataclass
+class MINLPResult:
+    """Outcome of a branch-and-bound solve.
+
+    ``solution`` maps variable names to values (integers exactly rounded)
+    for OPTIMAL, and for limit statuses when an incumbent exists.
+    ``nodes`` / ``cuts_added`` / ``nlp_solves`` / ``lp_iterations`` feed the
+    solver-performance benchmarks (paper Sec. III-E: < 60 s at 40,960 nodes,
+    SOS vs binary branching).
+    """
+
+    status: MINLPStatus
+    solution: dict | None = None
+    objective: float = float("inf")
+    best_bound: float = float("-inf")
+    nodes: int = 0
+    cuts_added: int = 0
+    nlp_solves: int = 0
+    lp_iterations: int = 0
+    wall_time: float = 0.0
+    message: str = ""
+    phase_seconds: dict = field(default_factory=dict)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is MINLPStatus.OPTIMAL
+
+    @property
+    def gap(self) -> float:
+        """Relative optimality gap (0 for a proven optimum)."""
+        if self.solution is None:
+            return float("inf")
+        denom = max(1.0, abs(self.objective))
+        return max(0.0, (self.objective - self.best_bound) / denom)

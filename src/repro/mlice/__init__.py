@@ -1,0 +1,46 @@
+"""Machine-learning-based sea-ice decomposition selection.
+
+The paper's future-work pointer (Sec. V and ref. [10], Balaprakash et al.,
+"Machine learning based load-balancing for the CESM climate modeling
+package"): the noisy ice scaling curves of Sec. IV-A come from CICE's
+default decomposition choice, so "a separate effort was begun to determine
+the optimal sea ice decompositions using machine learning".
+
+This subpackage reproduces that effort end to end on our substrate:
+
+- :mod:`repro.mlice.features` — featurize a (grid, task count) query
+  (divisor structure, tiling remainders, block counts per strategy),
+- :mod:`repro.mlice.knn` — a from-scratch k-nearest-neighbour regressor
+  over standardized features (the reference paper evaluated k-NN among
+  its model families),
+- :mod:`repro.mlice.training` — generate labelled data by timing every
+  strategy at sampled task counts on the decomposition simulator,
+- :mod:`repro.mlice.selector` — the trained per-strategy cost predictor and
+  the resulting decomposition selector, pluggable into the coupled-run
+  simulator via ``IceDecompPolicy``.
+
+The headline result to reproduce: selecting decompositions with the learned
+model removes most of the default policy's imbalance bumps, making the ice
+scaling curve smoother (higher fit R²) and the component faster at awkward
+task counts.
+"""
+
+from repro.mlice.features import decomposition_features, FEATURE_NAMES
+from repro.mlice.knn import KNNRegressor
+from repro.mlice.training import TrainingSet, generate_training_set
+from repro.mlice.selector import (
+    IceDecompPolicy,
+    LearnedDecompSelector,
+    train_selector,
+)
+
+__all__ = [
+    "decomposition_features",
+    "FEATURE_NAMES",
+    "KNNRegressor",
+    "TrainingSet",
+    "generate_training_set",
+    "IceDecompPolicy",
+    "LearnedDecompSelector",
+    "train_selector",
+]

@@ -1,0 +1,81 @@
+"""Feature engineering for decomposition-cost prediction.
+
+The learned model predicts the imbalance factor of a (grid, tasks,
+strategy) triple.  Features capture exactly what drives the analytic
+imbalance: how evenly the task count factors (its divisor structure) and
+how the grid dimensions round against candidate tilings — without leaking
+the answer itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cesm.decomp import IceGrid
+from repro.util.validation import check_integer, check_positive
+
+FEATURE_NAMES = (
+    "log_tasks",
+    "log_cells_per_task",
+    "divisor_count_norm",
+    "best_sqrt_divisor_ratio",
+    "odd",
+    "mod16",
+    "mod96",
+    "nx_over_ny",
+    "strip_rows_frac",
+)
+
+
+def _divisor_count(n: int) -> int:
+    count = 0
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            count += 2 if d * d != n else 1
+        d += 1
+    return count
+
+
+def _best_divisor_near_sqrt(n: int) -> int:
+    target = math.sqrt(n)
+    best, dist = 1, abs(1 - target)
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            for cand in (d, n // d):
+                if abs(cand - target) < dist:
+                    best, dist = cand, abs(cand - target)
+        d += 1
+    return best
+
+
+def decomposition_features(grid: IceGrid, tasks: int) -> np.ndarray:
+    """Feature vector for a (grid, tasks) query; shape ``(len(FEATURE_NAMES),)``."""
+    check_integer(tasks, "tasks")
+    check_positive(tasks, "tasks")
+    cells = grid.cells
+    divisors = _divisor_count(tasks)
+    best_div = _best_divisor_near_sqrt(tasks)
+    sqrt_t = math.sqrt(tasks)
+    strip_rows = grid.ny / tasks
+    return np.array(
+        [
+            math.log(tasks),
+            math.log(cells / tasks),
+            divisors / (math.log2(tasks) + 1.0),
+            best_div / sqrt_t,                      # 1.0 = perfectly square-able
+            float(tasks % 2 == 1),
+            float(tasks % 16 == 0),
+            float(tasks % 96 == 0),
+            grid.nx / grid.ny,
+            min(strip_rows, 8.0) / 8.0,             # slender viability
+        ]
+    )
+
+
+def feature_matrix(grid: IceGrid, task_counts) -> np.ndarray:
+    """Stacked features for many task counts; shape ``(n, n_features)``."""
+    return np.vstack([decomposition_features(grid, int(t)) for t in task_counts])

@@ -1,0 +1,93 @@
+"""A from-scratch k-nearest-neighbour regressor.
+
+Distance-weighted k-NN over z-scored features — small, dependency-free and
+adequate for the few-thousand-sample training sets the decomposition
+problem produces (the reference paper evaluated k-NN among its model
+families for exactly this task).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.util.validation import check_integer, check_positive
+
+
+class KNNRegressor:
+    """Distance-weighted k-nearest-neighbour regression.
+
+    >>> model = KNNRegressor(k=3).fit(X_train, y_train)   # doctest: +SKIP
+    >>> y_hat = model.predict(X_query)                    # doctest: +SKIP
+    """
+
+    def __init__(self, k: int = 5, eps: float = 1e-9):
+        check_integer(k, "k")
+        check_positive(k, "k")
+        self.k = k
+        self.eps = eps
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, X, y) -> "KNNRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ConfigurationError("X must be (n, d) and y (n,) with matching n")
+        if X.shape[0] < self.k:
+            raise ConfigurationError(
+                f"need at least k={self.k} training samples, got {X.shape[0]}"
+            )
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._std = np.where(std > 0, std, 1.0)
+        self._X = (X - self._mean) / self._std
+        self._y = y.copy()
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._X is not None
+
+    # -- inference -----------------------------------------------------------
+
+    def predict(self, X) -> np.ndarray:
+        """Predict targets for query rows ``X``; shape ``(m,)``."""
+        if not self.is_fitted:
+            raise ConfigurationError("predict() before fit()")
+        Q = (np.atleast_2d(np.asarray(X, dtype=float)) - self._mean) / self._std
+        # Pairwise squared distances, vectorized: |q|^2 - 2 q.x + |x|^2.
+        d2 = (
+            (Q**2).sum(axis=1)[:, None]
+            - 2.0 * Q @ self._X.T
+            + (self._X**2).sum(axis=1)[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        idx = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+        rows = np.arange(Q.shape[0])[:, None]
+        w = 1.0 / (np.sqrt(d2[rows, idx]) + self.eps)
+        return (w * self._y[idx]).sum(axis=1) / w.sum(axis=1)
+
+    def loo_rmse(self) -> float:
+        """Leave-one-out RMSE on the training set (model-selection metric)."""
+        if not self.is_fitted:
+            raise ConfigurationError("loo_rmse() before fit()")
+        n = self._X.shape[0]
+        if n < self.k + 1:
+            raise ConfigurationError("not enough samples for leave-one-out")
+        d2 = (
+            (self._X**2).sum(axis=1)[:, None]
+            - 2.0 * self._X @ self._X.T
+            + (self._X**2).sum(axis=1)[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        np.fill_diagonal(d2, np.inf)  # exclude self
+        idx = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+        rows = np.arange(n)[:, None]
+        w = 1.0 / (np.sqrt(d2[rows, idx]) + self.eps)
+        pred = (w * self._y[idx]).sum(axis=1) / w.sum(axis=1)
+        return float(np.sqrt(np.mean((pred - self._y) ** 2)))

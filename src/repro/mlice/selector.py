@@ -1,0 +1,110 @@
+"""The learned decomposition selector and its simulator integration.
+
+One k-NN cost model per strategy; at query time the selector predicts every
+strategy's imbalance factor from the task-count features and picks the
+cheapest.  :class:`IceDecompPolicy` wraps the three policies a user can run
+the simulator under: CICE's default heuristic, the learned selector, and
+the exhaustive per-count oracle the learned model approximates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cesm.decomp import (
+    DecompStrategy,
+    IceGrid,
+    best_strategy,
+    default_strategy,
+    imbalance_factor,
+)
+from repro.exceptions import ConfigurationError
+from repro.mlice.features import decomposition_features
+from repro.mlice.knn import KNNRegressor
+from repro.mlice.training import TrainingSet, generate_training_set
+
+
+class IceDecompPolicy(enum.Enum):
+    """How the simulator picks the sea-ice decomposition."""
+
+    DEFAULT = "default"      # CICE's out-of-the-box heuristic (the paper's setup)
+    LEARNED = "learned"      # k-NN cost models (the ref. [10] approach)
+    ORACLE = "oracle"        # exhaustive best per task count (upper bound)
+
+
+@dataclass
+class LearnedDecompSelector:
+    """Per-strategy cost predictors over one grid."""
+
+    grid: IceGrid
+    models: dict              # DecompStrategy -> fitted KNNRegressor
+
+    def predict_costs(self, tasks: int) -> dict:
+        """Predicted imbalance factor per strategy at ``tasks``."""
+        x = decomposition_features(self.grid, tasks)[None, :]
+        return {
+            strat: float(model.predict(x)[0]) for strat, model in self.models.items()
+        }
+
+    def select(self, tasks: int) -> DecompStrategy:
+        """The predicted-cheapest strategy."""
+        costs = self.predict_costs(tasks)
+        return min(costs, key=costs.get)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def regret(self, tasks: int) -> float:
+        """Actual cost of the selected strategy minus the oracle's (>= 0)."""
+        chosen = imbalance_factor(self.grid, tasks, self.select(tasks))
+        oracle = imbalance_factor(self.grid, tasks, best_strategy(self.grid, tasks))
+        return max(0.0, chosen - oracle)
+
+    def improvement_over_default(self, task_counts) -> float:
+        """Mean actual-cost reduction vs CICE's default policy (can be ~0
+        where the default already picks well)."""
+        gains = []
+        for t in task_counts:
+            t = int(t)
+            d = imbalance_factor(self.grid, t, default_strategy(t))
+            s = imbalance_factor(self.grid, t, self.select(t))
+            gains.append(d - s)
+        return float(np.mean(gains))
+
+
+def train_selector(
+    grid: IceGrid,
+    training: TrainingSet | None = None,
+    k: int = 5,
+    lo: int = 8,
+    hi: int = 4096,
+    n: int = 600,
+    seed: int = 0,
+) -> LearnedDecompSelector:
+    """Fit one k-NN model per strategy (training set generated on demand)."""
+    data = training or generate_training_set(grid, lo=lo, hi=hi, n=n, seed=seed)
+    if data.grid.nx != grid.nx or data.grid.ny != grid.ny:
+        raise ConfigurationError("training set was generated for a different grid")
+    models = {
+        strat: KNNRegressor(k=k).fit(data.features, y)
+        for strat, y in data.labels.items()
+    }
+    return LearnedDecompSelector(grid=grid, models=models)
+
+
+def strategy_for(
+    grid: IceGrid,
+    tasks: int,
+    policy: IceDecompPolicy,
+    selector: LearnedDecompSelector | None = None,
+) -> DecompStrategy:
+    """Resolve a policy to a concrete strategy choice."""
+    if policy is IceDecompPolicy.DEFAULT:
+        return default_strategy(tasks)
+    if policy is IceDecompPolicy.ORACLE:
+        return best_strategy(grid, tasks)
+    if selector is None:
+        raise ConfigurationError("LEARNED policy needs a trained selector")
+    return selector.select(tasks)

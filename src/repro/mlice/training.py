@@ -1,0 +1,105 @@
+"""Training-data generation for the decomposition-cost models.
+
+Labels come from *noisy measurements* of the imbalance factor (as they
+would on a real machine: you time the ice model under each strategy and
+divide by a smooth baseline), not from the analytic formula — the learned
+model has to generalize through measurement noise exactly as in the
+reference paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cesm.decomp import DecompStrategy, IceGrid, imbalance_factor
+from repro.exceptions import ConfigurationError
+from repro.mlice.features import feature_matrix
+from repro.util.rng import keyed_rng
+from repro.util.validation import check_integer, check_positive
+
+
+@dataclass
+class TrainingSet:
+    """Labelled decomposition measurements for one grid."""
+
+    grid: IceGrid
+    task_counts: np.ndarray          # shape (n,)
+    features: np.ndarray             # shape (n, d)
+    labels: dict                     # DecompStrategy -> measured factors (n,)
+
+    def __post_init__(self):
+        n = self.task_counts.shape[0]
+        if self.features.shape[0] != n:
+            raise ConfigurationError("features/task_counts length mismatch")
+        for strat, y in self.labels.items():
+            if y.shape != (n,):
+                raise ConfigurationError(f"labels for {strat} have wrong shape")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.task_counts.shape[0])
+
+    def split(self, train_fraction: float = 0.8, seed: int = 0):
+        """Deterministic shuffled train/test split."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ConfigurationError("train_fraction must be in (0, 1)")
+        rng = keyed_rng(seed, "mlice-split")
+        order = rng.permutation(self.n_samples)
+        cut = max(1, int(self.n_samples * train_fraction))
+        tr, te = order[:cut], order[cut:]
+
+        def take(idx):
+            return TrainingSet(
+                grid=self.grid,
+                task_counts=self.task_counts[idx],
+                features=self.features[idx],
+                labels={s: y[idx] for s, y in self.labels.items()},
+            )
+
+        return take(tr), take(te)
+
+
+def sample_task_counts(lo: int, hi: int, n: int, seed: int = 0) -> np.ndarray:
+    """Log-uniform task counts in [lo, hi], deduplicated, sorted."""
+    check_integer(lo, "lo")
+    check_integer(hi, "hi")
+    check_positive(lo, "lo")
+    if hi <= lo:
+        raise ConfigurationError("hi must exceed lo")
+    rng = keyed_rng(seed, "mlice-tasks")
+    raw = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n))
+    return np.unique(np.round(raw).astype(int))
+
+
+def generate_training_set(
+    grid: IceGrid,
+    lo: int = 8,
+    hi: int = 4096,
+    n: int = 600,
+    noise_sigma: float = 0.01,
+    seed: int = 0,
+) -> TrainingSet:
+    """Measure every strategy at log-uniform task counts.
+
+    One timing per (tasks, strategy): the true imbalance factor perturbed
+    by log-normal measurement noise keyed on the pair.
+    """
+    tasks = sample_task_counts(lo, hi, n, seed=seed)
+    feats = feature_matrix(grid, tasks)
+    labels = {}
+    for strat in DecompStrategy:
+        y = np.array([imbalance_factor(grid, int(t), strat) for t in tasks])
+        if noise_sigma > 0:
+            noise = np.array(
+                [
+                    keyed_rng(seed, "mlice-noise", f"{strat.value}:{int(t)}").lognormal(
+                        0.0, noise_sigma
+                    )
+                    for t in tasks
+                ]
+            )
+            y = y * noise
+        labels[strat] = y
+    return TrainingSet(grid=grid, task_counts=tasks, features=feats, labels=labels)

@@ -1,0 +1,29 @@
+"""Algebraic modeling layer (the library's AMPL stand-in).
+
+A :class:`Model` collects :class:`Variable` declarations, :class:`Constraint`
+rows built from :mod:`repro.expr` trees, at most one :class:`Objective`, and
+:class:`SOS1Set` special-ordered sets.  The MINLP solvers in
+:mod:`repro.minlp` consume models; :mod:`repro.model.ampl` can export them as
+AMPL text for fidelity with the paper's tooling.
+"""
+
+from repro.model.variable import Variable, VarType
+from repro.model.constraint import Constraint, Sense
+from repro.model.objective import Objective, ObjSense
+from repro.model.sos import SOS1Set
+from repro.model.model import Model
+from repro.model.ampl import to_ampl
+from repro.model.ampl_parse import from_ampl
+
+__all__ = [
+    "Variable",
+    "VarType",
+    "Constraint",
+    "Sense",
+    "Objective",
+    "ObjSense",
+    "SOS1Set",
+    "Model",
+    "to_ampl",
+    "from_ampl",
+]

@@ -1,0 +1,220 @@
+"""Parse the AMPL subset that :func:`repro.model.to_ampl` emits.
+
+The paper authors its MINLPs in AMPL; this module closes the loop so a
+model exported by this library (or hand-written in the same subset) can be
+read back into a :class:`~repro.model.Model`.  Supported grammar:
+
+    model      := statement* ;
+    statement  := vardecl | objective | constraint
+    vardecl    := "var" NAME attrs? ";"
+    attrs      := attr ("," attr)*
+    attr       := "binary" | "integer" | ">=" NUMBER | "<=" NUMBER
+    objective  := ("minimize"|"maximize") NAME ":" expr ";"
+    constraint := "subject" "to" NAME ":" expr ("<="|">="|"=") expr ";"
+    expr       := term (("+"|"-") term)*
+    term       := factor (("*"|"/") factor)*
+    factor     := ("-"|"+") factor | primary ("^" factor)?
+    primary    := NUMBER | NAME | "(" expr ")"
+
+Comments (``# ...``) are ignored.  SOS1 structure is emitted by the
+exporter as comments only and is deliberately *not* round-tripped — the
+binary set-choice rows carry the same feasible set.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import ModelError
+from repro.expr.node import Const, Expr, Pow, VarRef
+from repro.model.constraint import Sense
+from repro.model.model import Model
+from repro.model.objective import Objective, ObjSense
+from repro.model.variable import VarType
+
+__all__ = ["from_ampl"]
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<comment>#[^\n]*)"
+    r"|(?P<number>\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><=|>=|[=+\-*/^():;,]))"
+)
+
+
+def _tokenize(text: str) -> list:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if m is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ModelError(f"AMPL parse error near: {remainder[:40]!r}")
+        pos = m.end()
+        if m.lastgroup == "comment":
+            continue
+        if m.lastgroup is not None:
+            tokens.append((m.lastgroup, m.group(m.lastgroup)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else (None, None)
+
+    def next(self):
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: str | None = None):
+        k, v = self.next()
+        if k != kind or (value is not None and v != value):
+            raise ModelError(
+                f"AMPL parse error: expected {value or kind!r}, got {v!r}"
+            )
+        return v
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        k, v = self.peek()
+        if k == kind and (value is None or v == value):
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse(self) -> Model:
+        model = Model("from_ampl")
+        while self.peek()[0] is not None:
+            kind, value = self.peek()
+            if kind != "name":
+                raise ModelError(f"AMPL parse error: unexpected token {value!r}")
+            if value == "var":
+                self._vardecl(model)
+            elif value in ("minimize", "maximize"):
+                self._objective(model, value)
+            elif value == "subject":
+                self._constraint(model)
+            else:
+                raise ModelError(f"AMPL parse error: unexpected keyword {value!r}")
+        return model
+
+    def _vardecl(self, model: Model) -> None:
+        self.expect("name", "var")
+        name = self.expect("name")
+        vtype = VarType.CONTINUOUS
+        lb, ub = float("-inf"), float("inf")
+        if not self.accept("op", ";"):
+            while True:
+                kind, value = self.next()
+                if kind == "name" and value == "binary":
+                    vtype = VarType.BINARY
+                elif kind == "name" and value == "integer":
+                    vtype = VarType.INTEGER
+                elif kind == "op" and value == ">=":
+                    lb = self._signed_number()
+                elif kind == "op" and value == "<=":
+                    ub = self._signed_number()
+                else:
+                    raise ModelError(
+                        f"AMPL parse error in var {name!r}: unexpected {value!r}"
+                    )
+                if self.accept("op", ";"):
+                    break
+                self.expect("op", ",")
+        model.add_variable(name, vtype, lb, ub)
+
+    def _signed_number(self) -> float:
+        sign = 1.0
+        while True:
+            if self.accept("op", "-"):
+                sign = -sign
+            elif self.accept("op", "+"):
+                pass
+            else:
+                break
+        kind, value = self.next()
+        if kind != "number":
+            raise ModelError(f"AMPL parse error: expected a number, got {value!r}")
+        return sign * float(value)
+
+    def _objective(self, model: Model, keyword: str) -> None:
+        self.expect("name", keyword)
+        name = self.expect("name")
+        self.expect("op", ":")
+        expr = self._expr()
+        self.expect("op", ";")
+        sense = ObjSense.MINIMIZE if keyword == "minimize" else ObjSense.MAXIMIZE
+        model.set_objective(Objective(name, expr, sense))
+
+    def _constraint(self, model: Model) -> None:
+        self.expect("name", "subject")
+        self.expect("name", "to")
+        name = self.expect("name")
+        self.expect("op", ":")
+        lhs = self._expr()
+        kind, op = self.next()
+        senses = {"<=": Sense.LE, ">=": Sense.GE, "=": Sense.EQ}
+        if kind != "op" or op not in senses:
+            raise ModelError(f"AMPL parse error: expected a relation, got {op!r}")
+        rhs = self._expr()
+        self.expect("op", ";")
+        model.add_constraint(name, lhs, senses[op], rhs)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        out = self._term()
+        while True:
+            if self.accept("op", "+"):
+                out = out + self._term()
+            elif self.accept("op", "-"):
+                out = out - self._term()
+            else:
+                return out
+
+    def _term(self) -> Expr:
+        out = self._factor()
+        while True:
+            if self.accept("op", "*"):
+                out = out * self._factor()
+            elif self.accept("op", "/"):
+                out = out / self._factor()
+            else:
+                return out
+
+    def _factor(self) -> Expr:
+        if self.accept("op", "-"):
+            return -self._factor()
+        if self.accept("op", "+"):
+            return self._factor()
+        base = self._primary()
+        if self.accept("op", "^"):
+            return Pow(base, self._factor())  # right-associative
+        return base
+
+    def _primary(self) -> Expr:
+        kind, value = self.next()
+        if kind == "number":
+            return Const(float(value))
+        if kind == "name":
+            return VarRef(value)
+        if kind == "op" and value == "(":
+            inner = self._expr()
+            self.expect("op", ")")
+            return inner
+        raise ModelError(f"AMPL parse error: unexpected token {value!r}")
+
+
+def from_ampl(text: str) -> Model:
+    """Parse AMPL text (the :func:`to_ampl` subset) into a Model."""
+    return _Parser(_tokenize(text)).parse()

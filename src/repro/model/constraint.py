@@ -1,0 +1,97 @@
+"""Constraints.
+
+A constraint is ``expr SENSE 0`` after moving everything to the left-hand
+side; the constructor accepts the natural two-sided form and normalizes.
+Constraints classify themselves as linear or nonlinear (via
+:mod:`repro.expr.linear`), which drives how the MINLP solvers treat them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import ExpressionError, ModelError
+from repro.expr.convexity import Curvature, curvature
+from repro.expr.linear import LinearForm, linear_coefficients
+from repro.expr.node import Expr, as_expr
+from repro.expr.simplify import simplify
+
+
+class Sense(enum.Enum):
+    """Constraint sense, applied as ``body SENSE 0``."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class Constraint:
+    """``lhs sense rhs``, stored normalized as ``body = lhs - rhs`` vs 0."""
+
+    name: str
+    lhs: Expr
+    sense: Sense
+    rhs: Expr
+    body: Expr = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ModelError("constraint name must be a non-empty string")
+        self.lhs = as_expr(self.lhs)
+        self.rhs = as_expr(self.rhs)
+        if not isinstance(self.sense, Sense):
+            raise ModelError(f"constraint {self.name}: bad sense {self.sense!r}")
+        self.body = simplify(self.lhs - self.rhs)
+
+    # -- classification -------------------------------------------------------
+
+    def linear_form(self) -> LinearForm | None:
+        """The affine form of ``body`` if linear, else None."""
+        try:
+            return linear_coefficients(self.body)
+        except ExpressionError:
+            return None
+
+    @property
+    def is_linear(self) -> bool:
+        return self.linear_form() is not None
+
+    def convexity_ok(self) -> bool:
+        """True if the feasible region of this single row is certifiably convex.
+
+        ``body <= 0`` needs convex body; ``body >= 0`` needs concave body;
+        equalities need affine body.
+        """
+        c = curvature(self.body)
+        if self.sense is Sense.LE:
+            return c.is_convex()
+        if self.sense is Sense.GE:
+            return c.is_concave()
+        return c in (Curvature.CONSTANT, Curvature.AFFINE)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def violation(self, env: dict) -> float:
+        """Nonnegative violation of this constraint at the point ``env``."""
+        value = float(self.body.evaluate(env))
+        if self.sense is Sense.LE:
+            return max(0.0, value)
+        if self.sense is Sense.GE:
+            return max(0.0, -value)
+        return abs(value)
+
+    def satisfied(self, env: dict, tol: float = 1e-7) -> bool:
+        return self.violation(env) <= tol
+
+    def as_le_bodies(self) -> list:
+        """Equivalent list of ``g(x) <= 0`` bodies (EQ splits into two rows)."""
+        if self.sense is Sense.LE:
+            return [self.body]
+        if self.sense is Sense.GE:
+            return [simplify(-self.body)]
+        return [self.body, simplify(-self.body)]
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.name}: {self.body!r} {self.sense.value} 0)"

@@ -1,0 +1,197 @@
+"""The :class:`Model` container.
+
+A model owns variables, constraints, one objective and SOS1 sets, and offers
+the queries the solvers need: classification of rows into linear/nonlinear,
+convexity certification, feasibility checking of candidate points, and
+helpers for building the standard substructures (a set-choice block of
+binaries for an allowed-values set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ModelError
+from repro.expr.node import Add, Const, Expr, Mul, Neg, VarRef
+from repro.model.constraint import Constraint, Sense
+from repro.model.objective import Objective
+from repro.model.sos import SOS1Set
+from repro.model.variable import Variable, VarType
+
+
+@dataclass
+class Model:
+    """A mixed-integer nonlinear program."""
+
+    name: str = "model"
+    variables: dict = field(default_factory=dict)
+    constraints: dict = field(default_factory=dict)
+    objective: Objective | None = None
+    sos1_sets: dict = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: str,
+        vtype: VarType = VarType.CONTINUOUS,
+        lb: float = float("-inf"),
+        ub: float = float("inf"),
+        start: float | None = None,
+    ) -> Variable:
+        """Declare a variable and return it."""
+        if name in self.variables:
+            raise ModelError(f"duplicate variable {name!r}")
+        v = Variable(name, vtype, lb, ub, start)
+        self.variables[name] = v
+        return v
+
+    def add_constraint(self, name: str, lhs, sense: Sense, rhs) -> Constraint:
+        """Add ``lhs sense rhs`` and return the constraint."""
+        if name in self.constraints:
+            raise ModelError(f"duplicate constraint {name!r}")
+        con = Constraint(name, lhs, sense, rhs)
+        unknown = con.body.variables() - self.variables.keys()
+        if unknown:
+            raise ModelError(
+                f"constraint {name!r} references undeclared variables: {sorted(unknown)}"
+            )
+        self.constraints[name] = con
+        return con
+
+    def set_objective(self, objective: Objective) -> None:
+        unknown = objective.expr.variables() - self.variables.keys()
+        if unknown:
+            raise ModelError(
+                f"objective references undeclared variables: {sorted(unknown)}"
+            )
+        self.objective = objective
+
+    def add_sos1(self, sos: SOS1Set) -> None:
+        if sos.name in self.sos1_sets:
+            raise ModelError(f"duplicate SOS1 set {sos.name!r}")
+        for m in sos.members:
+            if m not in self.variables:
+                raise ModelError(f"SOS1 set {sos.name!r}: undeclared member {m!r}")
+        if sos.target is not None and sos.target not in self.variables:
+            raise ModelError(f"SOS1 set {sos.name!r}: undeclared target {sos.target!r}")
+        self.sos1_sets[sos.name] = sos
+
+    def add_allowed_values(
+        self,
+        variable: Variable,
+        values,
+        prefix: str | None = None,
+        encode: str = "auto",
+    ) -> SOS1Set | None:
+        """Restrict ``variable`` to the explicit set ``values`` (Table I lines 29-31).
+
+        Encoding (``encode="auto"`` picks the first that applies):
+
+        - a contiguous integer range just tightens the variable's bounds,
+        - an arithmetic progression (constant stride) introduces one integer
+          index variable ``<prefix>_idx`` with ``variable = first + stride*idx``
+          — no binaries at all,
+        - otherwise (``encode="sos"`` forces this) a binary set-choice block:
+          binaries ``<prefix>_<k>``, the convexity row ``sum z = 1`` and the
+          linking row ``sum z*value = variable``, plus an SOS1 set so the
+          branch-and-bound can branch on the set as a whole.
+
+        Returns the :class:`SOS1Set` for the binary encoding, None otherwise.
+        """
+        if encode not in ("auto", "sos"):
+            raise ModelError(f"unknown allowed-values encoding {encode!r}")
+        values = sorted({int(v) for v in values})
+        if not values:
+            raise ModelError("allowed-values set must be non-empty")
+        prefix = prefix or f"z_{variable.name}"
+
+        if encode == "auto" and len(values) >= 2:
+            strides = {b - a for a, b in zip(values, values[1:])}
+            if len(strides) == 1:
+                stride = strides.pop()
+                variable.lb = max(variable.lb, float(values[0]))
+                variable.ub = min(variable.ub, float(values[-1]))
+                if stride == 1:
+                    return None  # plain integer bounds say it all
+                idx = self.add_variable(
+                    f"{prefix}_idx", VarType.INTEGER, 0, len(values) - 1
+                )
+                self.add_constraint(
+                    f"{prefix}_progression",
+                    Const(float(values[0])) + Mul(Const(float(stride)), idx.ref()),
+                    Sense.EQ,
+                    variable.ref(),
+                )
+                return None
+        members = []
+        for k, val in enumerate(values):
+            z = self.add_variable(f"{prefix}_{k}", VarType.BINARY, 0.0, 1.0)
+            members.append(z.name)
+        one_terms = Add(tuple(VarRef(m) for m in members))
+        self.add_constraint(f"{prefix}_choose_one", one_terms, Sense.EQ, Const(1.0))
+        link_terms = Add(
+            tuple(Mul(Const(float(v)), VarRef(m)) for v, m in zip(values, members))
+        )
+        self.add_constraint(f"{prefix}_link", link_terms, Sense.EQ, variable.ref())
+        # Tighten the target's own bounds to the set's hull.
+        variable.lb = max(variable.lb, float(values[0]))
+        variable.ub = min(variable.ub, float(values[-1]))
+        sos = SOS1Set(name=prefix, members=tuple(members), weights=tuple(values), target=variable.name)
+        self.add_sos1(sos)
+        return sos
+
+    # -- queries ---------------------------------------------------------------
+
+    def variable_names(self) -> list:
+        """Variable names in declaration order."""
+        return list(self.variables)
+
+    def integer_variables(self) -> list:
+        return [v for v in self.variables.values() if v.is_integral]
+
+    def linear_constraints(self) -> list:
+        return [c for c in self.constraints.values() if c.is_linear]
+
+    def nonlinear_constraints(self) -> list:
+        return [c for c in self.constraints.values() if not c.is_linear]
+
+    def is_certified_convex(self) -> bool:
+        """True if every nonlinear row passes the convexity calculus.
+
+        This is the precondition for the LP/NLP branch-and-bound solver to be
+        a *global* method (paper Sec. III-E).
+        """
+        return all(c.convexity_ok() for c in self.nonlinear_constraints())
+
+    def check_point(self, env: dict, tol: float = 1e-6) -> list:
+        """Names of constraints (and bound/integrality conditions) violated
+        at ``env``.  Empty list means feasible."""
+        bad = []
+        for v in self.variables.values():
+            x = env[v.name]
+            if x < v.lb - tol or x > v.ub + tol:
+                bad.append(f"bounds:{v.name}")
+            if v.integrality_violation(x) > tol:
+                bad.append(f"integrality:{v.name}")
+        for c in self.constraints.values():
+            if not c.satisfied(env, tol):
+                bad.append(c.name)
+        return bad
+
+    def objective_value(self, env: dict) -> float:
+        if self.objective is None:
+            raise ModelError("model has no objective")
+        return float(self.objective.expr.evaluate(env))
+
+    def stats(self) -> dict:
+        """Size summary used in solver logs."""
+        nvars = len(self.variables)
+        nint = len(self.integer_variables())
+        return {
+            "variables": nvars,
+            "integer_variables": nint,
+            "constraints": len(self.constraints),
+            "nonlinear_constraints": len(self.nonlinear_constraints()),
+            "sos1_sets": len(self.sos1_sets),
+        }

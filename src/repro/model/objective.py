@@ -1,0 +1,46 @@
+"""Objectives."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+from repro.expr.node import Expr, as_expr
+from repro.expr.simplify import simplify
+
+
+class ObjSense(enum.Enum):
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+@dataclass
+class Objective:
+    """An objective ``sense expr``.
+
+    Solvers internally minimize; :meth:`minimization_expr` returns the
+    expression whose minimum matches this objective (negated for MAXIMIZE),
+    and :meth:`user_value` maps a solver value back to the user's sense.
+    """
+
+    name: str
+    expr: Expr
+    sense: ObjSense = ObjSense.MINIMIZE
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ModelError("objective name must be a non-empty string")
+        self.expr = simplify(as_expr(self.expr))
+        if not isinstance(self.sense, ObjSense):
+            raise ModelError(f"objective {self.name}: bad sense {self.sense!r}")
+
+    def minimization_expr(self) -> Expr:
+        if self.sense is ObjSense.MINIMIZE:
+            return self.expr
+        return simplify(-self.expr)
+
+    def user_value(self, minimized_value: float) -> float:
+        if self.sense is ObjSense.MINIMIZE:
+            return minimized_value
+        return -minimized_value

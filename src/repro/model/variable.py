@@ -1,0 +1,80 @@
+"""Decision variables."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import ModelError
+from repro.expr.node import VarRef
+
+
+class VarType(enum.Enum):
+    """Variable domain."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+@dataclass
+class Variable:
+    """A named decision variable with bounds and a domain type.
+
+    ``ref()`` returns the :class:`~repro.expr.node.VarRef` leaf used to build
+    expressions, so models read::
+
+        n_atm = Variable("n_atm", VarType.INTEGER, lb=1, ub=1664)
+        t_atm = a / n_atm.ref() + d
+    """
+
+    name: str
+    vtype: VarType = VarType.CONTINUOUS
+    lb: float = -math.inf
+    ub: float = math.inf
+    # Optional warm-start value used by NLP solvers when provided.
+    start: float | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ModelError("variable name must be a non-empty string")
+        if self.vtype is VarType.BINARY:
+            lo = 0.0 if math.isinf(self.lb) else self.lb
+            hi = 1.0 if math.isinf(self.ub) else self.ub
+            if lo < 0 or hi > 1:
+                raise ModelError(f"binary variable {self.name} bounds must be within [0, 1]")
+            self.lb, self.ub = float(lo), float(hi)
+        else:
+            self.lb = float(self.lb)
+            self.ub = float(self.ub)
+        if self.lb > self.ub:
+            raise ModelError(
+                f"variable {self.name}: lower bound {self.lb} exceeds upper bound {self.ub}"
+            )
+
+    def ref(self) -> VarRef:
+        """The expression leaf referring to this variable."""
+        return VarRef(self.name)
+
+    @property
+    def is_integral(self) -> bool:
+        return self.vtype in (VarType.INTEGER, VarType.BINARY)
+
+    def clipped(self, value: float) -> float:
+        """``value`` clipped into this variable's bounds."""
+        return min(max(value, self.lb), self.ub)
+
+    def rounded_feasible(self, value: float) -> float:
+        """Round ``value`` to the nearest in-bounds point of the domain."""
+        v = self.clipped(value)
+        if self.is_integral:
+            v = round(v)
+            v = min(max(v, math.ceil(self.lb)), math.floor(self.ub))
+        return float(v)
+
+    def integrality_violation(self, value: float) -> float:
+        """Distance from ``value`` to the nearest integer (0 for continuous)."""
+        if not self.is_integral:
+            return 0.0
+        return abs(value - round(value))

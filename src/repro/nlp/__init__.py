@@ -1,0 +1,28 @@
+"""Nonlinear programming substrate (the paper's filterSQP stand-in).
+
+Solves smooth convex problems of the form
+
+    minimize    f(x)
+    subject to  g_i(x) <= 0            (smooth, convex)
+                A_eq x  = b_eq         (linear)
+                l <= x <= u
+
+with a log-barrier interior-point method: the box and the inequality
+constraints enter the barrier, linear equalities are kept exactly in the
+Newton KKT system, and a built-in phase-1 (minimize the maximum violation)
+produces the strictly feasible starting point the barrier needs.  The MINLP
+branch-and-bound layer uses this solver for continuous relaxations and for
+the fixed-integer subproblems NLP(ŷ) of the paper's LP/NLP algorithm.
+"""
+
+from repro.nlp.problem import NLPProblem
+from repro.nlp.result import NLPResult, NLPStatus
+from repro.nlp.barrier import BarrierOptions, solve_nlp
+
+__all__ = [
+    "NLPProblem",
+    "NLPResult",
+    "NLPStatus",
+    "BarrierOptions",
+    "solve_nlp",
+]

@@ -1,0 +1,166 @@
+"""NLP problem container with precompiled derivatives.
+
+Symbolic gradients and Hessians are derived once at construction and then
+*compiled* (:mod:`repro.expr.compile`) into plain-Python callables over the
+problem's variable vector; evaluation during the barrier iterations is then
+a handful of bytecode-compiled expressions instead of tree walks, while
+linear rows contribute constant Jacobian entries assembled directly into
+numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ExpressionError, ModelError
+from repro.expr.compile import compile_expr
+from repro.expr.diff import gradient, hessian
+from repro.expr.linear import LinearForm, linear_coefficients
+from repro.expr.node import Expr
+
+
+class _Smooth:
+    """A smooth scalar function with compiled first/second derivatives.
+
+    All callables take the problem's full variable vector ``x``; index maps
+    variable names to positions in that vector.
+    """
+
+    __slots__ = ("expr", "linear", "value", "_grad_items", "_hess_items")
+
+    def __init__(self, expr: Expr, index: dict):
+        self.expr = expr
+        support = sorted(expr.variables())
+        try:
+            self.linear = linear_coefficients(expr)
+        except ExpressionError:
+            self.linear = None
+        self.value = compile_expr(expr, index)
+        grads = gradient(expr, support)
+        # (position, compiled derivative) per support variable.
+        self._grad_items = [
+            (index[n], compile_expr(grads[n], index)) for n in support
+        ]
+        hess = hessian(expr, support)
+        self._hess_items = [
+            (index[a], index[b], compile_expr(e, index))
+            for (a, b), e in hess.items()
+        ]
+
+    def grad_into(self, x, out: np.ndarray) -> None:
+        """Accumulate the gradient at ``x`` into dense vector ``out``."""
+        if self.linear is not None:
+            # affine: constant gradient (fast path keeps indices compiled in)
+            for pos, fn in self._grad_items:
+                out[pos] += fn(x)
+            return
+        for pos, fn in self._grad_items:
+            out[pos] += fn(x)
+
+    def grad_vector(self, x, n: int) -> np.ndarray:
+        out = np.zeros(n)
+        self.grad_into(x, out)
+        return out
+
+    def hess_into(self, x, out: np.ndarray, scale: float) -> None:
+        """Accumulate ``scale * Hessian`` at ``x`` into dense matrix ``out``."""
+        if self.linear is not None:
+            return  # affine: zero Hessian
+        for ia, ib, fn in self._hess_items:
+            v = fn(x) * scale
+            if v == 0.0:
+                continue
+            out[ia, ib] += v
+            if ia != ib:
+                out[ib, ia] += v
+
+
+@dataclass
+class NLPProblem:
+    """``min f(x) s.t. g(x) <= 0, A_eq x = b_eq, l <= x <= u``.
+
+    ``names`` fixes the variable ordering used by all dense arrays.
+    ``eq_rows`` is a list of ``(coeffs_dict, rhs)`` linear equalities.
+    """
+
+    names: list
+    objective: Expr
+    inequalities: list          # list of (name, Expr body) meaning body <= 0
+    lb: np.ndarray
+    ub: np.ndarray
+    eq_rows: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self.names = list(self.names)
+        self.index = {n: i for i, n in enumerate(self.names)}
+        if len(self.index) != len(self.names):
+            raise ModelError("duplicate variable names in NLP")
+        self.lb = np.asarray(self.lb, dtype=float)
+        self.ub = np.asarray(self.ub, dtype=float)
+        n = len(self.names)
+        if self.lb.shape != (n,) or self.ub.shape != (n,):
+            raise ModelError("lb/ub shape mismatch with names")
+        if np.any(self.lb >= self.ub):
+            raise ModelError(
+                "NLP variables need lb < ub (eliminate fixed variables first)"
+            )
+        known = set(self.names)
+        for label, body in self.inequalities:
+            missing = body.variables() - known
+            if missing:
+                raise ModelError(f"inequality {label!r} uses unknown {sorted(missing)}")
+        missing = self.objective.variables() - known
+        if missing:
+            raise ModelError(f"objective uses unknown variables {sorted(missing)}")
+        self._f = _Smooth(self.objective, self.index)
+        self._g = [(label, _Smooth(body, self.index)) for label, body in self.inequalities]
+
+        # Dense equality matrix.
+        m = len(self.eq_rows)
+        self.A_eq = np.zeros((m, n))
+        self.b_eq = np.zeros(m)
+        for i, (coeffs, rhs) in enumerate(self.eq_rows):
+            for name, coef in coeffs.items():
+                if name not in self.index:
+                    raise ModelError(f"equality row {i} uses unknown variable {name!r}")
+                self.A_eq[i, self.index[name]] = coef
+            self.b_eq[i] = rhs
+
+    # -- numeric interface used by the barrier solver ---------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.names)
+
+    def env_of(self, x: np.ndarray) -> dict:
+        """Name -> value mapping (reporting; hot paths use vectors)."""
+        return dict(zip(self.names, x.tolist()))
+
+    def f(self, x: np.ndarray) -> float:
+        return float(self._f.value(x))
+
+    def grad_f(self, x: np.ndarray) -> np.ndarray:
+        return self._f.grad_vector(x, self.n)
+
+    def hess_f_into(self, x: np.ndarray, out: np.ndarray, scale: float = 1.0) -> None:
+        self._f.hess_into(x, out, scale)
+
+    def g_values(self, x: np.ndarray) -> np.ndarray:
+        return np.array([s.value(x) for _, s in self._g])
+
+    def g_items(self):
+        """(label, _Smooth) pairs for the inequalities."""
+        return self._g
+
+    def max_violation(self, x: np.ndarray) -> float:
+        """max(g(x), bound violations, |A_eq x - b|), 0 when feasible."""
+        worst = 0.0
+        if self._g:
+            worst = max(worst, float(self.g_values(x).max(initial=0.0)))
+        worst = max(worst, float(np.max(self.lb - x, initial=0.0)))
+        worst = max(worst, float(np.max(x - self.ub, initial=0.0)))
+        if len(self.eq_rows):
+            worst = max(worst, float(np.abs(self.A_eq @ x - self.b_eq).max()))
+        return worst

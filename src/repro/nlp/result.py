@@ -1,0 +1,44 @@
+"""NLP solve results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class NLPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL_ERROR = "numerical_error"
+
+
+@dataclass
+class NLPResult:
+    """Outcome of a barrier solve.
+
+    ``x``/``objective`` are meaningful when ``status`` is OPTIMAL (or
+    ITERATION_LIMIT, in which case they hold the best interior iterate).
+    ``newton_iterations`` counts inner Newton steps across all barrier
+    stages; ``mu_final`` is the last barrier weight (a duality-gap proxy of
+    ``mu * #constraints``).
+    """
+
+    status: NLPStatus
+    x: np.ndarray | None = None
+    objective: float = float("nan")
+    newton_iterations: int = 0
+    mu_final: float = float("nan")
+    max_violation: float = float("nan")
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is NLPStatus.OPTIMAL
+
+    def value_map(self, names: list) -> dict:
+        if self.x is None:
+            raise ValueError(f"no solution available (status={self.status.value})")
+        return dict(zip(names, (float(v) for v in self.x)))

@@ -1,0 +1,5 @@
+"""Command-line entry point (the paper's NEOS-pipeline stand-in)."""
+
+from repro.pipeline.cli import main
+
+__all__ = ["main"]

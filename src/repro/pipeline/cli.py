@@ -1,0 +1,271 @@
+"""``hslb`` / ``python -m repro`` command-line interface.
+
+The paper wired HSLB into CESM's run scripts via a Python script that
+shipped AMPL models to a NEOS server; this CLI is the local equivalent:
+
+    hslb list                                  # experiment catalogue
+    hslb exp t3-1                              # reproduce one table/figure
+    hslb tune --resolution 1deg --nodes 128    # run the 4-step pipeline
+    hslb ampl --resolution 1deg --nodes 128    # print the layout model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exceptions import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hslb",
+        description="Heuristic static load balancing for coupled climate "
+        "models (IPDPSW 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    p_exp = sub.add_parser("exp", help="run one experiment by id (or --all)")
+    p_exp.add_argument("id", nargs="?", help="experiment id (see 'hslb list')")
+    p_exp.add_argument("--all", action="store_true", dest="run_all",
+                       help="run every registered experiment in order")
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    p_tune = sub.add_parser("tune", help="run the 4-step HSLB pipeline")
+    p_tune.add_argument("--resolution", choices=("1deg", "8th"), required=True)
+    p_tune.add_argument("--nodes", type=int, required=True)
+    p_tune.add_argument("--layout", type=int, default=1, choices=(1, 2, 3))
+    p_tune.add_argument("--unconstrained-ocean", action="store_true")
+    p_tune.add_argument("--points", type=int, default=5,
+                        help="benchmark node counts per component")
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument(
+        "--method", choices=("lpnlp", "bnb", "oracle"), default="lpnlp"
+    )
+
+    p_ampl = sub.add_parser("ampl", help="print the Table I model as AMPL")
+    p_ampl.add_argument("--resolution", choices=("1deg", "8th"), required=True)
+    p_ampl.add_argument("--nodes", type=int, required=True)
+    p_ampl.add_argument("--layout", type=int, default=1, choices=(1, 2, 3))
+    p_ampl.add_argument("--unconstrained-ocean", action="store_true")
+    p_ampl.add_argument("--seed", type=int, default=0)
+
+    p_gather = sub.add_parser(
+        "gather", help="run benchmark sweeps and save them as JSON"
+    )
+    p_gather.add_argument("--resolution", choices=("1deg", "8th"), required=True)
+    p_gather.add_argument("--nodes", type=int, required=True)
+    p_gather.add_argument("--points", type=int, default=5)
+    p_gather.add_argument("--seed", type=int, default=0)
+    p_gather.add_argument("--out", required=True, help="output JSON path")
+
+    p_fit = sub.add_parser(
+        "fit", help="fit performance models from saved benchmarks"
+    )
+    p_fit.add_argument("--benchmarks", required=True, help="input JSON path")
+    p_fit.add_argument("--out", required=True, help="output JSON path")
+
+    p_solve = sub.add_parser(
+        "solve",
+        help="solve the layout MINLP from saved fits (skips gathering, "
+        "per paper Sec. III-F)",
+    )
+    p_solve.add_argument("--fits", required=True, help="fits JSON path")
+    p_solve.add_argument("--resolution", choices=("1deg", "8th"), required=True)
+    p_solve.add_argument("--nodes", type=int, required=True)
+    p_solve.add_argument("--layout", type=int, default=1, choices=(1, 2, 3))
+    p_solve.add_argument("--unconstrained-ocean", action="store_true")
+    p_solve.add_argument(
+        "--method", choices=("lpnlp", "bnb", "oracle"), default="lpnlp"
+    )
+
+    p_decomp = sub.add_parser(
+        "decomp",
+        help="recommend CICE decompositions per task count (ML extension)",
+    )
+    p_decomp.add_argument("--resolution", choices=("1deg", "8th"), default="1deg")
+    p_decomp.add_argument("tasks", type=int, nargs="+", help="MPI task counts")
+    p_decomp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def cmd_list() -> int:
+    from repro.experiments import EXPERIMENTS
+
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (description, _) in EXPERIMENTS.items():
+        print(f"{key.ljust(width)}  {description}")
+    return 0
+
+
+def cmd_exp(args) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    if args.run_all:
+        for key, (description, _) in EXPERIMENTS.items():
+            print(f"{'=' * 72}\n[{key}] {description}\n")
+            print(run_experiment(key, seed=args.seed).render())
+            print()
+        return 0
+    if args.id is None:
+        print("error: give an experiment id or --all", file=sys.stderr)
+        return 1
+    result = run_experiment(args.id, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.cesm import make_case
+    from repro.hslb import HSLBPipeline
+
+    case = make_case(
+        args.resolution,
+        args.nodes,
+        layout=args.layout,
+        unconstrained_ocean=args.unconstrained_ocean,
+        seed=args.seed,
+    )
+    result = HSLBPipeline(
+        case, points=args.points, method=args.method
+    ).run()
+    print(result.report())
+    r2 = ", ".join(
+        f"{c.value}={v:.4f}" for c, v in result.fit_r_squared().items()
+    )
+    print(f"\nfit R^2: {r2}")
+    if result.solve.solver_result is not None:
+        sr = result.solve.solver_result
+        print(
+            f"solver: {sr.nodes} B&B nodes, {sr.cuts_added} OA cuts, "
+            f"{sr.nlp_solves} NLP solves, {sr.wall_time:.2f} s"
+        )
+    return 0
+
+
+def cmd_ampl(args) -> int:
+    from repro.cesm import make_case
+    from repro.hslb import HSLBPipeline
+    from repro.hslb.layout_models import layout_model_for_case
+    from repro.model import to_ampl
+
+    case = make_case(
+        args.resolution,
+        args.nodes,
+        layout=args.layout,
+        unconstrained_ocean=args.unconstrained_ocean,
+        seed=args.seed,
+    )
+    pipeline = HSLBPipeline(case)
+    fits = pipeline.fit(pipeline.gather())
+    print(to_ampl(layout_model_for_case(case, fits)))
+    return 0
+
+
+def cmd_gather(args) -> int:
+    from repro.cesm import CoupledRunSimulator, make_case
+    from repro.hslb import gather_benchmarks
+    from repro.io import save_benchmarks
+
+    case = make_case(args.resolution, args.nodes, seed=args.seed)
+    data = gather_benchmarks(CoupledRunSimulator(case), points=args.points)
+    save_benchmarks(
+        args.out,
+        data,
+        meta={
+            "resolution": args.resolution,
+            "total_nodes": args.nodes,
+            "seed": args.seed,
+        },
+    )
+    counts = ", ".join(
+        f"{c.value}:{data.point_count(c)}" for c in data.components()
+    )
+    print(f"wrote {args.out} ({counts} points)")
+    return 0
+
+
+def cmd_fit(args) -> int:
+    from repro.hslb import fit_components
+    from repro.io import load_benchmarks, save_fits
+
+    data = load_benchmarks(args.benchmarks)
+    fits = fit_components(data)
+    save_fits(args.out, fits)
+    for comp, fit in fits.items():
+        a, b, c, d = fit.model.as_tuple()
+        print(
+            f"{comp.value}: T(n) = {a:.6g}/n + {b:.3g} n^{c:.3g} + {d:.6g}  "
+            f"(R^2 = {fit.r_squared:.4f})"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    from repro.cesm import make_case
+    from repro.hslb import solve_allocation
+    from repro.io import load_fits
+
+    case = make_case(
+        args.resolution,
+        args.nodes,
+        layout=args.layout,
+        unconstrained_ocean=args.unconstrained_ocean,
+    )
+    fits = load_fits(args.fits)
+    out = solve_allocation(case, fits, method=args.method)
+    for comp, n in out.allocation.items():
+        print(f"n_{comp.value} = {n}  (predicted {out.predicted_times[comp]:.3f} s)")
+    print(f"predicted total: {out.predicted_total:.3f} s")
+    return 0
+
+
+
+
+def cmd_decomp(args) -> int:
+    from repro.cesm.decomp import GX1, TX0_1, default_strategy, imbalance_factor
+    from repro.mlice import train_selector
+    from repro.util.tables import TextTable
+
+    grid = GX1 if args.resolution == "1deg" else TX0_1
+    selector = train_selector(grid, n=400, seed=args.seed)
+    table = TextTable(
+        ["tasks", "default", "recommended", "default factor", "recommended factor"],
+        title=f"CICE decomposition advice ({args.resolution} ice grid)",
+    )
+    for tasks in args.tasks:
+        d = default_strategy(tasks)
+        s = selector.select(tasks)
+        table.add_row([
+            tasks, d.value, s.value,
+            f"{imbalance_factor(grid, tasks, d):.3f}",
+            f"{imbalance_factor(grid, tasks, s):.3f}",
+        ])
+    print(table.render())
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": lambda: cmd_list(),
+        "exp": lambda: cmd_exp(args),
+        "tune": lambda: cmd_tune(args),
+        "ampl": lambda: cmd_ampl(args),
+        "gather": lambda: cmd_gather(args),
+        "fit": lambda: cmd_fit(args),
+        "solve": lambda: cmd_solve(args),
+        "decomp": lambda: cmd_decomp(args),
+    }
+    try:
+        return handlers[args.command]()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

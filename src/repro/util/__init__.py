@@ -1,0 +1,25 @@
+"""Shared utilities: validation, RNG plumbing, text tables, timers."""
+
+from repro.util.validation import (
+    check_positive,
+    check_nonnegative,
+    check_integer,
+    check_in_range,
+    check_finite_array,
+)
+from repro.util.rng import as_rng, spawn_child
+from repro.util.tables import TextTable, format_seconds
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_integer",
+    "check_in_range",
+    "check_finite_array",
+    "as_rng",
+    "spawn_child",
+    "TextTable",
+    "format_seconds",
+    "Stopwatch",
+]

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them with aligned columns so `pytest -s` / CLI output is
+directly comparable against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_seconds(value: float) -> str:
+    """Format a wall-clock time the way the paper's tables do (3 decimals)."""
+    return f"{value:.3f}"
+
+
+@dataclass
+class TextTable:
+    """A small monospace table builder.
+
+    >>> t = TextTable(["component", "# nodes", "time, sec"])
+    >>> t.add_row(["atm", 104, 306.952])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: list
+    rows: list = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, row) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([self._fmt(cell) for cell in row])
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            return format_seconds(cell)
+        return str(cell)
+
+    def render(self) -> str:
+        headers = [str(h) for h in self.headers]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells):
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        out = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(headers))
+        out.append("  ".join("-" * w for w in widths))
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

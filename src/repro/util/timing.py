@@ -1,0 +1,52 @@
+"""A tiny stopwatch for solver instrumentation.
+
+Solvers report wall-clock spent per phase (relaxation solves, cut
+generation, branching) in their result objects; :class:`Stopwatch` keeps
+that bookkeeping out of the algorithm code.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+
+class Stopwatch:
+    """Accumulates wall-clock time per named phase.
+
+    >>> sw = Stopwatch()
+    >>> with sw.phase("lp"):
+    ...     pass
+    >>> sw.total() >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._elapsed: dict[str, float] = defaultdict(float)
+        self._counts: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._elapsed[name] += time.perf_counter() - start
+            self._counts[name] += 1
+
+    def elapsed(self, name: str) -> float:
+        """Seconds accumulated in phase ``name`` (0.0 if never entered)."""
+        return self._elapsed.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of times phase ``name`` was entered."""
+        return self._counts.get(name, 0)
+
+    def total(self) -> float:
+        """Total seconds across all phases."""
+        return sum(self._elapsed.values())
+
+    def summary(self) -> dict:
+        """``{phase: (seconds, count)}`` snapshot."""
+        return {k: (self._elapsed[k], self._counts[k]) for k in self._elapsed}

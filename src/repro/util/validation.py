@@ -1,0 +1,61 @@
+"""Lightweight argument validation helpers.
+
+These raise :class:`ValueError`/:class:`TypeError` with consistent messages so
+call sites stay one-liners.  They are deliberately cheap: scalar checks only,
+plus one vectorized array check.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number > 0, else raise ValueError."""
+    check_finite_number(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number >= 0, else raise ValueError."""
+    check_finite_number(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_finite_number(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite real number."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_integer(value: int, name: str) -> int:
+    """Return ``int(value)`` if ``value`` is integral (bool excluded)."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    return int(value)
+
+
+def check_in_range(value: float, name: str, lo: float, hi: float) -> float:
+    """Return ``value`` if ``lo <= value <= hi``."""
+    check_finite_number(value, name)
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_finite_array(arr: np.ndarray, name: str) -> np.ndarray:
+    """Return ``np.asarray(arr, float)`` after checking all entries are finite."""
+    out = np.asarray(arr, dtype=float)
+    if not np.all(np.isfinite(out)):
+        raise ValueError(f"{name} must contain only finite values")
+    return out

@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    component_curve,
+    constraint_cost,
+    optimal_node_count,
+    parallel_efficiency,
+    predicted_layout_scaling,
+    speedup,
+)
+from repro.cesm import ComponentId, Layout, ground_truth
+from repro.exceptions import ConfigurationError
+from repro.fitting import PerfModel
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+PERF_1DEG = {c: ground_truth("1deg")[c].law for c in (I, L, A, O)}
+BOUNDS_1DEG = {I: (8, 2048), L: (4, 2048), A: (8, 2048), O: (8, 2048)}
+
+
+class TestComponentCurve:
+    def test_curve_matches_model(self):
+        pm = PerfModel(a=100.0, d=2.0)
+        curve = component_curve(pm, [1, 10, 100], label="atm")
+        np.testing.assert_allclose(curve.times, [102.0, 12.0, 3.0])
+
+    def test_parts_decomposition(self):
+        pm = PerfModel(a=100.0, b=0.1, c=1.2, d=2.0)
+        parts = component_curve(pm, [1, 4, 16], parts=True)
+        total = parts["T_sca"].times + parts["T_nln"].times + parts["T_ser"].times
+        np.testing.assert_allclose(total, parts["total"].times)
+
+    def test_speedup_series(self):
+        pm = PerfModel(a=100.0, d=0.0)
+        curve = component_curve(pm, [1, 2, 4])
+        np.testing.assert_allclose(curve.speedup_series(), [1.0, 2.0, 4.0])
+
+
+class TestLayoutScaling:
+    def test_fig4_style_series(self):
+        counts = [128, 256, 512, 1024, 2048]
+        curves = {
+            layout: predicted_layout_scaling(
+                PERF_1DEG, BOUNDS_1DEG, counts, layout
+            )
+            for layout in Layout
+        }
+        for layout, curve in curves.items():
+            assert np.all(np.diff(curve.times) < 0), f"{layout} not improving"
+        # Figure 4: layouts 1 and 2 similar, layout 3 clearly the worst.
+        t1 = curves[Layout.HYBRID].times
+        t2 = curves[Layout.SEQUENTIAL_SPLIT].times
+        t3 = curves[Layout.FULLY_SEQUENTIAL].times
+        assert np.all(t3 > t1) and np.all(t3 > t2)
+        np.testing.assert_allclose(t1, t2, rtol=0.15)
+
+    def test_metrics(self):
+        assert speedup(100.0, 25.0) == 4.0
+        assert parallel_efficiency(100.0, 1, 25.0, 8) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+
+class TestOptimalNodeCount:
+    def test_fastest_small_curve(self):
+        rec = optimal_node_count(
+            PERF_1DEG, BOUNDS_1DEG, [128, 512, 2048], criterion="fastest"
+        )
+        assert rec.total_nodes == 2048
+        assert rec.criterion == "fastest"
+        assert len(rec.evaluated) == 3
+
+    def test_cost_efficient_stops_early(self):
+        rec = optimal_node_count(
+            PERF_1DEG,
+            BOUNDS_1DEG,
+            [128, 256, 512, 1024, 2048],
+            criterion="cost_efficient",
+            efficiency_floor=0.7,
+        )
+        fastest = optimal_node_count(
+            PERF_1DEG, BOUNDS_1DEG, [128, 256, 512, 1024, 2048], criterion="fastest"
+        )
+        assert rec.total_nodes <= fastest.total_nodes
+        assert rec.efficiency >= 0.7 or rec.total_nodes == 128
+
+    def test_floor_zero_goes_to_max(self):
+        rec = optimal_node_count(
+            PERF_1DEG, BOUNDS_1DEG, [128, 512], efficiency_floor=0.0
+        )
+        assert rec.total_nodes == 512
+
+    def test_bad_criterion(self):
+        with pytest.raises(ConfigurationError):
+            optimal_node_count(PERF_1DEG, BOUNDS_1DEG, [128], criterion="vibes")
+
+    def test_empty_candidates(self):
+        with pytest.raises(ConfigurationError):
+            optimal_node_count(PERF_1DEG, BOUNDS_1DEG, [])
+
+
+class TestConstraintCost:
+    def test_8th_ocean_constraint_costs_performance(self):
+        """Reproduces the shape of paper Sec. IV-B at 32,768 nodes:
+        lifting the hard-coded ocean set buys a large improvement."""
+        perf = {c: ground_truth("8th")[c].law for c in (I, L, A, O)}
+        bounds = {
+            I: (512, 32768), L: (64, 32768), A: (1024, 32768), O: (256, 32768)
+        }
+        out = constraint_cost(
+            perf,
+            bounds,
+            total_nodes=32768,
+            constrained_ocn=[480, 512, 2356, 3136, 4564, 6124, 19460],
+            unconstrained_ocn=list(range(256, 32769, 2)),
+        )
+        # Paper: predicted 1593 -> 1129 s, about 29% off the constrained
+        # predicted time (reported as "about 40%" against 1593 vs 1129
+        # including rounding); require a substantial improvement.
+        assert out["improvement"] > 0.15
+        assert out["unconstrained"].makespan < out["constrained"].makespan
+
+    def test_1deg_constraint_is_mild(self):
+        out = constraint_cost(
+            PERF_1DEG,
+            BOUNDS_1DEG,
+            total_nodes=2048,
+            constrained_ocn=list(range(2, 481, 2)) + [768],
+            unconstrained_ocn=list(range(8, 2049)),
+        )
+        assert 0.0 <= out["improvement"] < 0.10

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.analysis import component_swap_effect, extrapolate_component
+from repro.cesm import ComponentId, ground_truth
+from repro.exceptions import ConfigurationError
+from repro.fitting import PerfModel
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+PERF = {c: ground_truth("1deg")[c].law for c in (I, L, A, O)}
+BOUNDS = {I: (8, 2048), L: (4, 2048), A: (8, 2048), O: (8, 2048)}
+
+
+class TestComponentSwap:
+    def test_faster_ocean_helps(self):
+        faster_ocn = PerfModel(a=PERF[O].a / 2, b=PERF[O].b, c=PERF[O].c,
+                               d=PERF[O].d / 2)
+        effect = component_swap_effect(PERF, BOUNDS, 512, O, faster_ocn)
+        assert effect.improvement > 0.0
+        assert effect.swapped_makespan < effect.baseline_makespan
+
+    def test_slower_atmosphere_hurts(self):
+        slower_atm = PerfModel(a=PERF[A].a * 2, d=PERF[A].d * 2)
+        effect = component_swap_effect(PERF, BOUNDS, 512, A, slower_atm)
+        assert effect.improvement < 0.0
+
+    def test_rebalancing_included(self):
+        """The swap's benefit includes re-allocating nodes, so the swapped
+        allocation generally differs from the baseline one."""
+        faster_ocn = PerfModel(a=PERF[O].a / 4, d=1.0)
+        effect = component_swap_effect(PERF, BOUNDS, 512, O, faster_ocn)
+        assert effect.swapped_allocation != effect.baseline_allocation
+
+    def test_identity_swap_is_neutral(self):
+        effect = component_swap_effect(PERF, BOUNDS, 512, L, PERF[L])
+        assert effect.improvement == pytest.approx(0.0, abs=1e-12)
+
+    def test_unknown_component(self):
+        with pytest.raises(ConfigurationError):
+            component_swap_effect({A: PERF[A]}, BOUNDS, 512, O, PERF[O])
+
+    def test_accepts_fitresult_like(self):
+        class FakeFit:
+            model = PerfModel(a=1000.0, d=1.0)
+
+        effect = component_swap_effect(PERF, BOUNDS, 512, L, FakeFit())
+        assert np.isfinite(effect.swapped_makespan)
+
+
+class TestExtrapolation:
+    def test_masks_out_of_sample(self):
+        curve = extrapolate_component(
+            PERF[A], [64, 512, 4096, 40960], calibrated_range=(8, 2048)
+        )
+        np.testing.assert_array_equal(curve.extrapolated, [False, False, True, True])
+        assert curve.any_extrapolated
+
+    def test_all_in_sample(self):
+        curve = extrapolate_component(PERF[A], [64, 512], calibrated_range=(8, 2048))
+        assert not curve.any_extrapolated
+
+    def test_times_match_model(self):
+        curve = extrapolate_component(PERF[A], [128], calibrated_range=(8, 2048))
+        assert curve.times[0] == pytest.approx(PERF[A](128))
+
+    def test_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            extrapolate_component(PERF[A], [10], calibrated_range=(100, 50))
+
+    def test_extrapolation_risk_demonstrated(self):
+        """The paper's ocean-at-9812 story: a fit that looks perfect inside
+        its sample range can be badly wrong outside it."""
+        truth = PerfModel(a=8.0932e6, b=0.0, c=1.0, d=424.0)  # 8th-deg ocean
+        # Fit only the constrained ocean counts (max 6124), like the paper.
+        from repro.fitting import fit_perf_model
+
+        nodes = np.array([480, 512, 2356, 3136, 4564, 6124], float)
+        fit = fit_perf_model(nodes, truth(nodes))
+        assert fit.r_squared > 0.999
+        curve = extrapolate_component(fit, [9812, 19460], calibrated_range=(480, 6124))
+        assert curve.any_extrapolated
+        # in-sample prediction is tight...
+        inside = extrapolate_component(fit, [3136], calibrated_range=(480, 6124))
+        assert inside.times[0] == pytest.approx(truth(3136), rel=0.02)

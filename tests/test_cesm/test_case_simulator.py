@@ -1,0 +1,205 @@
+import numpy as np
+import pytest
+
+from repro.cesm import (
+    CESMCase,
+    ComponentId,
+    CoupledRunSimulator,
+    Layout,
+    ground_truth,
+    make_case,
+)
+from repro.cesm.components import COMPONENTS, OPTIMIZED_COMPONENTS
+from repro.cesm.sweetspots import OCN_8TH_CONSTRAINED, atm_allowed_nodes, ocn_allowed_nodes
+from repro.exceptions import ConfigurationError, SimulationError
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+class TestGroundTruth:
+    def test_both_resolutions_present(self):
+        for res in ("1deg", "8th"):
+            truth = ground_truth(res)
+            for comp in OPTIMIZED_COMPONENTS:
+                assert comp in truth
+                assert truth[comp].law.is_convex
+
+    def test_unknown_resolution(self):
+        with pytest.raises(ValueError, match="unknown resolution"):
+            ground_truth("2deg")
+
+    def test_curves_decrease_then_floor(self):
+        truth = ground_truth("1deg")[A]
+        n = np.array([8.0, 64.0, 512.0, 2048.0])
+        t = truth.law(n)
+        assert np.all(np.diff(t) < 0)
+        assert t[-1] > truth.law.d  # still above the serial floor
+
+    def test_eighth_is_heavier_than_onedeg(self):
+        t1 = ground_truth("1deg")[A].law(1024)
+        t8 = ground_truth("8th")[A].law(1024)
+        assert t8 > 5 * t1
+
+
+class TestSweetSpots:
+    def test_ocn_1deg_shape(self):
+        vals = ocn_allowed_nodes("1deg", 40960)
+        assert vals[0] == 2 and vals[-1] == 768
+        assert 480 in vals and 482 not in vals
+        assert all(v % 2 == 0 for v in vals)
+
+    def test_ocn_1deg_truncated_to_job(self):
+        vals = ocn_allowed_nodes("1deg", 128)
+        assert max(vals) <= 128
+
+    def test_ocn_8th_constrained(self):
+        vals = ocn_allowed_nodes("8th", 32768)
+        assert vals == [v for v in OCN_8TH_CONSTRAINED if v <= 32768]
+        assert 19460 in vals
+
+    def test_ocn_8th_unconstrained_rich(self):
+        vals = ocn_allowed_nodes("8th", 32768, unconstrained=True)
+        assert len(vals) > 1000
+        assert 9812 in vals
+
+    def test_ocn_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            ocn_allowed_nodes("8th", 300)  # smallest allowed is 480
+
+    def test_atm_1deg_noncontiguous(self):
+        spec = atm_allowed_nodes("1deg", 40960)
+        assert spec["values"] is not None
+        assert 1664 in spec["values"] and 1650 not in spec["values"]
+
+    def test_atm_1deg_small_job_contiguous(self):
+        spec = atm_allowed_nodes("1deg", 128)
+        assert spec["values"] is None
+        assert (spec["lo"], spec["hi"]) == (1, 128)
+
+    def test_atm_8th_range(self):
+        spec = atm_allowed_nodes("8th", 32768)
+        assert spec["values"] is None and spec["hi"] == 32768
+
+
+class TestCase:
+    def test_make_case_defaults(self):
+        case = make_case("1deg", 128)
+        assert case.layout is Layout.HYBRID
+        assert case.machine.cores_per_node == 4
+        assert "FV" in case.grid_description
+
+    def test_layout_by_int(self):
+        assert make_case("1deg", 128, layout=3).layout is Layout.FULLY_SEQUENTIAL
+
+    def test_bad_resolution(self):
+        with pytest.raises(ConfigurationError):
+            make_case("nope", 128)
+
+    def test_bad_node_count(self):
+        with pytest.raises(ConfigurationError):
+            make_case("1deg", 0)
+        with pytest.raises(ConfigurationError):
+            make_case("1deg", 100_000)
+
+    def test_component_bounds_respect_memory_floor(self):
+        case = make_case("8th", 8192)
+        lo, hi = case.component_bounds(A)
+        assert lo == 1024 and hi == 8192
+
+    def test_benchmark_node_counts_geometric(self):
+        case = make_case("1deg", 2048)
+        pts = case.benchmark_node_counts(A, points=5)
+        assert pts[0] == 8 and pts[-1] == 2048
+        assert len(pts) == 5
+        assert pts == sorted(pts)
+
+    def test_ice_grid_selection(self):
+        assert make_case("1deg", 128).ice_grid.nx == 320
+        assert make_case("8th", 8192).ice_grid.nx == 3600
+
+
+class TestSimulator:
+    def test_reproducible_benchmarks(self):
+        case = make_case("1deg", 128, seed=7)
+        s1, s2 = CoupledRunSimulator(case), CoupledRunSimulator(case)
+        assert s1.benchmark(A, 64) == s2.benchmark(A, 64)
+
+    def test_seed_changes_noise(self):
+        a = CoupledRunSimulator(make_case("1deg", 128, seed=1)).benchmark(A, 64)
+        b = CoupledRunSimulator(make_case("1deg", 128, seed=2)).benchmark(A, 64)
+        assert a != b
+
+    def test_benchmark_tracks_truth(self):
+        case = make_case("1deg", 2048, seed=0)
+        sim = CoupledRunSimulator(case)
+        truth = case.truth(A).law
+        for n in (16, 128, 1024):
+            assert sim.benchmark(A, n) == pytest.approx(truth(n), rel=0.08)
+
+    def test_ice_noisier_than_atm(self):
+        case = make_case("1deg", 2048, seed=0)
+        sim = CoupledRunSimulator(case)
+        nodes = case.benchmark_node_counts(I, points=12)
+        ice_truth = case.truth(I).law
+        atm_truth = case.truth(A).law
+        ice_err = [abs(sim.benchmark(I, n) / ice_truth(n) - 1.0) for n in nodes]
+        atm_err = [abs(sim.benchmark(A, n) / atm_truth(n) - 1.0) for n in nodes]
+        assert np.mean(ice_err) > np.mean(atm_err)
+
+    def test_memory_floor_enforced(self):
+        sim = CoupledRunSimulator(make_case("8th", 8192))
+        with pytest.raises(SimulationError, match="memory floor"):
+            sim.benchmark(A, 512)
+
+    def test_run_coupled_matches_paper_shape(self):
+        sim = CoupledRunSimulator(make_case("1deg", 128, seed=0))
+        t = sim.run_coupled({"lnd": 24, "ice": 80, "atm": 104, "ocn": 24})
+        # Paper Table III (manual column): lnd 63.8, ice 109.1, atm 307.0,
+        # ocn 362.7, total 416.0.  The simulator must land near those.
+        assert t.times[L] == pytest.approx(63.8, rel=0.15)
+        assert t.times[I] == pytest.approx(109.1, rel=0.20)
+        assert t.times[A] == pytest.approx(307.0, rel=0.10)
+        assert t.times[O] == pytest.approx(362.7, rel=0.10)
+        assert t.total == pytest.approx(416.0, rel=0.10)
+
+    def test_total_includes_overhead(self):
+        from repro.cesm.layouts import composed_total
+
+        sim = CoupledRunSimulator(make_case("1deg", 128, seed=0))
+        t = sim.run_coupled({"lnd": 24, "ice": 80, "atm": 104, "ocn": 24})
+        assert t.overhead > 0.0
+        assert t.total == pytest.approx(composed_total(t.layout, t.times) + t.overhead)
+
+    def test_invalid_allocation_rejected(self):
+        sim = CoupledRunSimulator(make_case("1deg", 128))
+        with pytest.raises(SimulationError):
+            sim.run_coupled({"lnd": 60, "ice": 60, "atm": 104, "ocn": 24})
+
+    def test_string_keys_accepted(self):
+        sim = CoupledRunSimulator(make_case("1deg", 128))
+        t = sim.run_coupled({"lnd": 24, "ice": 80, "atm": 104, "ocn": 24})
+        assert t.time_of(L) > 0
+
+    def test_measurements_order_independent(self):
+        """The value at a configuration must not depend on what was
+        measured before it (each config is one recorded measurement)."""
+        case = make_case("1deg", 512, seed=4)
+        s1 = CoupledRunSimulator(case)
+        v_direct = s1.benchmark(A, 64)
+        s2 = CoupledRunSimulator(case)
+        s2.benchmark(O, 32)
+        s2.benchmark(A, 128)
+        s2.run_coupled({"lnd": 24, "ice": 80, "atm": 104, "ocn": 24})
+        assert s2.benchmark(A, 64) == v_direct
+
+    def test_benchmark_sweep(self):
+        case = make_case("1deg", 512)
+        sim = CoupledRunSimulator(case)
+        sweep = sim.benchmark_sweep(A, [16, 64, 256])
+        assert [n for n, _ in sweep] == [16, 64, 256]
+        assert all(t > 0 for _, t in sweep)
+
+    def test_components_registry(self):
+        assert COMPONENTS[ComponentId.ATM].model_name == "CAM"
+        assert not COMPONENTS[ComponentId.CPL].optimized
+        assert len(OPTIMIZED_COMPONENTS) == 4

@@ -1,0 +1,174 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cesm.components import ComponentId
+from repro.cesm.decomp import (
+    GX1,
+    TX0_1,
+    DecompStrategy,
+    best_strategy,
+    block_counts,
+    default_strategy,
+    efficiency_factor,
+    imbalance_factor,
+)
+from repro.cesm.layouts import Layout, composed_total, validate_allocation
+from repro.exceptions import SimulationError
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+class TestDecomp:
+    def test_block_counts_positive(self):
+        for grid in (GX1, TX0_1):
+            for strat in DecompStrategy:
+                for tasks in (1, 13, 128, 5000):
+                    assert block_counts(grid, tasks, strat) >= 1
+
+    def test_imbalance_at_least_one(self):
+        for tasks in (1, 7, 64, 1000, 24424):
+            for strat in DecompStrategy:
+                assert imbalance_factor(GX1, tasks, strat) >= 1.0
+
+    def test_perfect_division_near_one(self):
+        # 32 tasks as 2x16 slender strips tile gx1 (320x384) exactly.
+        f = imbalance_factor(GX1, 32, DecompStrategy.SLENDERX2)
+        assert f == pytest.approx(1.0, abs=0.02)
+
+    def test_awkward_task_count_penalized(self):
+        # A prime task count cannot tile the grid evenly.
+        smooth = imbalance_factor(GX1, 128, DecompStrategy.CARTESIAN)
+        prime = imbalance_factor(GX1, 127, DecompStrategy.CARTESIAN)
+        assert prime > smooth
+
+    def test_tile_dims_multiply_to_tasks(self):
+        from repro.cesm.decomp import tile_dims
+
+        for tasks in (12, 89, 1280):
+            for strat in (
+                DecompStrategy.CARTESIAN,
+                DecompStrategy.SLENDERX1,
+                DecompStrategy.SQUARE_ICE,
+                DecompStrategy.SQUARE_POP,
+            ):
+                px, py = tile_dims(GX1, tasks, strat)
+                assert px * py == tasks
+
+    def test_block_strategies_reject_tile_dims(self):
+        from repro.cesm.decomp import tile_dims
+
+        with pytest.raises(ValueError):
+            tile_dims(GX1, 64, DecompStrategy.ROUNDROBIN)
+
+    def test_default_strategy_varies_over_sweep(self):
+        picks = {default_strategy(t) for t in (8, 32, 96, 112, 114, 121, 242)}
+        assert len(picks) >= 3
+
+    def test_efficiency_sensitivity_zero_is_neutral(self):
+        assert efficiency_factor(GX1, 97, 0.0) == 1.0
+
+    def test_efficiency_scales_with_sensitivity(self):
+        weak = efficiency_factor(GX1, 1000, 0.05)
+        strong = efficiency_factor(GX1, 1000, 0.5)
+        assert 1.0 <= weak <= strong
+
+    def test_best_strategy_beats_default_often(self):
+        worse = 0
+        for tasks in (100, 300, 555, 1000, 2222):
+            b = imbalance_factor(GX1, tasks, best_strategy(GX1, tasks))
+            d = imbalance_factor(GX1, tasks, default_strategy(tasks))
+            assert b <= d + 1e-12
+            if b < d:
+                worse += 1
+        assert worse >= 1  # the default is genuinely suboptimal somewhere
+
+    @given(tasks=st.integers(1, 40960))
+    @settings(max_examples=60, deadline=None)
+    def test_factor_bounded(self, tasks):
+        f = efficiency_factor(TX0_1, tasks, 0.10)
+        assert 1.0 <= f < 10.0
+
+
+class TestLayoutComposition:
+    times = {I: 109.0, L: 64.0, A: 307.0, O: 363.0}
+
+    def test_layout1_hybrid(self):
+        # max(max(109, 64) + 307, 363) = 416
+        assert composed_total(Layout.HYBRID, self.times) == pytest.approx(416.0)
+
+    def test_layout2(self):
+        # max(109 + 64 + 307, 363) = 480
+        assert composed_total(Layout.SEQUENTIAL_SPLIT, self.times) == pytest.approx(480.0)
+
+    def test_layout3(self):
+        assert composed_total(Layout.FULLY_SEQUENTIAL, self.times) == pytest.approx(843.0)
+
+    def test_layout3_never_faster(self):
+        t = self.times
+        assert composed_total(Layout.FULLY_SEQUENTIAL, t) >= composed_total(
+            Layout.SEQUENTIAL_SPLIT, t
+        ) >= composed_total(Layout.HYBRID, t)
+
+    def test_ocean_bound_case(self):
+        t = dict(self.times)
+        t[O] = 1000.0
+        assert composed_total(Layout.HYBRID, t) == 1000.0
+
+
+class TestValidation:
+    def good(self):
+        return {A: 104, O: 24, I: 80, L: 24}
+
+    def test_valid_layout1(self):
+        validate_allocation(Layout.HYBRID, self.good(), 128)
+
+    def test_layout1_ice_lnd_over_atm(self):
+        alloc = self.good()
+        alloc[I] = 90
+        alloc[L] = 20
+        with pytest.raises(SimulationError, match="n_ice"):
+            validate_allocation(Layout.HYBRID, alloc, 128)
+
+    def test_layout1_total_exceeded(self):
+        with pytest.raises(SimulationError, match="n_atm"):
+            validate_allocation(Layout.HYBRID, self.good(), 120)
+
+    def test_layout2_cap(self):
+        alloc = {A: 100, O: 40, I: 30, L: 30}
+        validate_allocation(Layout.SEQUENTIAL_SPLIT, alloc, 140)
+        with pytest.raises(SimulationError):
+            validate_allocation(Layout.SEQUENTIAL_SPLIT, alloc, 130)
+
+    def test_layout3_cap(self):
+        alloc = {A: 128, O: 128, I: 128, L: 128}
+        validate_allocation(Layout.FULLY_SEQUENTIAL, alloc, 128)
+        with pytest.raises(SimulationError):
+            validate_allocation(Layout.FULLY_SEQUENTIAL, alloc, 127)
+
+    def test_missing_component(self):
+        with pytest.raises(SimulationError, match="missing"):
+            validate_allocation(Layout.HYBRID, {A: 10, O: 10, I: 5}, 128)
+
+    def test_nonpositive_nodes(self):
+        alloc = self.good()
+        alloc[L] = 0
+        with pytest.raises(SimulationError, match="positive integer"):
+            validate_allocation(Layout.HYBRID, alloc, 128)
+
+    @given(
+        na=st.integers(2, 100),
+        no=st.integers(1, 100),
+        ni=st.integers(1, 99),
+        total=st.integers(2, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_layout1_validation_matches_rules(self, na, no, ni, total):
+        nl = max(1, na - ni)  # try to satisfy ni + nl <= na when possible
+        alloc = {A: na, O: no, I: ni, L: nl}
+        ok = (ni + nl <= na) and (na + no <= total)
+        if ok:
+            validate_allocation(Layout.HYBRID, alloc, total)
+        else:
+            with pytest.raises(SimulationError):
+                validate_allocation(Layout.HYBRID, alloc, total)

@@ -1,0 +1,106 @@
+"""Keep docs/tutorial.md honest: its key snippets must actually run."""
+
+import numpy as np
+import pytest
+
+from repro.cesm import ComponentId, make_case
+from repro.hslb import (
+    BenchmarkData,
+    HSLBPipeline,
+    ObjectiveKind,
+    fit_components,
+    solve_allocation,
+)
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+class TestSection1And2:
+    def test_one_call_and_steps(self):
+        case = make_case("1deg", total_nodes=128, seed=0)
+        result = HSLBPipeline(case).run()
+        assert result.prediction_error() < 0.1
+
+        pipeline = HSLBPipeline(case)
+        data = pipeline.gather()
+        assert list(data.nodes(A).astype(int)) == [8, 16, 32, 64, 128]
+        fits = pipeline.fit(data)
+        assert fits[A].r_squared > 0.99
+        outcome = pipeline.solve(fits)
+        assert outcome.solver_result.nodes >= 1
+        timings = pipeline.execute(outcome)
+        assert timings.total > 0
+
+    def test_variations(self):
+        case = make_case("1deg", 128, seed=0)
+        oracle = HSLBPipeline(case, method="oracle").run()
+        assert oracle.solve.method == "oracle"
+        pipeline = HSLBPipeline(case)
+        fits = pipeline.fit(pipeline.gather())
+        mm = solve_allocation(case, fits, objective=ObjectiveKind.MAX_MIN,
+                              method="oracle")
+        assert mm.objective_value > 0
+        sync = solve_allocation(case, fits, tsync=1.0, method="oracle")
+        assert sync.predicted_total > 0
+        fine = HSLBPipeline(case, fine_tuning=True).run()
+        assert fine.prediction_error() < 0.05
+
+
+class TestSection3:
+    def test_model_export(self):
+        from repro.hslb.layout_models import layout_model_for_case
+        from repro.model import to_ampl
+
+        case = make_case("1deg", 128, seed=0)
+        pipeline = HSLBPipeline(case)
+        fits = pipeline.fit(pipeline.gather())
+        model = layout_model_for_case(case, fits)
+        stats = model.stats()
+        assert stats["variables"] >= 6
+        assert "minimize total_time" in to_ampl(model)
+
+
+class TestSection4:
+    def test_hand_fed_benchmark_data(self):
+        case = make_case("1deg", 2048, seed=0)
+        data = BenchmarkData()
+        # plausible hand-entered numbers, paper-magnitude
+        data.add(A, [104, 256, 512, 1664], [306.9, 131.2, 70.0, 62.0])
+        data.add(O, [24, 64, 256, 480], [362.7, 150.0, 67.0, 52.0])
+        data.add(I, [80, 200, 600, 1280], [109.1, 55.0, 30.0, 18.0])
+        data.add(L, [24, 96, 384, 1024], [63.8, 18.0, 5.8, 4.0])
+        fits = fit_components(data)
+        outcome = solve_allocation(case, fits)
+        assert outcome.nodes_used() > 0
+        assert outcome.predicted_total > 0
+
+
+class TestSection5:
+    def test_analysis_snippets(self):
+        from repro.analysis import (
+            component_swap_effect,
+            extrapolate_component,
+            optimal_node_count,
+            predicted_layout_scaling,
+        )
+        from repro.cesm import Layout, ground_truth
+        from repro.fitting import PerfModel
+
+        perf = {c: ground_truth("1deg")[c].law for c in (I, L, A, O)}
+        bounds = {I: (8, 2048), L: (4, 2048), A: (8, 2048), O: (8, 2048)}
+
+        curve = predicted_layout_scaling(perf, bounds, [128, 256, 512], Layout.HYBRID)
+        assert curve.times.shape == (3,)
+
+        rec = optimal_node_count(
+            perf, bounds, [128, 256, 512, 1024, 2048],
+            criterion="cost_efficient", efficiency_floor=0.7,
+        )
+        assert rec.total_nodes in (128, 256, 512, 1024, 2048)
+
+        faster_pop = PerfModel(a=perf[O].a / 2, d=perf[O].d / 2)
+        effect = component_swap_effect(perf, bounds, 512, O, faster_pop)
+        assert effect.improvement > 0
+
+        ex = extrapolate_component(perf[O], [9812, 19460], calibrated_range=(480, 6124))
+        assert list(ex.extrapolated) == [True, True]

@@ -1,0 +1,165 @@
+import numpy as np
+import pytest
+
+from repro.cesm import ComponentId, Layout
+from repro.cesm.layouts import validate_allocation
+from repro.exceptions import ConfigurationError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.paperdata import CLAIMS, TABLE3
+from repro.experiments.table3 import run_table3_entry
+from repro.hslb import ObjectiveKind
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+class TestPaperData:
+    def test_six_table3_entries(self):
+        assert len(TABLE3) == 6
+
+    def test_totals_consistent_with_components(self):
+        """Paper totals match the layout-1 composition of the per-component
+        times (within table rounding)."""
+        for entry in TABLE3.values():
+            pred = entry.hslb_predicted
+            composed = max(max(pred[I], pred[L]) + pred[A], pred[O])
+            assert composed == pytest.approx(entry.hslb_predicted_total, rel=0.02)
+
+    def test_manual_allocations_feasible(self):
+        for entry in TABLE3.values():
+            if entry.manual_nodes is not None:
+                validate_allocation(
+                    Layout.HYBRID, entry.manual_nodes, entry.total_nodes
+                )
+
+    def test_hslb_allocations_feasible(self):
+        for entry in TABLE3.values():
+            validate_allocation(Layout.HYBRID, entry.hslb_nodes, entry.total_nodes)
+            validate_allocation(
+                Layout.HYBRID, entry.hslb_actual_nodes, entry.total_nodes
+            )
+
+    def test_claims_present(self):
+        assert CLAIMS["solver_seconds_at_40960"] == 60.0
+        assert CLAIMS["actual_improvement_32768"] == 0.25
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert len(EXPERIMENTS) == 18
+        assert {"t3-1", "t3-6", "fig2", "fig3", "fig4", "a-obj", "a-sos",
+                "a-solve", "a-sync", "a-fit", "a-start", "a-mlice"} <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            run_experiment("t3-99")
+
+    def test_descriptions_nonempty(self):
+        for key, (desc, runner) in EXPERIMENTS.items():
+            assert desc and callable(runner)
+
+
+class TestTable3Reproduction:
+    def test_unknown_key(self):
+        with pytest.raises(ConfigurationError):
+            run_table3_entry("nope")
+
+    def test_1deg_128_block(self):
+        rep = run_table3_entry("1deg-128", seed=0)
+        # who wins: a tie within 5% (paper: 416 manual vs 425 HSLB-actual)
+        assert rep.hslb_beats_or_ties_manual
+        # totals land near the paper's
+        assert rep.manual_total == pytest.approx(416.0, rel=0.08)
+        assert rep.hslb_actual_total == pytest.approx(425.2, rel=0.08)
+        assert rep.prediction_error < 0.10
+        text = rep.render()
+        assert "THIS REPRODUCTION" in text and "PAPER" in text
+
+    def test_unconstrained_8192_block_has_no_manual(self):
+        rep = run_table3_entry("8th-8192-unconstrained", seed=0)
+        assert rep.manual_total is None
+        with pytest.raises(ConfigurationError):
+            rep.actual_improvement_over_manual
+        assert rep.hslb_actual_total > 0
+
+    def test_32768_unconstrained_beats_constrained(self):
+        con = run_table3_entry("8th-32768", seed=0)
+        unc = run_table3_entry("8th-32768-unconstrained", seed=0)
+        # Paper: 1612 s constrained-actual vs 1256 s unconstrained-actual
+        # (25% better); require a clear win with the same noise seed.
+        assert unc.hslb_actual_total < con.hslb_actual_total * 0.90
+
+
+class TestFigureRunners:
+    def test_fig2_structure(self):
+        fig = run_experiment("fig2")
+        assert set(fig.fit_params) == {I, L, A, O}
+        for comp, r2 in fig.r_squared.items():
+            assert r2 > 0.95
+        for comp, parts in fig.curves.items():
+            total = parts["T_sca"].times + parts["T_nln"].times + parts["T_ser"].times
+            np.testing.assert_allclose(total, parts["total"].times, rtol=1e-9)
+        assert "Figure 2" in fig.render()
+
+    def test_fig4_structure(self):
+        fig = run_experiment("fig4")
+        t1 = fig.predicted[Layout.HYBRID]
+        t3 = fig.predicted[Layout.FULLY_SEQUENTIAL]
+        assert np.all(t3 > t1)
+        # Paper: R^2 between predicted and experimental layout 1 = 1.0.
+        assert fig.r2_layout1 > 0.98
+        assert "layout (1exp)" in fig.render()
+
+
+class TestAblationRunners:
+    def test_objective_ablation_minmax_wins(self):
+        ab = run_experiment("a-obj")
+        assert (
+            ab.makespans[ObjectiveKind.MIN_MAX]
+            <= min(ab.makespans[k] for k in ObjectiveKind) + 1e-9
+        )
+        assert "A-OBJ" in ab.render()
+
+    def test_sync_ablation_monotone(self):
+        ab = run_experiment("a-sync")
+        off = ab.makespans[None]
+        for band in ab.tsync_values:
+            if band is not None:
+                assert ab.makespans[band] >= off - 1e-9
+        # the tightest band must actually cost something
+        tightest = min(b for b in ab.tsync_values if b is not None)
+        assert ab.makespans[tightest] > off
+
+    def test_fit_points_ablation(self):
+        ab = run_experiment("a-fit")
+        assert min(ab.r_squared.values()) > 0.95
+        # >= 4 points keeps the executed time within a few percent of the
+        # best observed (the paper: "four points were enough").
+        best = min(ab.actual.values())
+        for p, t in ab.actual.items():
+            if p >= 4:
+                assert t <= best * 1.06
+
+    def test_multistart_ablation(self):
+        ab = run_experiment("a-start")
+        assert ab.distinct_parameter_sets >= 2
+        assert ab.makespan_spread < 0.05  # similar-quality allocations
+        assert "A-START" in ab.render()
+
+    def test_seed_stability(self):
+        from repro.experiments.stability import run_seed_stability
+
+        ab = run_seed_stability(n_seeds=4)
+        # HSLB ties-or-beats the expert on average, and its prediction
+        # tracks execution within a few percent across seeds.
+        assert ab.mean_actual_gap < 0.03
+        assert ab.mean_prediction_error < 0.08
+        assert "A-SEEDS" in ab.render()
+
+    def test_finetune_comparison(self):
+        ab = run_experiment("a-finetune")
+        # Charging the coupler/river overhead to the model collapses the
+        # systematic prediction bias and never hurts the actual run.
+        assert ab.finetuned_prediction_error < ab.standard_prediction_error
+        assert ab.finetuned_prediction_error < 0.02
+        assert ab.finetuned_actual <= ab.standard_actual * 1.02
+        assert "A-FINETUNE" in ab.render()

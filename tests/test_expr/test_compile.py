@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExpressionError
+from repro.expr.compile import compile_expr, expr_source
+from repro.expr.node import Pow, const, var
+
+
+class TestSourceGeneration:
+    def test_basic_nodes(self):
+        idx = {"x": 0, "y": 1}
+        assert expr_source(const(2.5), idx) == "2.5"
+        assert expr_source(var("y"), idx) == "x[1]"
+
+    def test_unknown_variable(self):
+        with pytest.raises(ExpressionError, match="missing"):
+            expr_source(var("ghost"), {"x": 0})
+
+    def test_repr_roundtrip_precision(self):
+        """repr() keeps full float precision through the source path."""
+        v = 0.1 + 0.2  # a value whose short decimal form would lose bits
+        idx = {}
+        f = compile_expr(const(v), idx)
+        assert f([]) == v
+
+
+class TestCompiledEquivalence:
+    def test_perf_model_family(self):
+        n = var("n")
+        e = 27362.3 / n + 0.000427 * n ** 1.3 + 45.0
+        f = compile_expr(e, {"n": 0})
+        for val in (1.0, 17.0, 2048.0):
+            assert f([val]) == pytest.approx(e.evaluate({"n": val}))
+
+    def test_multivariate(self):
+        e = (var("a") + var("b")) * var("c") - var("a") / var("c")
+        idx = {"a": 0, "b": 1, "c": 2}
+        f = compile_expr(e, idx)
+        x = [2.0, 3.0, 4.0]
+        assert f(x) == pytest.approx(e.evaluate({"a": 2.0, "b": 3.0, "c": 4.0}))
+
+    def test_numpy_vector_input(self):
+        e = 10.0 / var("n") + 1.0
+        f = compile_expr(e, {"n": 0})
+        assert f(np.array([4.0])) == pytest.approx(3.5)
+
+    def test_negation_and_pow(self):
+        e = -(var("x") ** 2.0) + Pow(const(2.0), var("x"))
+        f = compile_expr(e, {"x": 0})
+        assert f([3.0]) == pytest.approx(-9.0 + 8.0)
+
+    def test_no_builtins_leak(self):
+        f = compile_expr(var("x") + 1.0, {"x": 0})
+        assert f.__globals__.get("__builtins__") == {}
+
+    @given(
+        a=st.floats(0.1, 100.0),
+        b=st.floats(0.0, 1.0),
+        c=st.floats(1.0, 2.0),
+        n=st.floats(1.0, 500.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_tree_evaluation(self, a, b, c, n):
+        e = a / var("n") + b * var("n") ** c + 1.0
+        f = compile_expr(e, {"n": 0})
+        assert f([n]) == pytest.approx(e.evaluate({"n": n}), rel=1e-12)

@@ -1,0 +1,149 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExpressionError
+from repro.expr import Const, Pow, const, differentiate, gradient, hessian, var
+
+
+def numeric_derivative(expr, name, env, h=1e-6):
+    hi = dict(env)
+    lo = dict(env)
+    hi[name] = env[name] + h
+    lo[name] = env[name] - h
+    return (expr.evaluate(hi) - expr.evaluate(lo)) / (2 * h)
+
+
+class TestBasicRules:
+    def test_constant(self):
+        assert differentiate(const(5), "x") == Const(0.0)
+
+    def test_variable_self(self):
+        assert differentiate(var("x"), "x") == Const(1.0)
+
+    def test_variable_other(self):
+        assert differentiate(var("y"), "x") == Const(0.0)
+
+    def test_sum_rule(self):
+        d = differentiate(var("x") + var("y") + 3, "x")
+        assert d.evaluate({}) == 1.0
+
+    def test_product_rule(self):
+        e = var("x") * var("y")
+        d = differentiate(e, "x")
+        assert d.evaluate({"x": 2.0, "y": 7.0}) == 7.0
+
+    def test_quotient_rule(self):
+        e = var("x") / var("y")
+        d = differentiate(e, "y")
+        assert d.evaluate({"x": 6.0, "y": 2.0}) == pytest.approx(-1.5)
+
+    def test_power_rule(self):
+        e = var("n") ** 3
+        d = differentiate(e, "n")
+        assert d.evaluate({"n": 2.0}) == pytest.approx(12.0)
+
+    def test_fractional_power(self):
+        e = var("n") ** 0.5
+        d = differentiate(e, "n")
+        assert d.evaluate({"n": 4.0}) == pytest.approx(0.25)
+
+    def test_const_base_exponential(self):
+        e = Pow(const(2.0), var("k"))
+        d = differentiate(e, "k")
+        assert d.evaluate({"k": 3.0}) == pytest.approx(8.0 * math.log(2.0))
+
+    def test_negative_const_base_rejected(self):
+        e = Pow(const(-2.0), var("k"))
+        with pytest.raises(ExpressionError):
+            differentiate(e, "k")
+
+    def test_variable_base_and_exponent_rejected(self):
+        e = Pow(var("x"), var("y"))
+        with pytest.raises(ExpressionError):
+            differentiate(e, "x")
+
+    def test_neg(self):
+        d = differentiate(-var("x") * 3, "x")
+        assert d.evaluate({"x": 1.0}) == -3.0
+
+
+class TestPerformanceModelDerivatives:
+    """The exact family the NLP solver differentiates: a/n + b n^c + d."""
+
+    def test_first_derivative(self):
+        n = var("n")
+        t = 100.0 / n + 0.5 * n ** 1.5 + 7.0
+        d = differentiate(t, "n")
+        at = {"n": 16.0}
+        expected = -100.0 / 16.0**2 + 0.5 * 1.5 * 16.0**0.5
+        assert d.evaluate(at) == pytest.approx(expected)
+
+    def test_second_derivative_positive_for_convex(self):
+        n = var("n")
+        t = 100.0 / n + 0.5 * n ** 1.5 + 7.0
+        d2 = differentiate(differentiate(t, "n"), "n")
+        for point in (2.0, 10.0, 500.0):
+            assert d2.evaluate({"n": point}) > 0.0
+
+
+class TestGradientHessian:
+    def test_gradient_keys(self):
+        e = var("x") * var("y") + var("x")
+        g = gradient(e, ["x", "y"])
+        assert set(g) == {"x", "y"}
+        assert g["x"].evaluate({"x": 1.0, "y": 4.0}) == 5.0
+        assert g["y"].evaluate({"x": 3.0, "y": 0.0}) == 3.0
+
+    def test_hessian_upper_triangle(self):
+        e = var("x") ** 2 * var("y")
+        h = hessian(e, ["x", "y"])
+        assert set(h) == {("x", "x"), ("x", "y"), ("y", "y")}
+        env = {"x": 3.0, "y": 5.0}
+        assert h[("x", "x")].evaluate(env) == pytest.approx(2 * 5.0)
+        assert h[("x", "y")].evaluate(env) == pytest.approx(2 * 3.0)
+        assert h[("y", "y")].evaluate(env) == pytest.approx(0.0)
+
+
+@st.composite
+def smooth_exprs(draw, names=("x", "y")):
+    """Random smooth expressions over positive variables."""
+    depth = draw(st.integers(0, 3))
+    return _build(draw, depth, names)
+
+
+def _build(draw, depth, names):
+    if depth == 0:
+        if draw(st.booleans()):
+            return var(draw(st.sampled_from(names)))
+        return const(draw(st.floats(0.1, 5.0)))
+    kind = draw(st.sampled_from(["add", "mul", "div", "pow", "neg"]))
+    left = _build(draw, depth - 1, names)
+    if kind == "neg":
+        return -left
+    if kind == "pow":
+        # Keep the base strictly positive so fractional powers stay real.
+        return (left * left + 0.5) ** draw(st.floats(0.5, 2.5))
+    right = _build(draw, depth - 1, names)
+    if kind == "add":
+        return left + right
+    if kind == "mul":
+        return left * right
+    return left / (right ** 2 + 1.0)  # keep denominators >= 1
+
+
+class TestDerivativeMatchesNumeric:
+    @given(expr=smooth_exprs(), x=st.floats(0.5, 4.0), y=st.floats(0.5, 4.0))
+    @settings(max_examples=120, deadline=None)
+    def test_symbolic_equals_numeric(self, expr, x, y):
+        env = {"x": x, "y": y}
+        value = expr.evaluate(env)
+        if not math.isfinite(value) or abs(value) > 1e6:
+            return  # skip numerically wild samples
+        for name in ("x", "y"):
+            d = differentiate(expr, name)
+            sym = d.evaluate(env)
+            num = numeric_derivative(expr, name, env)
+            assert sym == pytest.approx(num, rel=1e-3, abs=1e-4)

@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import Curvature, curvature, linearize_at, var
+from repro.expr.node import Const, Pow
+
+
+class TestLinearize:
+    def test_tangent_to_convex_underestimates(self):
+        """OA cut of a convex f must satisfy cut(x) <= f(x) everywhere."""
+        n = var("n")
+        f = 100.0 / n + 0.5 * n ** 1.5 - 50.0  # constraint f <= 0
+        cut = linearize_at(f, {"n": 10.0})
+        for x in np.linspace(1.0, 100.0, 50):
+            lhs = sum(c * x for c in cut.coeffs.values())
+            assert lhs - cut.rhs <= f.evaluate({"n": x}) + 1e-9
+
+    def test_cut_tight_at_linearization_point(self):
+        n = var("n")
+        f = 100.0 / n - 20.0
+        point = {"n": 4.0}
+        cut = linearize_at(f, point)
+        lhs = sum(c * point[k] for k, c in cut.coeffs.items())
+        assert lhs - cut.rhs == pytest.approx(f.evaluate(point))
+
+    def test_multivariate_cut(self):
+        t, n = var("t"), var("n")
+        f = 100.0 / n - t  # T >= 100/n  as  f <= 0
+        cut = linearize_at(f, {"n": 10.0, "t": 10.0})
+        assert set(cut.coeffs) == {"n", "t"}
+        assert cut.coeffs["t"] == pytest.approx(-1.0)
+
+    def test_violation_measure(self):
+        n = var("n")
+        f = 100.0 / n - 20.0
+        cut = linearize_at(f, {"n": 4.0})
+        # At n=4, f=5 > 0: the cut is violated by exactly 5.
+        assert cut.violation({"n": 4.0}) == pytest.approx(5.0)
+        # Far on the feasible side, no violation.
+        assert cut.violation({"n": 1000.0}) == 0.0
+
+    def test_nonfinite_point_rejected(self):
+        n = var("n")
+        f = 100.0 / n
+        with pytest.raises(ValueError):
+            linearize_at(f, {"n": 0.0})
+
+    @given(at=st.floats(1.0, 200.0), probe=st.floats(1.0, 200.0))
+    @settings(max_examples=80, deadline=None)
+    def test_underestimation_property(self, at, probe):
+        n = var("n")
+        f = 250.0 / n + 0.01 * n ** 1.3 + 2.0
+        cut = linearize_at(f - 30.0, {"n": at})
+        lhs = sum(c * probe for c in cut.coeffs.values())
+        assert lhs - cut.rhs <= (f - 30.0).evaluate({"n": probe}) + 1e-7
+
+
+class TestCurvature:
+    def test_constant(self):
+        assert curvature(Const(3.0)) is Curvature.CONSTANT
+
+    def test_affine(self):
+        assert curvature(2 * var("x") + 1) is Curvature.AFFINE
+
+    def test_reciprocal_convex(self):
+        assert curvature(5.0 / var("n")) is Curvature.CONVEX
+
+    def test_negative_reciprocal_concave(self):
+        assert curvature(-5.0 / var("n")) is Curvature.CONCAVE
+
+    def test_power_ge_one_convex(self):
+        assert curvature(var("n") ** 1.5) is Curvature.CONVEX
+
+    def test_power_between_zero_one_concave(self):
+        assert curvature(var("n") ** 0.5) is Curvature.CONCAVE
+
+    def test_negative_power_convex(self):
+        assert curvature(Pow(var("n"), Const(-2.0))) is Curvature.CONVEX
+
+    def test_reciprocal_of_power(self):
+        assert curvature(3.0 / var("n") ** 2.0) is Curvature.CONVEX
+
+    def test_perf_model_is_convex(self):
+        n = var("n")
+        t = 100.0 / n + 0.5 * n ** 1.5 + 7.0
+        assert curvature(t).is_convex()
+
+    def test_perf_model_with_sublinear_term_unknown(self):
+        # b*n^c with 0<c<1 is concave; summed with convex a/n -> UNKNOWN.
+        n = var("n")
+        t = 100.0 / n + 0.5 * n ** 0.5 + 7.0
+        assert curvature(t) is Curvature.UNKNOWN
+
+    def test_scaling_preserves_curvature(self):
+        assert curvature(2.0 * (1.0 / var("n"))) is Curvature.CONVEX
+        assert curvature(-2.0 * (1.0 / var("n"))) is Curvature.CONCAVE
+
+    def test_sum_of_convex_is_convex(self):
+        e = 1.0 / var("a") + var("b") ** 2.0
+        assert curvature(e) is Curvature.CONVEX
+
+    def test_product_of_variables_unknown(self):
+        assert curvature(var("x") * var("y")) is Curvature.UNKNOWN
+
+    def test_negation_flips(self):
+        assert curvature(-(var("x") ** 2.0)) is Curvature.CONCAVE
+
+    def test_helpers(self):
+        assert Curvature.AFFINE.is_convex() and Curvature.AFFINE.is_concave()
+        assert Curvature.UNKNOWN.negated() is Curvature.UNKNOWN

@@ -1,0 +1,120 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.expr import Add, Const, Div, Mul, Neg, Pow, VarRef, as_expr, const, var
+
+
+class TestConstruction:
+    def test_var_and_const_helpers(self):
+        assert var("n") == VarRef("n")
+        assert const(3) == Const(3.0)
+
+    def test_as_expr_number(self):
+        assert as_expr(2) == Const(2.0)
+
+    def test_as_expr_passthrough(self):
+        e = var("x")
+        assert as_expr(e) is e
+
+    def test_as_expr_rejects_bool(self):
+        with pytest.raises(ExpressionError):
+            as_expr(True)
+
+    def test_as_expr_rejects_string(self):
+        with pytest.raises(ExpressionError):
+            as_expr("x")
+
+    def test_empty_varname_rejected(self):
+        with pytest.raises(ExpressionError):
+            VarRef("")
+
+    def test_empty_add_rejected(self):
+        with pytest.raises(ExpressionError):
+            Add(())
+
+
+class TestOperators:
+    def test_add_sub(self):
+        e = var("x") + 2 - var("y")
+        assert e.evaluate({"x": 5.0, "y": 3.0}) == 4.0
+
+    def test_radd_rsub(self):
+        e = 10 - var("x")
+        assert e.evaluate({"x": 4.0}) == 6.0
+        e2 = 1 + var("x")
+        assert e2.evaluate({"x": 4.0}) == 5.0
+
+    def test_mul_div(self):
+        e = 3 * var("x") / var("y")
+        assert e.evaluate({"x": 4.0, "y": 2.0}) == 6.0
+
+    def test_rtruediv(self):
+        e = 100 / var("n")
+        assert e.evaluate({"n": 4.0}) == 25.0
+
+    def test_pow(self):
+        e = var("n") ** 1.5
+        assert e.evaluate({"n": 4.0}) == pytest.approx(8.0)
+
+    def test_rpow(self):
+        e = 2 ** var("k")
+        assert e.evaluate({"k": 3.0}) == pytest.approx(8.0)
+
+    def test_neg_pos(self):
+        e = -var("x")
+        assert e.evaluate({"x": 2.0}) == -2.0
+        assert (+e).evaluate({"x": 2.0}) == -2.0
+
+    def test_perf_model_shape(self):
+        # The paper's T(n) = a/n + b*n^c + d
+        n = var("n")
+        t = 100.0 / n + 0.01 * n ** 1.2 + 5.0
+        assert t.evaluate({"n": 10.0}) == pytest.approx(100 / 10 + 0.01 * 10**1.2 + 5)
+
+
+class TestEvaluation:
+    def test_vectorized_evaluation_broadcasts(self):
+        n = var("n")
+        t = 100.0 / n + 2.0
+        nodes = np.array([1.0, 2.0, 4.0])
+        np.testing.assert_allclose(t.evaluate({"n": nodes}), [102.0, 52.0, 27.0])
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(ExpressionError, match="no value bound"):
+            var("q").evaluate({})
+
+    def test_vectorized_pow(self):
+        e = var("n") ** 2.0
+        np.testing.assert_allclose(e.evaluate({"n": np.array([2.0, 3.0])}), [4.0, 9.0])
+
+
+class TestStructure:
+    def test_variables_collects_names(self):
+        e = var("x") * var("y") + 3 / var("z")
+        assert e.variables() == frozenset({"x", "y", "z"})
+
+    def test_const_has_no_variables(self):
+        assert const(5).variables() == frozenset()
+
+    def test_children(self):
+        e = Mul(var("a"), var("b"))
+        assert e.children() == (var("a"), var("b"))
+        assert Neg(var("a")).children() == (var("a"),)
+        d = Div(var("a"), var("b"))
+        assert d.children() == (var("a"), var("b"))
+        p = Pow(var("a"), const(2))
+        assert p.children() == (var("a"), const(2.0))
+
+    def test_structural_equality(self):
+        assert var("x") + 1 == var("x") + 1
+        assert var("x") + 1 != var("x") + 2
+
+    def test_no_truthiness(self):
+        with pytest.raises(ExpressionError, match="truth value"):
+            bool(var("x"))
+
+    def test_repr_roundtrip_readable(self):
+        e = (var("a") + 1) * var("b")
+        text = repr(e)
+        assert "a" in text and "b" in text

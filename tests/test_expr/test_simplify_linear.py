@@ -1,0 +1,116 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExpressionError
+from repro.expr import (
+    Add,
+    Const,
+    Mul,
+    Neg,
+    Pow,
+    const,
+    is_linear,
+    linear_coefficients,
+    simplify,
+    var,
+)
+
+
+class TestSimplify:
+    def test_fold_constants(self):
+        assert simplify(const(2) + const(3)) == Const(5.0)
+
+    def test_drop_zero_terms(self):
+        e = simplify(var("x") + 0.0)
+        assert e == var("x")
+
+    def test_mul_by_zero(self):
+        assert simplify(var("x") * 0.0) == Const(0.0)
+
+    def test_mul_by_one(self):
+        assert simplify(1.0 * var("x")) == var("x")
+
+    def test_mul_by_minus_one(self):
+        assert simplify(-1.0 * var("x")) == Neg(var("x"))
+
+    def test_double_negation(self):
+        assert simplify(Neg(Neg(var("x")))) == var("x")
+
+    def test_pow_one(self):
+        assert simplify(var("x") ** 1.0) == var("x")
+
+    def test_pow_zero(self):
+        assert simplify(var("x") ** 0.0) == Const(1.0)
+
+    def test_nested_pow_folds(self):
+        e = simplify((var("x") ** 2.0) ** 3.0)
+        assert e == Pow(var("x"), Const(6.0))
+
+    def test_flattens_nested_sums(self):
+        e = simplify((var("a") + var("b")) + (var("c") + 1.0) + 2.0)
+        assert isinstance(e, Add)
+        assert len(e.terms) == 4  # a, b, c, 3.0
+
+    def test_constant_merge_in_products(self):
+        e = simplify(2.0 * (3.0 * var("x")))
+        assert e == Mul(Const(6.0), var("x"))
+
+    def test_div_by_one(self):
+        assert simplify(var("x") / 1.0) == var("x")
+
+    def test_zero_numerator(self):
+        assert simplify(const(0) / var("x")) == Const(0.0)
+
+    @given(x=st.floats(0.5, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_simplify_preserves_value(self, x):
+        e = 2.0 * var("x") + 0.0 * var("x") + (var("x") ** 1.0) - (-var("x"))
+        env = {"x": x}
+        assert simplify(e).evaluate(env) == pytest.approx(e.evaluate(env))
+
+
+class TestLinear:
+    def test_affine_detected(self):
+        e = 2 * var("x") - 3 * var("y") + 7
+        form = linear_coefficients(e)
+        assert form.coeffs == {"x": 2.0, "y": -3.0}
+        assert form.constant == 7.0
+
+    def test_duplicate_variable_merged(self):
+        form = linear_coefficients(var("x") + 2 * var("x"))
+        assert form.coeffs == {"x": 3.0}
+
+    def test_division_by_constant(self):
+        form = linear_coefficients(var("x") / 4)
+        assert form.coeffs == {"x": 0.25}
+
+    def test_product_of_variables_rejected(self):
+        with pytest.raises(ExpressionError):
+            linear_coefficients(var("x") * var("y"))
+
+    def test_variable_denominator_rejected(self):
+        assert not is_linear(1 / var("x"))
+
+    def test_power_rejected(self):
+        assert not is_linear(var("x") ** 2)
+
+    def test_pow_one_is_linear_after_simplify(self):
+        assert is_linear(var("x") ** 1.0)
+
+    def test_constant_expression(self):
+        form = linear_coefficients(const(2) * const(3))
+        assert form.coeffs == {} and form.constant == 6.0
+
+    def test_evaluate_matches_expr(self):
+        e = 5 * var("a") - var("b") / 2 + 1
+        form = linear_coefficients(e)
+        env = {"a": 3.0, "b": 4.0}
+        assert form.evaluate(env) == pytest.approx(e.evaluate(env))
+
+    def test_scaled_and_plus(self):
+        f1 = linear_coefficients(var("x") + 1)
+        f2 = linear_coefficients(2 * var("y"))
+        total = f1.scaled(2.0).plus(f2)
+        assert total.coeffs == {"x": 2.0, "y": 2.0}
+        assert total.constant == 2.0

@@ -1,0 +1,55 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import Const, substitute, var
+
+
+class TestSubstitute:
+    def test_replaces_named_variable(self):
+        e = var("x") + var("y")
+        out = substitute(e, {"x": 3.0})
+        assert out.variables() == frozenset({"y"})
+        assert out.evaluate({"y": 2.0}) == 5.0
+
+    def test_full_binding_folds_to_constant(self):
+        e = 2.0 * var("x") + var("y") ** 2.0
+        out = substitute(e, {"x": 3.0, "y": 4.0})
+        assert out == Const(22.0)
+
+    def test_missing_names_untouched(self):
+        e = var("x") / var("y")
+        out = substitute(e, {"z": 1.0})
+        assert out.variables() == frozenset({"x", "y"})
+
+    def test_expression_bindings(self):
+        e = var("x") + 1.0
+        out = substitute(e, {"x": var("a") * 2.0})
+        assert out.evaluate({"a": 5.0}) == 11.0
+
+    def test_division_and_power_structure(self):
+        e = 10.0 / var("n") + var("n") ** 1.5
+        out = substitute(e, {"n": 4.0})
+        assert out == Const(10.0 / 4.0 + 8.0)
+
+    def test_nested_partial(self):
+        e = (var("a") + var("b")) * (var("a") - var("c"))
+        out = substitute(e, {"b": 1.0, "c": 2.0})
+        assert out.variables() == frozenset({"a"})
+        assert out.evaluate({"a": 3.0}) == (3 + 1) * (3 - 2)
+
+    @given(
+        x=st.floats(0.5, 10.0),
+        y=st.floats(0.5, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_substitute_equals_evaluate(self, x, y):
+        e = 3.0 * var("x") + var("y") / var("x") + var("y") ** 1.2
+        full = substitute(e, {"x": x, "y": y})
+        assert isinstance(full, Const)
+        assert full.value == pytest.approx(e.evaluate({"x": x, "y": y}))
+
+    def test_original_tree_unmodified(self):
+        e = var("x") + 1.0
+        substitute(e, {"x": 9.0})
+        assert e.variables() == frozenset({"x"})

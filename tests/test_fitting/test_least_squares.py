@@ -1,0 +1,170 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FittingError
+from repro.fitting import FitOptions, PerfModel, fit_perf_model, r_squared, rmse, fit_diagnostics
+
+
+def sample_curve(model, nodes, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    y = model(np.asarray(nodes, float))
+    if noise:
+        y = y * rng.lognormal(0.0, noise, size=y.shape)
+    return y
+
+
+class TestQualityMetrics:
+    def test_perfect_fit_r2(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_prediction_r2_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_constant_observations(self):
+        y = np.full(3, 5.0)
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, y + 1.0) == 0.0
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            r_squared([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_diagnostics_bundle(self):
+        y = np.array([10.0, 5.0, 2.0])
+        p = np.array([11.0, 5.0, 2.0])
+        d = fit_diagnostics(y, p)
+        assert d.n_points == 3
+        assert d.max_abs_pct_error == pytest.approx(10.0)
+        assert 0.9 < d.r_squared <= 1.0
+
+
+class TestInputValidation:
+    def test_too_few_points(self):
+        with pytest.raises(FittingError, match="at least 3"):
+            fit_perf_model([1, 2], [3.0, 2.0])
+
+    def test_duplicate_nodes_insufficient(self):
+        with pytest.raises(FittingError, match="distinct"):
+            fit_perf_model([4, 4, 4, 4], [3.0, 3.1, 2.9, 3.0])
+
+    def test_nonpositive_nodes(self):
+        with pytest.raises(FittingError, match="positive"):
+            fit_perf_model([0, 1, 2], [3.0, 2.0, 1.0])
+
+    def test_negative_times(self):
+        with pytest.raises(FittingError):
+            fit_perf_model([1, 2, 4], [3.0, -2.0, 1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FittingError):
+            fit_perf_model([1, 2, 4], [3.0, 2.0])
+
+
+class TestRecovery:
+    def test_recovers_amdahl_curve_exactly(self):
+        truth = PerfModel(a=1000.0, d=10.0)
+        nodes = np.array([1, 4, 16, 64, 256], float)
+        res = fit_perf_model(nodes, truth(nodes))
+        assert res.r_squared > 0.9999
+        assert res.model.a == pytest.approx(1000.0, rel=1e-3)
+        assert res.model.d == pytest.approx(10.0, rel=1e-2)
+
+    def test_recovers_with_nonlinear_term(self):
+        truth = PerfModel(a=2000.0, b=0.02, c=1.3, d=5.0)
+        nodes = np.array([2, 8, 32, 128, 512, 2048], float)
+        res = fit_perf_model(nodes, truth(nodes))
+        assert res.r_squared > 0.999
+        # prediction quality matters more than parameter identity
+        probe = np.array([4.0, 64.0, 1024.0])
+        np.testing.assert_allclose(res.model(probe), truth(probe), rtol=0.05)
+
+    def test_three_points_freezes_b(self):
+        truth = PerfModel(a=500.0, d=20.0)
+        nodes = np.array([2, 16, 128], float)
+        res = fit_perf_model(nodes, truth(nodes))
+        assert res.model.b == 0.0
+        assert res.r_squared > 0.999
+
+    def test_noisy_fit_reasonable(self):
+        truth = PerfModel(a=3000.0, d=15.0)
+        nodes = np.array([4, 16, 64, 256, 1024], float)
+        y = sample_curve(truth, nodes, noise=0.03, seed=1)
+        res = fit_perf_model(nodes, y)
+        assert res.r_squared > 0.98
+        probe = np.array([32.0, 512.0])
+        np.testing.assert_allclose(res.model(probe), truth(probe), rtol=0.15)
+
+    def test_fit_is_deterministic_given_seed(self):
+        truth = PerfModel(a=800.0, b=0.01, c=1.2, d=8.0)
+        nodes = np.array([2, 8, 32, 128, 512], float)
+        y = sample_curve(truth, nodes, noise=0.02, seed=3)
+        r1 = fit_perf_model(nodes, y, FitOptions(seed=7))
+        r2 = fit_perf_model(nodes, y, FitOptions(seed=7))
+        assert r1.model == r2.model
+
+    def test_convex_c_bounds_respected(self):
+        truth = PerfModel(a=100.0, b=0.5, c=0.6, d=1.0)  # nonconvex truth
+        nodes = np.array([1, 2, 4, 8, 16, 32], float)
+        res = fit_perf_model(nodes, truth(nodes))
+        assert res.model.c >= 1.0
+        assert res.model.is_convex
+
+    def test_unconstrained_c_allowed(self):
+        truth = PerfModel(a=100.0, b=0.5, c=0.6, d=1.0)
+        nodes = np.array([1, 2, 4, 8, 16, 32, 128], float)
+        res = fit_perf_model(nodes, truth(nodes), FitOptions(c_bounds=(0.0, 3.0)))
+        assert res.sse <= 1e-6 or res.r_squared > 0.999
+
+    def test_local_optima_recorded(self):
+        truth = PerfModel(a=900.0, d=4.0)
+        nodes = np.array([1, 4, 16, 64, 256], float)
+        res = fit_perf_model(nodes, truth(nodes))
+        assert len(res.local_optima) == res.starts_tried >= 2
+
+    def test_relative_loss_handles_wide_dynamic_range(self):
+        """With multiplicative noise over 3 decades, the relative loss
+        recovers the serial floor far better than the absolute loss."""
+        truth = PerfModel(a=100_000.0, d=2.0)
+        nodes = np.array([2, 8, 32, 128, 512, 2048, 8192], float)
+        y = sample_curve(truth, nodes, noise=0.05, seed=5)
+        abs_fit = fit_perf_model(nodes, y, FitOptions(loss="absolute"))
+        rel_fit = fit_perf_model(nodes, y, FitOptions(loss="relative"))
+        abs_err = abs(abs_fit.model(50_000.0) - truth(50_000.0)) / truth(50_000.0)
+        rel_err = abs(rel_fit.model(50_000.0) - truth(50_000.0)) / truth(50_000.0)
+        # absolute loss all but ignores the small-time tail (err ~7x here);
+        # relative loss pins the serial floor to the right magnitude.
+        assert rel_err < 0.25 * abs_err
+        assert rel_err < 0.5
+        assert rel_fit.model.d == pytest.approx(truth.d, rel=1.0)
+
+    def test_relative_loss_matches_absolute_on_clean_data(self):
+        truth = PerfModel(a=900.0, d=7.0)
+        nodes = np.array([2, 8, 32, 128, 512], float)
+        rel = fit_perf_model(nodes, truth(nodes), FitOptions(loss="relative"))
+        probe = np.array([4.0, 64.0, 256.0])
+        np.testing.assert_allclose(rel.model(probe), truth(probe), rtol=0.02)
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(FittingError, match="unknown loss"):
+            fit_perf_model([1, 2, 4], [3.0, 2.0, 1.0], FitOptions(loss="huber"))
+
+    @given(
+        a=st.floats(50.0, 5000.0),
+        d=st.floats(0.5, 50.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_recovery_amdahl(self, a, d):
+        truth = PerfModel(a=a, d=d)
+        nodes = np.array([1, 4, 16, 64, 256, 1024], float)
+        res = fit_perf_model(nodes, truth(nodes))
+        probe = np.array([2.0, 32.0, 512.0])
+        np.testing.assert_allclose(res.model(probe), truth(probe), rtol=0.02)

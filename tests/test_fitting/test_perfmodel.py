@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.fitting import PerfModel
+
+
+class TestEvaluation:
+    def test_scalar_and_vector(self):
+        pm = PerfModel(a=100.0, b=0.01, c=1.2, d=5.0)
+        assert pm(10.0) == pytest.approx(100 / 10 + 0.01 * 10**1.2 + 5)
+        out = pm(np.array([1.0, 10.0]))
+        assert out.shape == (2,)
+
+    def test_parts_sum_to_total(self):
+        pm = PerfModel(a=80.0, b=0.02, c=1.5, d=3.0)
+        n = np.array([2.0, 8.0, 64.0])
+        total = pm.scalable_part(n) + pm.nonlinear_part(n) + pm.serial_part
+        np.testing.assert_allclose(total, pm(n))
+
+    def test_serial_floor_dominates_at_scale(self):
+        pm = PerfModel(a=1000.0, d=4.0)
+        assert pm(1e7) == pytest.approx(4.0, rel=1e-3)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            PerfModel(a=-1.0)
+        with pytest.raises(ValueError):
+            PerfModel(a=1.0, d=-0.1)
+
+    def test_derivative_matches_numeric(self):
+        pm = PerfModel(a=50.0, b=0.1, c=1.3, d=2.0)
+        n0, h = 12.0, 1e-6
+        numeric = (pm(n0 + h) - pm(n0 - h)) / (2 * h)
+        assert pm.derivative(n0) == pytest.approx(numeric, rel=1e-5)
+
+
+class TestStructure:
+    def test_convexity_flag(self):
+        assert PerfModel(a=1.0, b=0.0, c=0.5).is_convex  # b=0: c irrelevant
+        assert PerfModel(a=1.0, b=0.1, c=1.0).is_convex
+        assert not PerfModel(a=1.0, b=0.1, c=0.5).is_convex
+
+    def test_expr_matches_callable(self):
+        pm = PerfModel(a=120.0, b=0.05, c=1.4, d=7.0)
+        e = pm.expr("n")
+        for n in (1.0, 17.0, 300.0):
+            assert e.evaluate({"n": n}) == pytest.approx(pm(n))
+
+    def test_expr_omits_zero_b_term(self):
+        pm = PerfModel(a=10.0, d=1.0)
+        assert "**" not in repr(pm.expr("n"))
+
+    def test_expr_is_convex_certifiable(self):
+        from repro.expr import curvature
+
+        pm = PerfModel(a=120.0, b=0.05, c=1.4, d=7.0)
+        assert curvature(pm.expr("n")).is_convex()
+
+    def test_as_tuple(self):
+        assert PerfModel(1.0, 2.0, 1.5, 3.0).as_tuple() == (1.0, 2.0, 1.5, 3.0)
+
+
+class TestNodeQueries:
+    def test_min_nodes_for_time(self):
+        pm = PerfModel(a=100.0, d=2.0)  # T(n) = 100/n + 2
+        # T(n) <= 12 -> n >= 10
+        assert pm.min_nodes_for_time(12.0, 100) == 10
+        assert pm.min_nodes_for_time(1.0, 100) is None
+
+    def test_best_nodes_monotone_curve(self):
+        pm = PerfModel(a=100.0, d=2.0)
+        assert pm.best_nodes(64) == 64
+
+    def test_best_nodes_u_shaped_curve(self):
+        pm = PerfModel(a=100.0, b=1.0, c=1.0, d=0.0)  # min at n = 10
+        assert pm.best_nodes(100) == 10

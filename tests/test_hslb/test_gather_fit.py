@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.cesm import ComponentId, CoupledRunSimulator, make_case
+from repro.exceptions import ConfigurationError
+from repro.hslb import BenchmarkData, fit_components, gather_benchmarks
+from repro.hslb.fitstep import fit_quality_summary
+
+A, I = ComponentId.ATM, ComponentId.ICE
+
+
+class TestBenchmarkData:
+    def test_add_and_query(self):
+        d = BenchmarkData()
+        d.add(A, [8, 2, 4], [10.0, 40.0, 20.0])
+        np.testing.assert_array_equal(d.nodes(A), [2, 4, 8])  # sorted
+        np.testing.assert_array_equal(d.times(A), [40.0, 20.0, 10.0])
+        assert d.point_count(A) == 3
+
+    def test_accumulates_across_calls(self):
+        d = BenchmarkData()
+        d.add(A, [2, 4], [40.0, 20.0])
+        d.add(A, [8], [10.0])
+        assert d.point_count(A) == 3
+        assert d.components() == [A]
+
+    def test_length_mismatch(self):
+        d = BenchmarkData()
+        with pytest.raises(ConfigurationError):
+            d.add(A, [1, 2], [3.0])
+
+
+class TestGather:
+    def test_gathers_all_four_components(self):
+        sim = CoupledRunSimulator(make_case("1deg", 512, seed=3))
+        data = gather_benchmarks(sim, points=5)
+        assert len(data.components()) == 4
+        for comp in data.components():
+            assert data.point_count(comp) >= 4
+
+    def test_sweep_spans_floor_to_job(self):
+        case = make_case("1deg", 512, seed=3)
+        data = gather_benchmarks(CoupledRunSimulator(case), points=5)
+        nodes = data.nodes(A)
+        lo, hi = case.component_bounds(A)
+        assert nodes[0] == lo and nodes[-1] == hi
+
+    def test_too_few_points_rejected(self):
+        sim = CoupledRunSimulator(make_case("1deg", 512))
+        with pytest.raises(ConfigurationError, match="at least 3"):
+            gather_benchmarks(sim, points=2)
+
+    def test_deterministic(self):
+        case = make_case("1deg", 512, seed=11)
+        d1 = gather_benchmarks(CoupledRunSimulator(case))
+        d2 = gather_benchmarks(CoupledRunSimulator(case))
+        np.testing.assert_array_equal(d1.times(I), d2.times(I))
+
+
+class TestFitStep:
+    def test_fits_every_component(self):
+        sim = CoupledRunSimulator(make_case("1deg", 2048, seed=0))
+        fits = fit_components(gather_benchmarks(sim))
+        assert set(fits) == set(sim.case.optimized_components())
+        summary = fit_quality_summary(fits)
+        # The paper: R^2 very close to 1 for each component.
+        for comp, r2 in summary.items():
+            assert r2 > 0.95, f"{comp}: R^2 = {r2}"
+
+    def test_fitted_curves_predict_truth(self):
+        case = make_case("1deg", 2048, seed=0)
+        sim = CoupledRunSimulator(case)
+        fits = fit_components(gather_benchmarks(sim))
+        truth = case.truth(A).law
+        for n in (50, 500, 1500):
+            assert fits[A].model(n) == pytest.approx(truth(n), rel=0.10)

@@ -1,0 +1,206 @@
+import pytest
+
+from repro.cesm import ComponentId, Layout, make_case
+from repro.exceptions import ConfigurationError
+from repro.fitting import PerfModel
+from repro.hslb import ObjectiveKind, build_layout_model
+from repro.hslb.layout_models import VAR_NAMES, layout_model_for_case
+from repro.model import to_ampl
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+PERF = {
+    I: PerfModel(a=8000.0, d=18.0),
+    L: PerfModel(a=1465.0, d=2.6),
+    A: PerfModel(a=27000.0, d=45.0),
+    O: PerfModel(a=7900.0, b=0.02, c=1.0, d=36.0),
+}
+BOUNDS = {I: (8, 2048), L: (4, 2048), A: (8, 2048), O: (8, 2048)}
+
+
+def build(layout=Layout.HYBRID, objective=ObjectiveKind.MIN_MAX, N=128, **kw):
+    return build_layout_model(layout, N, PERF, BOUNDS, objective=objective, **kw)
+
+
+class TestLayout1Model:
+    def test_variables_and_rows(self):
+        m = build()
+        for name in VAR_NAMES.values():
+            assert name in m.variables
+        assert "T" in m.variables and "T_icelnd" in m.variables
+        names = set(m.constraints)
+        assert {"t_icelnd_geq_ice_l15", "t_icelnd_geq_lnd_l16",
+                "t_geq_icelnd_plus_atm_l17", "t_geq_ocn_l18",
+                "node_na_no_leq_N_l20", "node_ni_nl_leq_na_l21"} <= names
+
+    def test_convex_certified(self):
+        assert build().is_certified_convex()
+
+    def test_feasible_point_accepted(self):
+        m = build()
+        env = {
+            "n_ice": 80.0, "n_lnd": 24.0, "n_atm": 104.0, "n_ocn": 24.0,
+            "T_icelnd": 120.0, "T": 600.0,
+        }
+        assert m.check_point(env) == []
+
+    def test_violating_node_rule_rejected(self):
+        m = build()
+        env = {
+            "n_ice": 90.0, "n_lnd": 24.0, "n_atm": 104.0, "n_ocn": 24.0,
+            "T_icelnd": 130.0, "T": 600.0,
+        }
+        assert "node_ni_nl_leq_na_l21" in m.check_point(env)
+
+    def test_bounds_clipped_to_total(self):
+        m = build(N=64)
+        assert m.variables["n_atm"].ub == 64.0
+
+    def test_empty_box_raises(self):
+        bad = dict(BOUNDS)
+        bad[I] = (500, 2048)
+        with pytest.raises(ConfigurationError, match="empty node box"):
+            build_layout_model(Layout.HYBRID, 128, PERF, bad)
+
+    def test_missing_perf_raises(self):
+        with pytest.raises(ConfigurationError, match="missing performance"):
+            build_layout_model(Layout.HYBRID, 128, {A: PERF[A]}, BOUNDS)
+
+
+class TestAllowedSets:
+    def test_ocean_sos(self):
+        m = build(ocn_allowed=[16, 24, 48, 96])
+        assert "z_ocn" in m.sos1_sets
+
+    def test_ocean_values_filtered_to_box(self):
+        m = build(ocn_allowed=[2, 4, 16, 24, 28])  # 2, 4 below the floor of 8
+        assert len(m.sos1_sets["z_ocn"]) == 3
+
+    def test_ocean_empty_after_filter(self):
+        with pytest.raises(ConfigurationError, match="ocean"):
+            build(ocn_allowed=[2, 4])
+
+    def test_atm_explicit_values(self):
+        m = build(atm_allowed={"values": [16, 64, 100], "lo": 16, "hi": 100})
+        assert "z_atm" in m.sos1_sets
+
+    def test_atm_range_tightens_bounds(self):
+        m = build(atm_allowed={"values": None, "lo": 10, "hi": 120})
+        v = m.variables["n_atm"]
+        assert (v.lb, v.ub) == (10.0, 120.0)
+
+
+class TestOtherLayoutsAndObjectives:
+    def test_layout2_rows(self):
+        m = build(layout=Layout.SEQUENTIAL_SPLIT)
+        assert "t_geq_ice_lnd_atm_l22" in m.constraints
+        assert "node_lnd_leq_N_minus_no_l24" in m.constraints
+
+    def test_layout3_rows(self):
+        m = build(layout=Layout.FULLY_SEQUENTIAL)
+        assert "t_geq_all_l27" in m.constraints
+        # no coupling node rows beyond the boxes
+        assert not any(n.startswith("node_") for n in m.constraints)
+
+    def test_min_sum_objective_nonlinear(self):
+        m = build(objective=ObjectiveKind.MIN_SUM)
+        assert m.objective.name == "sum_time"
+        assert "T" not in m.variables
+        assert m.is_certified_convex()
+
+    def test_max_min_not_convex(self):
+        m = build(objective=ObjectiveKind.MAX_MIN)
+        assert not m.is_certified_convex()
+        assert not ObjectiveKind.MAX_MIN.bnb_solvable
+
+    def test_tsync_rows_present_and_nonconvex(self):
+        m = build(tsync=5.0)
+        assert "sync_lnd_geq_ice_l19a" in m.constraints
+        assert "sync_lnd_leq_ice_l19b" in m.constraints
+        assert not m.is_certified_convex()
+
+    def test_tsync_layout2_rejected(self):
+        with pytest.raises(ConfigurationError, match="layout 1"):
+            build(layout=Layout.SEQUENTIAL_SPLIT, tsync=5.0)
+
+    def test_objective_equation_numbers(self):
+        assert ObjectiveKind.MIN_MAX.paper_equation == 1
+        assert ObjectiveKind.MAX_MIN.paper_equation == 2
+        assert ObjectiveKind.MIN_SUM.paper_equation == 3
+
+
+class TestFineTuning:
+    FULL_PERF = dict(PERF)
+    FULL_PERF[ComponentId.RTM] = PerfModel(a=60.0, d=1.0)
+    FULL_PERF[ComponentId.CPL] = PerfModel(a=120.0, d=2.0)
+
+    def test_model_charges_riding_components(self):
+        m = build_layout_model(
+            Layout.HYBRID, 128, self.FULL_PERF, BOUNDS, fine_tuning=True
+        )
+        # objective is now T plus the CPL/RTM curves -> nonlinear
+        assert m.objective.name == "total_time"
+        env = {
+            "n_ice": 80.0, "n_lnd": 24.0, "n_atm": 104.0, "n_ocn": 24.0,
+            "T_icelnd": 120.0, "T": 600.0,
+        }
+        plain = build_layout_model(Layout.HYBRID, 128, self.FULL_PERF, BOUNDS)
+        extra = (
+            m.objective.expr.evaluate(env) - plain.objective.expr.evaluate(env)
+        )
+        expected = self.FULL_PERF[ComponentId.CPL](104) + self.FULL_PERF[
+            ComponentId.RTM
+        ](24)
+        assert extra == pytest.approx(expected)
+
+    def test_still_convex_certified(self):
+        m = build_layout_model(
+            Layout.HYBRID, 128, self.FULL_PERF, BOUNDS, fine_tuning=True
+        )
+        assert m.is_certified_convex()
+
+    def test_missing_riding_fits_rejected(self):
+        with pytest.raises(ConfigurationError, match="fine-tuning needs"):
+            build_layout_model(Layout.HYBRID, 128, PERF, BOUNDS, fine_tuning=True)
+
+    def test_layout2_rejected(self):
+        with pytest.raises(ConfigurationError, match="layout 1"):
+            build_layout_model(
+                Layout.SEQUENTIAL_SPLIT, 128, self.FULL_PERF, BOUNDS,
+                fine_tuning=True,
+            )
+
+    def test_oracle_method_rejected(self):
+        from repro.cesm import make_case
+        from repro.hslb import solve_allocation
+
+        case = make_case("1deg", 128)
+        with pytest.raises(ConfigurationError, match="oracle"):
+            solve_allocation(
+                case, self.FULL_PERF, method="oracle", fine_tuning=True
+            )
+
+
+class TestForCase:
+    def test_case_model_builds_and_exports(self):
+        case = make_case("1deg", 128)
+        model = layout_model_for_case(case, PERF)
+        text = to_ampl(model)
+        assert "n_atm" in text and "minimize total_time" in text
+
+    def test_case_model_has_ocean_set(self):
+        case = make_case("1deg", 2048)
+        model = layout_model_for_case(case, PERF)
+        assert "z_ocn" in model.sos1_sets
+
+    def test_unconstrained_ocean_uses_progression(self):
+        case = make_case("8th", 32768, unconstrained_ocean=True)
+        perf = {
+            I: PerfModel(a=1.9e6, d=110.0),
+            L: PerfModel(a=59000.0, d=23.0),
+            A: PerfModel(a=1.3e7, d=290.0),
+            O: PerfModel(a=8.1e6, d=424.0),
+        }
+        model = layout_model_for_case(case, perf)
+        assert model.sos1_sets == {}  # even range -> progression encoding
+        assert "z_ocn_idx" in model.variables

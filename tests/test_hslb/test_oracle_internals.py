@@ -1,0 +1,62 @@
+"""Property tests for the oracle's fast pair stage against the O(N^2) scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cesm import ComponentId, Layout
+from repro.fitting import PerfModel
+from repro.hslb import LayoutOracle
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+def make_oracle(ai, al, di, dl, N):
+    perf = {
+        I: PerfModel(a=ai, d=di),
+        L: PerfModel(a=al, d=dl),
+        A: PerfModel(a=1000.0, d=5.0),
+        O: PerfModel(a=1000.0, d=5.0),
+    }
+    bounds = {I: (1, N), L: (1, N), A: (2, N), O: (1, N)}
+    return LayoutOracle(Layout.HYBRID, N, perf, bounds)
+
+
+class TestPairStageEquivalence:
+    @given(
+        ai=st.floats(10.0, 2000.0),
+        al=st.floats(10.0, 2000.0),
+        di=st.floats(0.0, 10.0),
+        dl=st.floats(0.0, 10.0),
+        N=st.integers(6, 60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fast_pair_matches_scan(self, ai, al, di, dl, N):
+        """The O(N log N) bisection pair table must equal the O(N^2) scan
+        for every budget (no T_sync, min-max combine)."""
+        oracle = make_oracle(ai, al, di, dl, N)
+        cap = N - 1
+        fast, fast_choice = oracle._pair_minmax(cap)
+        scan, scan_choice = oracle._pair_scan(cap, "minmax", tsync=None)
+        np.testing.assert_allclose(fast, scan, rtol=1e-12)
+        # the realizing (ni, nl) must be feasible and achieve the value
+        for m in range(cap + 1):
+            if np.isfinite(fast[m]):
+                ni, nl = fast_choice[m]
+                assert ni + nl <= m
+                value = max(oracle.ice.at(int(ni)), oracle.lnd.at(int(nl)))
+                assert value == pytest.approx(fast[m], rel=1e-9)
+
+    def test_pair_table_monotone(self):
+        oracle = make_oracle(500.0, 300.0, 2.0, 1.0, 40)
+        pair, _ = oracle._pair_minmax(39)
+        finite = pair[np.isfinite(pair)]
+        assert np.all(np.diff(finite) <= 1e-12)
+
+    def test_tsync_scan_never_below_unconstrained(self):
+        oracle = make_oracle(500.0, 300.0, 2.0, 1.0, 30)
+        free, _ = oracle._pair_scan(29, "minmax", tsync=None)
+        banded, _ = oracle._pair_scan(29, "minmax", tsync=5.0)
+        mask = np.isfinite(banded)
+        assert np.all(banded[mask] >= free[mask] - 1e-12)

@@ -1,0 +1,239 @@
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cesm import ComponentId, Layout, make_case
+from repro.exceptions import ConfigurationError
+from repro.fitting import PerfModel
+from repro.hslb import LayoutOracle, ObjectiveKind, solve_allocation
+from repro.hslb.oracle import oracle_for_case
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+def small_perf(seed_vals=(900.0, 300.0, 4000.0, 1500.0)):
+    ai, al, aa, ao = seed_vals
+    return {
+        I: PerfModel(a=ai, d=3.0),
+        L: PerfModel(a=al, d=1.0),
+        A: PerfModel(a=aa, d=8.0),
+        O: PerfModel(a=ao, d=5.0),
+    }
+
+
+def brute_force_layout1(perf, bounds, N, objective=ObjectiveKind.MIN_MAX,
+                        tsync=None, ocn_allowed=None):
+    """Reference enumeration over every 4-tuple (small N only)."""
+    best_val = math.inf if objective is not ObjectiveKind.MAX_MIN else -math.inf
+    best = None
+    lo_i, hi_i = bounds[I]
+    lo_l, hi_l = bounds[L]
+    lo_a, hi_a = bounds[A]
+    lo_o, hi_o = bounds[O]
+    o_vals = ocn_allowed or range(lo_o, hi_o + 1)
+    for na in range(lo_a, min(hi_a, N) + 1):
+        for no in o_vals:
+            if not (lo_o <= no <= hi_o) or na + no > N:
+                continue
+            for ni in range(lo_i, min(hi_i, na) + 1):
+                for nl in range(lo_l, min(hi_l, na - ni) + 1):
+                    if objective is ObjectiveKind.MAX_MIN and (
+                        ni + nl != na or na + no != N
+                    ):
+                        continue
+                    ti, tl = perf[I](ni), perf[L](nl)
+                    ta, to = perf[A](na), perf[O](no)
+                    if tsync is not None and abs(tl - ti) > tsync:
+                        continue
+                    if objective is ObjectiveKind.MIN_MAX:
+                        val = max(max(ti, tl) + ta, to)
+                        better = val < best_val
+                    elif objective is ObjectiveKind.MIN_SUM:
+                        val = ti + tl + ta + to
+                        better = val < best_val
+                    else:
+                        val = min(ti, tl, ta, to)
+                        better = val > best_val
+                    if better:
+                        best_val, best = val, {I: ni, L: nl, A: na, O: no}
+    return best_val, best
+
+
+SMALL_BOUNDS = {I: (1, 20), L: (1, 20), A: (2, 20), O: (1, 20)}
+
+
+class TestOracleAgainstBruteForce:
+    def test_minmax_small(self):
+        perf = small_perf()
+        oracle = LayoutOracle(Layout.HYBRID, 20, perf, SMALL_BOUNDS)
+        res = oracle.solve()
+        ref_val, _ = brute_force_layout1(perf, SMALL_BOUNDS, 20)
+        assert res.objective_value == pytest.approx(ref_val)
+
+    def test_minmax_with_ocean_set(self):
+        perf = small_perf()
+        oracle = LayoutOracle(
+            Layout.HYBRID, 20, perf, SMALL_BOUNDS, ocn_allowed=[2, 6, 8]
+        )
+        res = oracle.solve()
+        ref_val, _ = brute_force_layout1(perf, SMALL_BOUNDS, 20, ocn_allowed=[2, 6, 8])
+        assert res.objective_value == pytest.approx(ref_val)
+        assert res.allocation[O] in (2, 6, 8)
+
+    def test_minsum_small(self):
+        perf = small_perf()
+        oracle = LayoutOracle(Layout.HYBRID, 16, perf, SMALL_BOUNDS)
+        res = oracle.solve(objective=ObjectiveKind.MIN_SUM)
+        ref_val, _ = brute_force_layout1(
+            perf, SMALL_BOUNDS, 16, ObjectiveKind.MIN_SUM
+        )
+        assert res.objective_value == pytest.approx(ref_val)
+
+    def test_maxmin_small(self):
+        perf = small_perf()
+        oracle = LayoutOracle(Layout.HYBRID, 16, perf, SMALL_BOUNDS)
+        res = oracle.solve(objective=ObjectiveKind.MAX_MIN)
+        ref_val, _ = brute_force_layout1(
+            perf, SMALL_BOUNDS, 16, ObjectiveKind.MAX_MIN
+        )
+        assert res.objective_value == pytest.approx(ref_val)
+
+    def test_tsync_small(self):
+        perf = small_perf()
+        oracle = LayoutOracle(Layout.HYBRID, 20, perf, SMALL_BOUNDS)
+        res = oracle.solve(tsync=30.0)
+        ref_val, _ = brute_force_layout1(perf, SMALL_BOUNDS, 20, tsync=30.0)
+        assert res.objective_value == pytest.approx(ref_val)
+
+    @given(
+        ai=st.floats(100.0, 2000.0),
+        aa=st.floats(500.0, 8000.0),
+        ao=st.floats(100.0, 4000.0),
+        N=st.integers(6, 24),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_minmax_property(self, ai, aa, ao, N):
+        perf = small_perf((ai, 300.0, aa, ao))
+        oracle = LayoutOracle(Layout.HYBRID, N, perf, SMALL_BOUNDS)
+        try:
+            res = oracle.solve()
+        except ConfigurationError:
+            ref_val, ref = brute_force_layout1(perf, SMALL_BOUNDS, N)
+            assert ref is None
+            return
+        ref_val, _ = brute_force_layout1(perf, SMALL_BOUNDS, N)
+        assert res.objective_value == pytest.approx(ref_val, rel=1e-9)
+
+
+class TestOracleLayouts23:
+    def test_layout2_matches_enumeration(self):
+        perf = small_perf()
+        oracle = LayoutOracle(Layout.SEQUENTIAL_SPLIT, 20, perf, SMALL_BOUNDS)
+        res = oracle.solve()
+        best = math.inf
+        for no in range(1, 20):
+            cap = 20 - no
+            if cap < 2:
+                continue
+            stage = (
+                min(perf[I](n) for n in range(1, cap + 1))
+                + min(perf[L](n) for n in range(1, cap + 1))
+                + min(perf[A](n) for n in range(2, cap + 1) if n >= 2)
+                if cap >= 2 else math.inf
+            )
+            best = min(best, max(stage, perf[O](no)))
+        assert res.objective_value == pytest.approx(best)
+
+    def test_layout3_independent_minima(self):
+        perf = small_perf()
+        oracle = LayoutOracle(Layout.FULLY_SEQUENTIAL, 20, perf, SMALL_BOUNDS)
+        res = oracle.solve()
+        expected = sum(
+            min(perf[c](n) for n in range(SMALL_BOUNDS[c][0], 21))
+            for c in (I, L, A, O)
+        )
+        assert res.objective_value == pytest.approx(expected)
+
+    def test_layouts_1_and_2_similar_at_scale(self):
+        """At the calibrated 1-degree scale layout 1 edges out layout 2
+        and both beat layout 3 (paper Fig. 4)."""
+        from repro.cesm import ground_truth
+
+        perf = {c: ground_truth("1deg")[c].law for c in (I, L, A, O)}
+        bounds = {I: (8, 2048), L: (4, 2048), A: (8, 2048), O: (8, 2048)}
+        totals = {
+            layout: LayoutOracle(layout, 512, perf, bounds).solve().makespan
+            for layout in Layout
+        }
+        assert totals[Layout.HYBRID] <= totals[Layout.SEQUENTIAL_SPLIT] * 1.02
+        assert totals[Layout.FULLY_SEQUENTIAL] > 1.3 * totals[Layout.HYBRID]
+
+    def test_maxmin_only_layout1(self):
+        perf = small_perf()
+        oracle = LayoutOracle(Layout.FULLY_SEQUENTIAL, 20, perf, SMALL_BOUNDS)
+        with pytest.raises(ConfigurationError):
+            oracle.solve(objective=ObjectiveKind.MAX_MIN)
+
+    def test_brute_force_gate(self):
+        perf = small_perf()
+        big = {c: (1, 20000) for c in (I, L, A, O)}
+        oracle = LayoutOracle(Layout.HYBRID, 20000, perf, big)
+        with pytest.raises(ConfigurationError, match="pair scan"):
+            oracle.solve(tsync=1.0)
+
+
+class TestSolveAllocationAgreement:
+    """The three decision engines must agree on real cases."""
+
+    def setup_fits(self, case):
+        from repro.cesm import CoupledRunSimulator
+        from repro.hslb import fit_components, gather_benchmarks
+
+        sim = CoupledRunSimulator(case)
+        return fit_components(gather_benchmarks(sim))
+
+    @pytest.mark.parametrize("nodes", [128, 512])
+    def test_lpnlp_matches_oracle_1deg(self, nodes):
+        case = make_case("1deg", nodes, seed=1)
+        fits = self.setup_fits(case)
+        a = solve_allocation(case, fits, method="lpnlp")
+        b = solve_allocation(case, fits, method="oracle")
+        assert a.objective_value == pytest.approx(b.objective_value, rel=1e-4)
+
+    def test_bnb_matches_oracle(self):
+        case = make_case("1deg", 128, seed=2)
+        fits = self.setup_fits(case)
+        a = solve_allocation(case, fits, method="bnb")
+        b = solve_allocation(case, fits, method="oracle")
+        assert a.objective_value == pytest.approx(b.objective_value, rel=1e-3)
+
+    def test_8th_constrained_agreement(self):
+        case = make_case("8th", 8192, seed=0)
+        fits = self.setup_fits(case)
+        a = solve_allocation(case, fits, method="lpnlp")
+        b = solve_allocation(case, fits, method="oracle")
+        assert a.objective_value == pytest.approx(b.objective_value, rel=1e-4)
+        assert a.allocation[O] == b.allocation[O]
+
+    def test_nonconvex_variants_rejected_by_bnb(self):
+        case = make_case("1deg", 128, seed=0)
+        fits = self.setup_fits(case)
+        with pytest.raises(ConfigurationError, match="oracle"):
+            solve_allocation(case, fits, objective=ObjectiveKind.MAX_MIN)
+        with pytest.raises(ConfigurationError, match="oracle"):
+            solve_allocation(case, fits, tsync=5.0)
+
+    def test_unknown_method(self):
+        case = make_case("1deg", 128)
+        with pytest.raises(ConfigurationError, match="unknown solve method"):
+            solve_allocation(case, small_perf(), method="magic")
+
+    def test_oracle_for_case_runs(self):
+        case = make_case("1deg", 128, seed=0)
+        fits = self.setup_fits(case)
+        res = oracle_for_case(case, fits).solve()
+        assert res.nodes_used() <= 2 * case.total_nodes  # ice/lnd share atm nodes
+        assert res.makespan > 0

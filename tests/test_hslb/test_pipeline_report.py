@@ -1,0 +1,83 @@
+import pytest
+
+from repro.cesm import ComponentId, CoupledRunSimulator, make_case
+from repro.cesm.layouts import validate_allocation
+from repro.hslb import HSLBPipeline, format_table3_block
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+class TestPipeline:
+    def test_run_produces_consistent_result(self):
+        case = make_case("1deg", 128, seed=0)
+        result = HSLBPipeline(case).run()
+        validate_allocation(case.layout, result.allocation, 128)
+        assert result.predicted_total > 0
+        assert result.actual_total > 0
+        assert result.prediction_error() < 0.15
+        assert set(result.fits) == set(case.optimized_components())
+
+    def test_steps_compose_like_run(self):
+        case = make_case("1deg", 128, seed=5)
+        p1, p2 = HSLBPipeline(case), HSLBPipeline(case)
+        whole = p1.run()
+        data = p2.gather()
+        outcome = p2.solve(p2.fit(data))
+        assert outcome.allocation == whole.allocation
+
+    def test_seed_override_changes_case(self):
+        case = make_case("1deg", 128, seed=0)
+        p = HSLBPipeline(case, seed=99)
+        assert p.case.seed == 99
+        assert p.case.total_nodes == 128
+
+    def test_predicted_tracks_solver_objective(self):
+        case = make_case("1deg", 512, seed=1)
+        result = HSLBPipeline(case).run()
+        assert result.predicted_total == pytest.approx(
+            result.solve.objective_value, rel=1e-3
+        )
+
+    def test_oracle_method_pipeline(self):
+        case = make_case("1deg", 128, seed=0)
+        res_oracle = HSLBPipeline(case, method="oracle").run()
+        res_lpnlp = HSLBPipeline(case, method="lpnlp").run()
+        assert res_oracle.predicted_total == pytest.approx(
+            res_lpnlp.predicted_total, rel=1e-4
+        )
+
+    def test_paper_shape_1deg_128(self):
+        """The headline sanity check: our HSLB at the paper's configuration
+        lands near the paper's totals (410.6 predicted / 425.2 actual)."""
+        result = HSLBPipeline(make_case("1deg", 128, seed=0)).run()
+        assert result.predicted_total == pytest.approx(410.6, rel=0.05)
+        assert result.actual_total == pytest.approx(425.2, rel=0.05)
+
+    def test_report_contains_all_components(self):
+        result = HSLBPipeline(make_case("1deg", 128, seed=0)).run()
+        text = result.report()
+        for comp in ("lnd", "ice", "atm", "ocn"):
+            assert comp in text
+        assert "Total time, sec" in text
+        assert "128 nodes" in text
+
+
+class TestFormatTable3Block:
+    def test_with_manual_columns(self):
+        nodes = {L: 24, I: 80, A: 104, O: 24}
+        times = {L: 63.7, I: 109.0, A: 306.9, O: 362.6}
+        text = format_table3_block(
+            "demo", nodes, times, nodes, times, times,
+            manual_total=416.0, predicted_total=410.0, actual_total=425.0,
+        )
+        assert "manual # nodes" in text
+        assert "416.000" in text and "425.000" in text
+
+    def test_without_manual_columns(self):
+        nodes = {L: 24, I: 80, A: 104, O: 24}
+        times = {L: 63.7, I: 109.0, A: 306.9, O: 362.6}
+        text = format_table3_block(
+            "demo", None, None, nodes, times, None, predicted_total=410.0
+        )
+        assert "manual" not in text
+        assert "HSLB predicted" in text

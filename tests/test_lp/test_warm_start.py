@@ -1,0 +1,177 @@
+"""Warm-start / dual-simplex tests.
+
+The branch-and-bound workflow this supports: solve a node LP, tighten one
+variable bound (branching) or append rows (outer-approximation cuts), and
+re-solve from the previous basis.  Every warm solve is cross-checked against
+a cold solve of the same problem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import LinearProgram, LPStatus, RowSense, solve_lp
+
+
+def base_lp(seed=0, n=6, m=4):
+    rng = np.random.default_rng(seed)
+    c = rng.uniform(-2.0, 2.0, n)
+    lp = LinearProgram(c, np.zeros(n), np.full(n, 10.0))
+    for _ in range(m):
+        row = rng.uniform(0.0, 1.0, n)
+        lp.add_row(row, RowSense.LE, float(row.sum()) * 4.0)
+    return lp
+
+
+class TestWarmStartBasics:
+    def test_warm_info_exported(self):
+        res = solve_lp(base_lp())
+        assert res.is_optimal
+        assert res.warm is not None
+        assert res.warm.basis.shape == (4,)
+
+    def test_resolve_same_problem_zero_pivots(self):
+        lp = base_lp()
+        cold = solve_lp(lp)
+        warm = solve_lp(lp.copy(), warm=cold.warm)
+        assert warm.is_optimal
+        assert warm.objective == pytest.approx(cold.objective)
+        assert warm.iterations <= 2  # nothing to repair
+
+    def test_bound_tightening_dual_repair(self):
+        lp = base_lp()
+        cold = solve_lp(lp)
+        # branch: force the largest structural variable below its value
+        j = int(np.argmax(cold.x))
+        child = lp.copy()
+        child.ub[j] = max(cold.x[j] / 2.0, 0.5)
+        warm = solve_lp(child, warm=cold.warm)
+        ref = solve_lp(child)
+        assert warm.is_optimal
+        assert warm.objective == pytest.approx(ref.objective, rel=1e-8, abs=1e-8)
+
+    def test_appended_cut_row(self):
+        lp = base_lp()
+        cold = solve_lp(lp)
+        child = lp.copy()
+        # a cut violated at the current optimum
+        row = np.ones(child.num_vars)
+        child.add_row(row, RowSense.LE, float(row @ cold.x) - 1.0)
+        warm = solve_lp(child, warm=cold.warm)
+        ref = solve_lp(child)
+        assert warm.is_optimal
+        assert warm.objective == pytest.approx(ref.objective, rel=1e-8, abs=1e-8)
+        assert warm.dual_iterations >= 1  # the cut actually required repair
+
+    def test_infeasible_after_tightening(self):
+        lp = base_lp()
+        cold = solve_lp(lp)
+        child = lp.copy()
+        # an impossible cut: sum of nonnegative vars <= -1
+        child.add_row(np.ones(child.num_vars), RowSense.LE, -1.0)
+        warm = solve_lp(child, warm=cold.warm)
+        assert warm.status is LPStatus.INFEASIBLE
+
+    def test_stale_warm_falls_back(self):
+        lp = base_lp()
+        cold = solve_lp(lp)
+        other = base_lp(seed=99)  # unrelated problem, same shape
+        res = solve_lp(other, warm=cold.warm)
+        ref = solve_lp(other)
+        assert res.is_optimal
+        assert res.objective == pytest.approx(ref.objective, rel=1e-8)
+
+    def test_mismatched_shapes_ignored(self):
+        lp = base_lp()
+        cold = solve_lp(lp)
+        small = LinearProgram(np.ones(2), np.zeros(2), np.ones(2))
+        small.add_row(np.ones(2), RowSense.LE, 1.0)
+        res = solve_lp(small, warm=cold.warm)  # warm silently unusable
+        assert res.is_optimal
+
+
+def mixed_lp(seed=0, n=6):
+    """An LP with all three row senses."""
+    rng = np.random.default_rng(seed)
+    c = rng.uniform(-2.0, 2.0, n)
+    lp = LinearProgram(c, np.zeros(n), np.full(n, 10.0))
+    row = rng.uniform(0.2, 1.0, n)
+    lp.add_row(row, RowSense.LE, float(row.sum()) * 5.0)
+    row = rng.uniform(0.2, 1.0, n)
+    lp.add_row(row, RowSense.GE, float(row.sum()) * 1.0)
+    row = rng.uniform(0.2, 1.0, n)
+    lp.add_row(row, RowSense.EQ, float(row.sum()) * 3.0)
+    return lp
+
+
+class TestWarmStartMixedSenses:
+    def test_resolve_after_tightening_with_ge_eq_rows(self):
+        lp = mixed_lp()
+        cold = solve_lp(lp)
+        assert cold.is_optimal
+        if cold.warm is None:
+            pytest.skip("degenerate basis kept an artificial")
+        child = lp.copy()
+        j = int(np.argmax(cold.x))
+        child.ub[j] = max(cold.x[j] * 0.6, 0.1)
+        warm = solve_lp(child, warm=cold.warm)
+        ref = solve_lp(child)
+        assert warm.status == ref.status
+        if ref.is_optimal:
+            assert warm.objective == pytest.approx(ref.objective, rel=1e-7, abs=1e-7)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_many_seeds_cut_and_tighten(self, seed):
+        lp = mixed_lp(seed=seed)
+        cold = solve_lp(lp)
+        if not cold.is_optimal or cold.warm is None:
+            pytest.skip("cold solve not warm-startable")
+        child = lp.copy()
+        row = np.ones(child.num_vars)
+        child.add_row(row, RowSense.LE, float(row @ cold.x) - 0.5)
+        child.lb[seed % child.num_vars] = min(
+            child.lb[seed % child.num_vars] + 0.3,
+            child.ub[seed % child.num_vars],
+        )
+        warm = solve_lp(child, warm=cold.warm)
+        ref = solve_lp(child)
+        assert warm.status == ref.status
+        if ref.is_optimal:
+            assert warm.objective == pytest.approx(ref.objective, rel=1e-6, abs=1e-6)
+
+
+@st.composite
+def perturbation(draw):
+    seed = draw(st.integers(0, 50))
+    tighten_var = draw(st.integers(0, 5))
+    new_ub = draw(st.floats(0.0, 9.0))
+    add_cut = draw(st.booleans())
+    cut_margin = draw(st.floats(0.1, 3.0))
+    return seed, tighten_var, new_ub, add_cut, cut_margin
+
+
+class TestWarmEqualsColdProperty:
+    @given(p=perturbation())
+    @settings(max_examples=60, deadline=None)
+    def test_warm_matches_cold(self, p):
+        seed, j, new_ub, add_cut, margin = p
+        lp = base_lp(seed=seed)
+        cold = solve_lp(lp)
+        assert cold.is_optimal
+        if cold.warm is None:
+            return
+        child = lp.copy()
+        child.ub[j] = new_ub
+        if add_cut:
+            row = np.ones(child.num_vars)
+            child.add_row(row, RowSense.LE, float(row @ cold.x) - margin)
+        warm_res = solve_lp(child, warm=cold.warm)
+        ref = solve_lp(child)
+        assert warm_res.status == ref.status
+        if ref.is_optimal:
+            assert warm_res.objective == pytest.approx(
+                ref.objective, rel=1e-7, abs=1e-7
+            )
+            # warm solution must satisfy the child's rows
+            A, b = child.matrices()
+            assert np.all(A @ warm_res.x <= b + 1e-6)

@@ -1,0 +1,36 @@
+import pytest
+
+from repro.machine import INTREPID, Machine
+
+
+class TestMachine:
+    def test_intrepid_preset(self):
+        assert INTREPID.nodes == 40_960
+        assert INTREPID.cores == 163_840
+        assert INTREPID.mpi_tasks_per_node == 1
+        assert INTREPID.threads_per_task == 4
+
+    def test_cores_for(self):
+        assert INTREPID.cores_for(128) == 512
+
+    def test_cores_for_out_of_range(self):
+        with pytest.raises(ValueError):
+            INTREPID.cores_for(0)
+        with pytest.raises(ValueError):
+            INTREPID.cores_for(40_961)
+
+    def test_partition(self):
+        part = INTREPID.partition(2048)
+        assert part.nodes == 2048
+        assert part.cores_per_node == 4
+        assert "intrepid" in part.name
+
+    def test_partition_too_big(self):
+        with pytest.raises(ValueError):
+            INTREPID.partition(100_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Machine("m", nodes=0)
+        with pytest.raises(TypeError):
+            Machine("m", nodes=1.5)

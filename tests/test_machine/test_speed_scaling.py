@@ -1,0 +1,87 @@
+"""New-hardware prediction: machine speed factors end to end."""
+
+import pytest
+
+from repro.cesm import CESMCase, ComponentId, CoupledRunSimulator, Layout, make_case
+from repro.fitting import PerfModel
+from repro.machine import INTREPID, Machine
+
+A = ComponentId.ATM
+
+
+class TestMachineSpeed:
+    def test_default_speed_is_one(self):
+        assert INTREPID.relative_speed == 1.0
+
+    def test_scaled_machine(self):
+        fast = INTREPID.scaled(2.0)
+        assert fast.relative_speed == 2.0
+        assert fast.nodes == INTREPID.nodes
+        assert "x2" in fast.name
+
+    def test_scaling_composes(self):
+        assert INTREPID.scaled(2.0).scaled(3.0).relative_speed == 6.0
+
+    def test_partition_preserves_speed(self):
+        assert INTREPID.scaled(2.0).partition(128).relative_speed == 2.0
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            INTREPID.scaled(0.0)
+        with pytest.raises(ValueError):
+            Machine("m", nodes=4, relative_speed=-1.0)
+
+
+class TestSimulatorOnFasterMachine:
+    def make_sims(self, speed):
+        base = make_case("1deg", 512, seed=3)
+        fast_case = CESMCase(
+            resolution="1deg",
+            total_nodes=512,
+            layout=Layout.HYBRID,
+            machine=INTREPID.scaled(speed),
+            seed=3,
+        )
+        return CoupledRunSimulator(base), CoupledRunSimulator(fast_case)
+
+    def test_benchmarks_scale_inversely(self):
+        slow, fast = self.make_sims(2.0)
+        for n in (16, 64, 256):
+            assert fast.benchmark(A, n) == pytest.approx(
+                slow.benchmark(A, n) / 2.0
+            )
+
+    def test_coupled_run_scales(self):
+        slow, fast = self.make_sims(4.0)
+        alloc = {"lnd": 24, "ice": 80, "atm": 104, "ocn": 24}
+        assert fast.run_coupled(alloc).total == pytest.approx(
+            slow.run_coupled(alloc).total / 4.0
+        )
+
+    def test_hslb_retunes_consistently(self):
+        """On a uniformly faster machine HSLB finds the same allocation
+        shape (speed cancels out of a min-max ratio problem)."""
+        from repro.hslb import HSLBPipeline
+
+        slow, fast = self.make_sims(2.0)
+        res_slow = HSLBPipeline(slow.case).run()
+        res_fast = HSLBPipeline(fast.case).run()
+        assert res_fast.allocation == res_slow.allocation
+        assert res_fast.actual_total == pytest.approx(
+            res_slow.actual_total / 2.0, rel=1e-6
+        )
+
+
+class TestPerfModelScaled:
+    def test_scaled_curve_divides_times(self):
+        pm = PerfModel(a=100.0, b=0.1, c=1.3, d=5.0)
+        fast = pm.scaled(2.0)
+        for n in (1.0, 16.0, 500.0):
+            assert fast(n) == pytest.approx(pm(n) / 2.0)
+
+    def test_exponent_preserved(self):
+        assert PerfModel(a=10.0, b=1.0, c=1.7).scaled(3.0).c == 1.7
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            PerfModel(a=1.0).scaled(0.0)

@@ -1,0 +1,235 @@
+"""Unit tests for MINLP building blocks: relaxation, NLP building, branching."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.expr import var
+from repro.lp import LPStatus, solve_lp
+from repro.lp.problem import RowSense
+from repro.expr.linearize import TangentCut
+from repro.expr.linear import LinearForm
+from repro.model import Model, Objective, Sense, VarType
+from repro.minlp.branching import (
+    branch_integer,
+    most_fractional_integer,
+    split_sos,
+    violated_sos_sets,
+)
+from repro.minlp.node import Node, NodeQueue
+from repro.minlp.nlpbuild import build_nlp
+from repro.minlp.options import NodeSelection
+from repro.minlp.relax import MasterLP, _EmptyBox, bounds_with, integer_env
+
+
+def layoutish_model():
+    """min T s.t. T >= 50/n + 2, n integer in [1, 20], n <= 10."""
+    m = Model("toy")
+    T = m.add_variable("T", lb=0.0, ub=1000.0)
+    n = m.add_variable("n", VarType.INTEGER, 1, 20)
+    m.add_constraint("curve", 50.0 / n.ref() + 2.0 - T.ref(), Sense.LE, 0.0)
+    m.add_constraint("cap", n.ref(), Sense.LE, 10.0)
+    m.set_objective(Objective("obj", T.ref()))
+    return m
+
+
+class TestMasterLP:
+    def test_linear_rows_only(self):
+        m = layoutish_model()
+        master = MasterLP(m, LinearForm({"T": 1.0}, 0.0))
+        assert master.base.num_rows == 1  # only "cap"; "curve" is nonlinear
+
+    def test_cut_appends_row(self):
+        m = layoutish_model()
+        master = MasterLP(m, LinearForm({"T": 1.0}, 0.0))
+        added = master.add_cut(TangentCut({"T": -1.0, "n": -0.5}, rhs=-7.0))
+        assert added and master.base.num_rows == 2
+
+    def test_duplicate_cut_rejected(self):
+        m = layoutish_model()
+        master = MasterLP(m, LinearForm({"T": 1.0}, 0.0))
+        cut = TangentCut({"T": -1.0}, rhs=-7.0)
+        assert master.add_cut(cut)
+        assert not master.add_cut(TangentCut({"T": -1.0}, rhs=-7.0))
+        assert master.num_cuts == 1
+
+    def test_node_bounds_apply(self):
+        m = layoutish_model()
+        master = MasterLP(m, LinearForm({"T": 1.0}, 0.0))
+        lp = master.lp_for_node({"n": (5.0, 8.0)})
+        j = master.index["n"]
+        assert (lp.lb[j], lp.ub[j]) == (5.0, 8.0)
+        # base unchanged
+        assert master.base.lb[j] == 1.0
+
+    def test_empty_box_raises(self):
+        m = layoutish_model()
+        master = MasterLP(m, LinearForm({"T": 1.0}, 0.0))
+        with pytest.raises(_EmptyBox):
+            master.lp_for_node({"n": (9.0, 3.0)})
+
+    def test_lp_solvable(self):
+        m = layoutish_model()
+        master = MasterLP(m, LinearForm({"T": 1.0}, 0.0))
+        res = solve_lp(master.lp_for_node({}))
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(0.0)  # no cuts yet: T free at lb
+
+
+class TestHelpers:
+    def test_integer_env_rounds(self):
+        m = layoutish_model()
+        env = {"T": 4.2, "n": 5.0000001}
+        out = integer_env(m, env, 1e-5)
+        assert out["n"] == 5.0 and out["T"] == 4.2
+
+    def test_integer_env_fractional_none(self):
+        m = layoutish_model()
+        assert integer_env(m, {"T": 4.2, "n": 5.4}, 1e-5) is None
+
+    def test_bounds_with_narrows(self):
+        b = bounds_with({}, "x", lo=2.0)
+        b = bounds_with(b, "x", hi=5.0)
+        assert b["x"] == (2.0, 5.0)
+        b = bounds_with(b, "x", lo=1.0)  # looser lo ignored
+        assert b["x"] == (2.0, 5.0)
+
+
+class TestNodeQueue:
+    def test_best_bound_order(self):
+        q = NodeQueue(NodeSelection.BEST_BOUND)
+        q.push(Node(bound=5.0))
+        q.push(Node(bound=1.0))
+        q.push(Node(bound=3.0))
+        assert q.pop().bound == 1.0
+        assert q.best_open_bound() == 3.0
+
+    def test_depth_first_order(self):
+        q = NodeQueue(NodeSelection.DEPTH_FIRST)
+        q.push(Node(depth=1))
+        q.push(Node(depth=3))
+        q.push(Node(depth=2))
+        assert q.pop().depth == 3
+
+    def test_empty_bound_inf(self):
+        q = NodeQueue(NodeSelection.BEST_BOUND)
+        assert q.best_open_bound() == math.inf
+
+
+class TestBranching:
+    def test_most_fractional(self):
+        m = Model()
+        m.add_variable("a", VarType.INTEGER, 0, 10)
+        m.add_variable("b", VarType.INTEGER, 0, 10)
+        m.add_variable("x", lb=0, ub=1)
+        env = {"a": 3.1, "b": 5.5, "x": 0.7}
+        assert most_fractional_integer(m, env, 1e-6) == "b"
+
+    def test_all_integral_none(self):
+        m = Model()
+        m.add_variable("a", VarType.INTEGER, 0, 10)
+        assert most_fractional_integer(m, {"a": 3.0}, 1e-6) is None
+
+    def test_branch_integer_bounds(self):
+        left, right = branch_integer("a", 3.4, {})
+        assert left["a"][1] == 3.0
+        assert right["a"][0] == 4.0
+
+    def test_violated_sos_detection(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100)
+        m.add_allowed_values(n, [2, 4, 8], prefix="z")
+        env = {"n": 3.0, "z_0": 0.5, "z_1": 0.5, "z_2": 0.0}
+        viol = violated_sos_sets(m, env, 1e-6)
+        assert len(viol) == 1
+        clean = {"n": 4.0, "z_0": 0.0, "z_1": 1.0, "z_2": 0.0}
+        assert violated_sos_sets(m, clean, 1e-6) == []
+
+    def test_split_sos_partitions_members(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100)
+        sos = m.add_allowed_values(n, [2, 4, 8, 16], prefix="z")
+        env = {"n": 5.0, "z_0": 0.0, "z_1": 0.75, "z_2": 0.0, "z_3": 0.25}
+        # centroid = 0.75*4 + 0.25*16 = 7 -> split after weight 4.
+        left, right = split_sos(sos, env, {})
+        assert left["z_2"] == (0.0, 0.0) and left["z_3"] == (0.0, 0.0)
+        assert right["z_0"] == (0.0, 0.0) and right["z_1"] == (0.0, 0.0)
+        # target hull bounds tightened on each side
+        assert left["n"] == (2.0, 4.0)
+        assert right["n"] == (8.0, 16.0)
+
+    def test_split_sos_extreme_centroid_keeps_both_sides(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100)
+        sos = m.add_allowed_values(n, [2, 4, 8], prefix="z")
+        env = {"n": 8.0, "z_0": 0.0, "z_1": 0.0, "z_2": 1.0}
+        left, right = split_sos(sos, env, {})
+        # even with centroid at the top, the right side keeps a member
+        assert any(v == (0.0, 0.0) for v in left.values())
+        assert right["n"][0] <= 8.0 <= right["n"][1]
+
+
+class TestBuildNLP:
+    def test_no_fixings_keeps_all_vars(self):
+        m = layoutish_model()
+        built = build_nlp(m, var("T"), fixings={})
+        assert built.problem is not None
+        assert set(built.problem.names) == {"T", "n"}
+
+    def test_fixing_integer_removes_it(self):
+        m = layoutish_model()
+        built = build_nlp(m, var("T"), fixings={"n": 5.0})
+        assert built.problem.names == ["T"]
+        # curve became 50/5 + 2 - T <= 0 i.e. T >= 12
+        assert len(built.problem.inequalities) == 1
+
+    def test_fixing_outside_bounds_infeasible(self):
+        m = layoutish_model()
+        built = build_nlp(m, var("T"), fixings={"n": 50.0})
+        assert built.infeasible_reason is not None
+
+    def test_constant_violation_detected(self):
+        m = layoutish_model()
+        built = build_nlp(m, var("T"), fixings={"n": 15.0})  # violates cap <= 10
+        assert built.infeasible_reason is not None
+        assert "cap" in built.infeasible_reason
+
+    def test_singleton_equality_elimination(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 2, 16)
+        T = m.add_variable("T", lb=0.0, ub=100.0)
+        m.add_allowed_values(n, [2, 4, 8], prefix="z")
+        m.add_constraint("curve", 8.0 / n.ref() - T.ref(), Sense.LE, 0.0)
+        m.set_objective(Objective("obj", T.ref()))
+        # Fix the binaries: link row pins n = 4, which must be presolved out.
+        built = build_nlp(m, T.ref(), fixings={"z_0": 0.0, "z_1": 1.0, "z_2": 0.0})
+        assert built.problem is not None
+        assert built.problem.names == ["T"]
+        assert built.fixed["n"] == pytest.approx(4.0)
+
+    def test_fully_fixed_evaluates_objective(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 10)
+        m.add_constraint("cap", n.ref(), Sense.LE, 8.0)
+        m.set_objective(Objective("obj", 2.0 * n.ref()))
+        built = build_nlp(m, 2.0 * n.ref(), fixings={"n": 3.0})
+        assert built.fully_fixed
+        assert built.objective_value == pytest.approx(6.0)
+
+    def test_bounds_overrides_collapse_to_fixing(self):
+        m = layoutish_model()
+        built = build_nlp(m, var("T"), fixings={}, bounds={"n": (7.0, 7.0)})
+        assert built.problem.names == ["T"]
+        assert built.fixed["n"] == pytest.approx(7.0)
+
+    def test_ge_row_negated(self):
+        m = Model()
+        x = m.add_variable("x", lb=0.1, ub=10.0)
+        m.add_constraint("floor", x.ref() * x.ref(), Sense.GE, 4.0)
+        m.set_objective(Objective("obj", x.ref()))
+        built = build_nlp(m, x.ref(), fixings={})
+        (name, body), = built.problem.inequalities
+        # body <= 0 must mean x^2 >= 4: violated at x=1, satisfied at x=3.
+        assert float(body.evaluate({"x": 1.0})) > 0
+        assert float(body.evaluate({"x": 3.0})) < 0

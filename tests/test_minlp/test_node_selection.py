@@ -1,0 +1,76 @@
+"""Node-selection strategies and limit statuses across both solvers."""
+
+import pytest
+
+from repro.model import Model, Objective, ObjSense, Sense, VarType
+from repro.minlp import (
+    MINLPOptions,
+    MINLPStatus,
+    NodeSelection,
+    solve_lpnlp,
+    solve_nlp_bnb,
+)
+
+
+def branching_heavy_model(n_vars=6):
+    """A MILP whose LP relaxation is fractional at most nodes."""
+    m = Model("heavy")
+    xs = [m.add_variable(f"x{j}", VarType.INTEGER, 0, 3) for j in range(n_vars)]
+    weights = [3, 5, 7, 11, 13, 17][:n_vars]
+    lhs = weights[0] * xs[0].ref()
+    for x, w in zip(xs[1:], weights[1:]):
+        lhs = lhs + w * x.ref()
+    m.add_constraint("cap", lhs, Sense.LE, float(sum(weights)))
+    obj = (weights[0] + 0.5) * xs[0].ref()
+    for j, x in enumerate(xs[1:], start=1):
+        obj = obj + (weights[j] + 0.5) * x.ref()
+    m.set_objective(Objective("profit", obj, ObjSense.MAXIMIZE))
+    return m
+
+
+class TestNodeSelection:
+    @pytest.mark.parametrize("selection", list(NodeSelection))
+    def test_lpnlp_same_optimum_any_selection(self, selection):
+        res = solve_lpnlp(
+            branching_heavy_model(), MINLPOptions(node_selection=selection)
+        )
+        assert res.is_optimal
+        ref = solve_lpnlp(branching_heavy_model())
+        assert res.objective == pytest.approx(ref.objective, abs=1e-6)
+
+    @pytest.mark.parametrize("selection", list(NodeSelection))
+    def test_bnb_same_optimum_any_selection(self, selection):
+        res = solve_nlp_bnb(
+            branching_heavy_model(4), MINLPOptions(node_selection=selection)
+        )
+        assert res.is_optimal
+        ref = solve_nlp_bnb(branching_heavy_model(4))
+        assert res.objective == pytest.approx(ref.objective, abs=1e-4)
+
+
+class TestLimitStatuses:
+    def test_bnb_node_limit(self):
+        res = solve_nlp_bnb(branching_heavy_model(), MINLPOptions(max_nodes=0))
+        assert res.status is MINLPStatus.NODE_LIMIT
+
+    def test_lpnlp_time_limit(self):
+        res = solve_lpnlp(
+            branching_heavy_model(), MINLPOptions(time_limit=0.0)
+        )
+        assert res.status is MINLPStatus.TIME_LIMIT
+
+    def test_bnb_time_limit(self):
+        res = solve_nlp_bnb(
+            branching_heavy_model(4), MINLPOptions(time_limit=0.0)
+        )
+        assert res.status is MINLPStatus.TIME_LIMIT
+
+    def test_gap_property_with_incumbent(self):
+        res = solve_lpnlp(branching_heavy_model())
+        assert res.gap <= 1e-5
+
+    def test_gap_without_solution_infinite(self):
+        from repro.minlp.result import MINLPResult
+
+        empty = MINLPResult(status=MINLPStatus.NODE_LIMIT)
+        assert empty.gap == float("inf")

@@ -1,0 +1,97 @@
+"""Tests for the node-NLP presolve: interval propagation, pinch-to-fix,
+and the Slater-restoring behaviour the barrier solver depends on."""
+
+import pytest
+
+from repro.expr import var
+from repro.minlp.nlpbuild import build_nlp
+from repro.model import Model, Objective, Sense, VarType
+
+
+def capacity_model(N=8, a_lo=2):
+    """min T s.t. T >= 100/x, x + y <= N with x in [a_lo, N], y in [1, N]."""
+    m = Model("cap")
+    T = m.add_variable("T", lb=0.0, ub=1000.0)
+    x = m.add_variable("x", VarType.INTEGER, a_lo, N)
+    y = m.add_variable("y", VarType.INTEGER, 1, N)
+    m.add_constraint("curve", 100.0 / x.ref() - T.ref(), Sense.LE, 0.0)
+    m.add_constraint("cap", x.ref() + y.ref(), Sense.LE, float(N))
+    m.set_objective(Objective("obj", T.ref()))
+    return m
+
+
+class TestIntervalPropagation:
+    def test_basic_tightening(self):
+        m = capacity_model(N=8)
+        built = build_nlp(m, var("T"), fixings={})
+        prob = built.problem
+        # x + y <= 8 with y >= 1 implies x <= 7; with x >= 2 implies y <= 6.
+        xi = prob.names.index("x")
+        yi = prob.names.index("y")
+        assert prob.ub[xi] == pytest.approx(7.0)
+        assert prob.ub[yi] == pytest.approx(6.0)
+
+    def test_pinched_variable_becomes_fixed(self):
+        """y in [6, 8] with x >= 2 and x + y <= 8 pinches y = 6 and x = 2:
+        both must be presolved into fixings (no strict interior otherwise)."""
+        m = capacity_model(N=8)
+        built = build_nlp(m, var("T"), fixings={}, bounds={"y": (6.0, 8.0)})
+        assert built.infeasible_reason is None
+        assert built.fixed.get("y") == pytest.approx(6.0)
+        assert built.fixed.get("x") == pytest.approx(2.0)
+        # only T remains, and the curve became a constant bound on it
+        assert built.problem is None or built.problem.names == ["T"]
+
+    def test_proven_infeasible_by_propagation(self):
+        m = capacity_model(N=8)
+        built = build_nlp(m, var("T"), fixings={}, bounds={"y": (7.5, 8.0)})
+        # y >= 8 after integer rounding, so x + y <= 8 forces x <= 0 < lb.
+        assert built.infeasible_reason is not None
+
+    def test_integer_bounds_rounded(self):
+        m = Model("round")
+        T = m.add_variable("T", lb=0.0, ub=100.0)
+        k = m.add_variable("k", VarType.INTEGER, 1, 10)
+        m.add_constraint("half", 2.0 * k.ref(), Sense.LE, 9.0)  # k <= 4.5 -> 4
+        m.add_constraint("curve", 10.0 / k.ref() - T.ref(), Sense.LE, 0.0)
+        m.set_objective(Objective("obj", T.ref()))
+        built = build_nlp(m, T.ref(), fixings={})
+        ki = built.problem.names.index("k")
+        assert built.problem.ub[ki] == pytest.approx(4.0)
+
+    def test_ge_rows_propagate(self):
+        m = Model("ge")
+        T = m.add_variable("T", lb=0.0, ub=100.0)
+        x = m.add_variable("x", VarType.INTEGER, 1, 10)
+        y = m.add_variable("y", VarType.INTEGER, 1, 10)
+        m.add_constraint("floor", x.ref() + y.ref(), Sense.GE, 15.0)
+        m.add_constraint("curve", 10.0 / x.ref() - T.ref(), Sense.LE, 0.0)
+        m.set_objective(Objective("obj", T.ref()))
+        built = build_nlp(m, T.ref(), fixings={})
+        # x + y >= 15 with y <= 10 implies x >= 5.
+        xi = built.problem.names.index("x")
+        assert built.problem.lb[xi] == pytest.approx(5.0)
+
+    def test_equality_rows_propagate_both_ways(self):
+        m = Model("eq")
+        T = m.add_variable("T", lb=0.0, ub=100.0)
+        x = m.add_variable("x", VarType.INTEGER, 1, 10)
+        y = m.add_variable("y", VarType.INTEGER, 1, 10)
+        m.add_constraint("sum", x.ref() + y.ref(), Sense.EQ, 12.0)
+        m.add_constraint("curve", 10.0 / x.ref() - T.ref(), Sense.LE, 0.0)
+        m.set_objective(Objective("obj", T.ref()))
+        built = build_nlp(m, T.ref(), fixings={})
+        xi = built.problem.names.index("x")
+        assert built.problem.lb[xi] == pytest.approx(2.0)  # y <= 10
+        assert built.problem.ub[xi] == pytest.approx(10.0)
+
+    def test_propagation_keeps_feasible_solutions(self):
+        """Presolve must be sound: the original optimum survives."""
+        from repro.minlp import solve_nlp_bnb
+
+        m = capacity_model(N=8)
+        res = solve_nlp_bnb(m)
+        assert res.is_optimal
+        # best x is 7 (y=1): T = 100/7
+        assert res.solution["x"] == 7.0
+        assert res.objective == pytest.approx(100.0 / 7.0, rel=1e-3)

@@ -1,0 +1,103 @@
+"""Tests for pseudo-cost variable branching."""
+
+import pytest
+
+from repro.model import Model, Objective, Sense, VarType
+from repro.minlp import MINLPOptions, VarBranchRule, solve_lpnlp
+from repro.minlp.branching import PseudoCostTracker
+
+
+def make_model_for_tracker():
+    m = Model()
+    m.add_variable("a", VarType.INTEGER, 0, 10)
+    m.add_variable("b", VarType.INTEGER, 0, 10)
+    m.add_variable("x", lb=0, ub=1)
+    return m
+
+
+class TestTracker:
+    def test_falls_back_to_most_fractional_without_history(self):
+        t = PseudoCostTracker()
+        m = make_model_for_tracker()
+        env = {"a": 3.1, "b": 5.45, "x": 0.7}
+        assert t.select(m, env, 1e-6) == "b"
+
+    def test_all_integral_returns_none(self):
+        t = PseudoCostTracker()
+        m = make_model_for_tracker()
+        assert t.select(m, {"a": 3.0, "b": 5.0, "x": 0.2}, 1e-6) is None
+
+    def test_reliability_requires_both_directions(self):
+        t = PseudoCostTracker()
+        t.update("a", "down", 0.5, 10.0)
+        assert not t.is_reliable("a")
+        t.update("a", "up", 0.5, 4.0)
+        assert t.is_reliable("a")
+
+    def test_prefers_high_degradation_variable(self):
+        t = PseudoCostTracker()
+        for d in ("down", "up"):
+            t.update("a", d, 0.5, 100.0)  # branching on a moves the bound a lot
+            t.update("b", d, 0.5, 0.1)
+        m = make_model_for_tracker()
+        env = {"a": 3.5, "b": 5.5, "x": 0.0}
+        assert t.select(m, env, 1e-6) == "a"
+
+    def test_zero_fraction_update_ignored(self):
+        t = PseudoCostTracker()
+        t.update("a", "down", 0.0, 50.0)
+        assert not t.is_reliable("a")
+
+    def test_negative_degradation_clipped(self):
+        t = PseudoCostTracker()
+        t.update("a", "down", 0.5, -3.0)  # numerically possible on re-solves
+        t.update("a", "up", 0.5, 1.0)
+        assert t._mean("a", "down") == 0.0
+
+
+class TestPseudoCostEndToEnd:
+    def knapsacky_model(self):
+        """A small MILP where branching order matters."""
+        m = Model("pc")
+        xs = [m.add_variable(f"x{j}", VarType.INTEGER, 0, 4) for j in range(6)]
+        weights = [3, 5, 7, 11, 13, 17]
+        values = [4, 7, 9, 15, 16, 23]
+        cap = sum(w * 2 for w in weights) // 3
+        lhs = xs[0].ref() * weights[0]
+        for x, w in zip(xs[1:], weights[1:]):
+            lhs = lhs + w * x.ref()
+        m.add_constraint("cap", lhs, Sense.LE, float(cap))
+        obj = xs[0].ref() * values[0]
+        for x, v in zip(xs[1:], values[1:]):
+            obj = obj + v * x.ref()
+        from repro.model import ObjSense
+
+        m.set_objective(Objective("profit", obj, ObjSense.MAXIMIZE))
+        return m
+
+    def test_both_rules_reach_same_optimum(self):
+        res_mf = solve_lpnlp(
+            self.knapsacky_model(),
+            MINLPOptions(var_branch_rule=VarBranchRule.MOST_FRACTIONAL),
+        )
+        res_pc = solve_lpnlp(
+            self.knapsacky_model(),
+            MINLPOptions(var_branch_rule=VarBranchRule.PSEUDO_COST),
+        )
+        assert res_mf.is_optimal and res_pc.is_optimal
+        assert res_mf.objective == pytest.approx(res_pc.objective, abs=1e-6)
+
+    def test_layout_models_unaffected_by_rule(self):
+        from repro.cesm import make_case
+        from repro.hslb import HSLBPipeline, solve_allocation
+
+        pipe = HSLBPipeline(make_case("1deg", 128, seed=0))
+        fits = pipe.fit(pipe.gather())
+        outs = [
+            solve_allocation(
+                pipe.case, fits,
+                options=MINLPOptions(var_branch_rule=rule),
+            ).objective_value
+            for rule in VarBranchRule
+        ]
+        assert outs[0] == pytest.approx(outs[1], rel=1e-5)

@@ -1,0 +1,246 @@
+"""End-to-end MINLP solver tests: both algorithms, brute-force cross-checks."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError, SolverError
+from repro.model import Model, Objective, ObjSense, Sense, VarType
+from repro.minlp import (
+    BranchRule,
+    MINLPOptions,
+    MINLPStatus,
+    solve_lpnlp,
+    solve_nlp_bnb,
+)
+
+
+def curve_model(a=60.0, d=2.0, n_max=12, cap=None):
+    """min T s.t. T >= a/n + d, n integer in [1, n_max] (optional cap row)."""
+    m = Model("curve")
+    T = m.add_variable("T", lb=0.0, ub=10_000.0)
+    n = m.add_variable("n", VarType.INTEGER, 1, n_max)
+    m.add_constraint("perf", a / n.ref() + d - T.ref(), Sense.LE, 0.0)
+    if cap is not None:
+        m.add_constraint("cap", n.ref(), Sense.LE, float(cap))
+    m.set_objective(Objective("obj", T.ref()))
+    return m
+
+
+def two_component_model(N=10, a1=40.0, a2=60.0):
+    """min T s.t. T >= a1/n1 + 1, T >= a2/n2 + 1, n1 + n2 <= N (the paper's
+    min-max layout shape in miniature)."""
+    m = Model("two")
+    T = m.add_variable("T", lb=0.0, ub=10_000.0)
+    n1 = m.add_variable("n1", VarType.INTEGER, 1, N)
+    n2 = m.add_variable("n2", VarType.INTEGER, 1, N)
+    m.add_constraint("c1", a1 / n1.ref() + 1.0 - T.ref(), Sense.LE, 0.0)
+    m.add_constraint("c2", a2 / n2.ref() + 1.0 - T.ref(), Sense.LE, 0.0)
+    m.add_constraint("cap", n1.ref() + n2.ref(), Sense.LE, float(N))
+    m.set_objective(Objective("obj", T.ref()))
+    return m
+
+
+def brute_force_two_component(N, a1, a2):
+    best = math.inf
+    for n1 in range(1, N):
+        for n2 in range(1, N - n1 + 1):
+            t = max(a1 / n1 + 1.0, a2 / n2 + 1.0)
+            best = min(best, t)
+    return best
+
+
+class TestLPNLPBasics:
+    def test_single_curve_optimum(self):
+        res = solve_lpnlp(curve_model())
+        assert res.is_optimal
+        assert res.solution["n"] == 12.0
+        assert res.objective == pytest.approx(60.0 / 12 + 2.0, abs=1e-5)
+
+    def test_cap_binds(self):
+        res = solve_lpnlp(curve_model(cap=5))
+        assert res.solution["n"] == 5.0
+        assert res.objective == pytest.approx(14.0, abs=1e-5)
+
+    def test_two_component(self):
+        res = solve_lpnlp(two_component_model())
+        assert res.is_optimal
+        expected = brute_force_two_component(10, 40.0, 60.0)
+        assert res.objective == pytest.approx(expected, abs=1e-4)
+        assert res.solution["n1"] + res.solution["n2"] <= 10
+
+    def test_infeasible_model(self):
+        m = curve_model()
+        m.add_constraint("impossible", m.variables["n"].ref(), Sense.GE, 50.0)
+        res = solve_lpnlp(m)
+        assert res.status is MINLPStatus.INFEASIBLE
+
+    def test_missing_objective_raises(self):
+        m = Model()
+        m.add_variable("x", VarType.INTEGER, 0, 5)
+        with pytest.raises(ModelError):
+            solve_lpnlp(m)
+
+    def test_nonconvex_rejected_by_default(self):
+        m = Model("nc")
+        x = m.add_variable("x", lb=0.5, ub=10.0)
+        T = m.add_variable("T", lb=0.0, ub=100.0)
+        m.add_constraint("bad", x.ref() ** 0.5 - T.ref(), Sense.LE, 0.0)
+        m.set_objective(Objective("obj", T.ref()))
+        with pytest.raises(SolverError, match="convexity"):
+            solve_lpnlp(m)
+
+    def test_gap_is_closed(self):
+        res = solve_lpnlp(two_component_model())
+        assert res.gap <= 1e-5
+
+    def test_counters_populated(self):
+        res = solve_lpnlp(two_component_model())
+        assert res.nodes >= 1
+        assert res.cuts_added >= 1
+        assert res.wall_time >= 0.0
+
+    def test_maximize_sense(self):
+        # max -(T) is the same optimum with flipped sign.
+        m = two_component_model()
+        m.set_objective(Objective("obj", -m.variables["T"].ref(), ObjSense.MAXIMIZE))
+        res = solve_lpnlp(m)
+        expected = brute_force_two_component(10, 40.0, 60.0)
+        assert res.objective == pytest.approx(-expected, abs=1e-4)
+
+    def test_node_limit_status(self):
+        res = solve_lpnlp(
+            two_component_model(N=30),
+            MINLPOptions(max_nodes=0),
+        )
+        assert res.status is MINLPStatus.NODE_LIMIT
+
+    def test_pure_milp_no_nonlinear(self):
+        m = Model("milp")
+        a = m.add_variable("a", VarType.INTEGER, 0, 5)
+        b = m.add_variable("b", VarType.INTEGER, 0, 5)
+        m.add_constraint("cap", 2 * a.ref() + 3 * b.ref(), Sense.LE, 12.0)
+        m.set_objective(Objective("obj", -(3 * a.ref() + 4 * b.ref())))
+        res = solve_lpnlp(m)
+        assert res.is_optimal
+        best = min(
+            -(3 * x + 4 * y)
+            for x in range(6)
+            for y in range(6)
+            if 2 * x + 3 * y <= 12
+        )
+        assert res.objective == pytest.approx(best, abs=1e-6)
+
+
+class TestSOSModels:
+    def make_sos_model(self, allowed, a=120.0):
+        m = Model("sos")
+        T = m.add_variable("T", lb=0.0, ub=10_000.0)
+        n = m.add_variable("n", VarType.INTEGER, 1, max(allowed))
+        m.add_allowed_values(n, allowed, prefix="z")
+        m.add_constraint("perf", a / n.ref() + 1.0 - T.ref(), Sense.LE, 0.0)
+        m.set_objective(Objective("obj", T.ref()))
+        return m
+
+    def test_allowed_values_respected(self):
+        allowed = [2, 4, 6, 12, 24]
+        res = solve_lpnlp(self.make_sos_model(allowed))
+        assert res.is_optimal
+        assert res.solution["n"] in allowed
+        assert res.solution["n"] == 24.0
+
+    def test_allowed_values_with_cap(self):
+        allowed = [2, 4, 6, 12, 24]
+        m = self.make_sos_model(allowed)
+        m.add_constraint("cap", m.variables["n"].ref(), Sense.LE, 10.0)
+        res = solve_lpnlp(m)
+        assert res.solution["n"] == 6.0
+
+    def test_binary_branching_matches_sos(self):
+        allowed = [2, 4, 6, 12, 24, 48]
+        m1 = self.make_sos_model(allowed)
+        m2 = self.make_sos_model(allowed)
+        r_sos = solve_lpnlp(m1, MINLPOptions(branch_rule=BranchRule.SOS_FIRST))
+        r_bin = solve_lpnlp(m2, MINLPOptions(branch_rule=BranchRule.INTEGER_ONLY))
+        assert r_sos.objective == pytest.approx(r_bin.objective, abs=1e-5)
+        assert r_sos.solution["n"] == r_bin.solution["n"]
+
+    def test_exactly_one_binary_set(self):
+        allowed = [3, 9, 27]
+        res = solve_lpnlp(self.make_sos_model(allowed))
+        zs = [v for k, v in res.solution.items() if k.startswith("z_")]
+        assert sum(zs) == pytest.approx(1.0)
+        assert sorted(zs) == [0.0, 0.0, 1.0]
+
+
+class TestNLPBnB:
+    def test_agrees_with_lpnlp_on_curve(self):
+        m1, m2 = curve_model(cap=7), curve_model(cap=7)
+        r1 = solve_lpnlp(m1)
+        r2 = solve_nlp_bnb(m2)
+        assert r2.is_optimal
+        assert r1.objective == pytest.approx(r2.objective, abs=1e-4)
+        assert r1.solution["n"] == r2.solution["n"]
+
+    def test_agrees_on_two_component(self):
+        r1 = solve_lpnlp(two_component_model())
+        r2 = solve_nlp_bnb(two_component_model())
+        assert r1.objective == pytest.approx(r2.objective, abs=1e-3)
+
+    def test_infeasible(self):
+        m = curve_model()
+        m.add_constraint("impossible", m.variables["n"].ref(), Sense.GE, 50.0)
+        res = solve_nlp_bnb(m)
+        assert res.status is MINLPStatus.INFEASIBLE
+
+    def test_sos_model(self):
+        m = Model("sos")
+        T = m.add_variable("T", lb=0.0, ub=10_000.0)
+        n = m.add_variable("n", VarType.INTEGER, 1, 24)
+        m.add_allowed_values(n, [2, 6, 24], prefix="z")
+        m.add_constraint("perf", 120.0 / n.ref() + 1.0 - T.ref(), Sense.LE, 0.0)
+        m.set_objective(Objective("obj", T.ref()))
+        res = solve_nlp_bnb(m)
+        assert res.is_optimal
+        assert res.solution["n"] == 24.0
+
+
+class TestCrossCheckProperty:
+    @given(
+        a1=st.floats(10.0, 80.0),
+        a2=st.floats(10.0, 80.0),
+        N=st.integers(4, 14),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lpnlp_matches_brute_force(self, a1, a2, N):
+        res = solve_lpnlp(two_component_model(N=N, a1=a1, a2=a2))
+        assert res.is_optimal
+        expected = brute_force_two_component(N, a1, a2)
+        assert res.objective == pytest.approx(expected, rel=1e-4)
+
+    @given(
+        allowed=st.lists(st.integers(2, 64), min_size=2, max_size=6, unique=True),
+        cap=st.integers(3, 64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sos_matches_enumeration(self, allowed, cap):
+        allowed = sorted(allowed)
+        feasible = [v for v in allowed if v <= cap]
+        m = Model("sos")
+        T = m.add_variable("T", lb=0.0, ub=10_000.0)
+        n = m.add_variable("n", VarType.INTEGER, 1, max(allowed))
+        m.add_allowed_values(n, allowed, prefix="z")
+        m.add_constraint("perf", 90.0 / n.ref() + 1.0 - T.ref(), Sense.LE, 0.0)
+        m.add_constraint("cap", n.ref(), Sense.LE, float(cap))
+        m.set_objective(Objective("obj", T.ref()))
+        res = solve_lpnlp(m)
+        if not feasible:
+            assert res.status is MINLPStatus.INFEASIBLE
+        else:
+            expected = min(90.0 / v + 1.0 for v in feasible)
+            assert res.is_optimal
+            assert res.objective == pytest.approx(expected, rel=1e-5)
+            assert res.solution["n"] in feasible

@@ -1,0 +1,199 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cesm.decomp import (
+    GX1,
+    TX0_1,
+    DecompStrategy,
+    best_strategy,
+    default_strategy,
+    imbalance_factor,
+)
+from repro.exceptions import ConfigurationError
+from repro.mlice import (
+    FEATURE_NAMES,
+    IceDecompPolicy,
+    KNNRegressor,
+    decomposition_features,
+    generate_training_set,
+    train_selector,
+)
+from repro.mlice.selector import strategy_for
+from repro.mlice.training import sample_task_counts
+
+
+class TestFeatures:
+    def test_shape_and_names(self):
+        x = decomposition_features(GX1, 128)
+        assert x.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(x))
+
+    def test_divisor_richness_signal(self):
+        rich = decomposition_features(GX1, 1024)   # 2^10: many divisors
+        poor = decomposition_features(GX1, 1021)   # prime
+        i = FEATURE_NAMES.index("divisor_count_norm")
+        assert rich[i] > poor[i]
+
+    def test_square_divisor_ratio(self):
+        i = FEATURE_NAMES.index("best_sqrt_divisor_ratio")
+        perfect = decomposition_features(GX1, 1024)
+        prime = decomposition_features(GX1, 1021)
+        assert perfect[i] == pytest.approx(1.0, abs=0.5)
+        assert prime[i] < 0.1  # only 1 and n divide a prime: 1/sqrt(n)
+
+    def test_invalid_tasks(self):
+        with pytest.raises(ValueError):
+            decomposition_features(GX1, 0)
+
+    @given(tasks=st.integers(1, 100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_finite(self, tasks):
+        assert np.all(np.isfinite(decomposition_features(TX0_1, tasks)))
+
+
+class TestKNN:
+    def make_xy(self, n=60, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(-1, 1, size=(n, 3))
+        y = 2.0 * X[:, 0] - X[:, 1] + 0.1 * rng.normal(size=n)
+        return X, y
+
+    def test_fit_predict_shapes(self):
+        X, y = self.make_xy()
+        model = KNNRegressor(k=5).fit(X, y)
+        pred = model.predict(X[:7])
+        assert pred.shape == (7,)
+
+    def test_interpolates_training_points(self):
+        X, y = self.make_xy()
+        model = KNNRegressor(k=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-6)
+
+    def test_smooth_function_learned(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, size=(400, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+        model = KNNRegressor(k=7).fit(X, y)
+        Q = rng.uniform(0.1, 0.9, size=(50, 2))
+        truth = np.sin(3 * Q[:, 0]) + Q[:, 1] ** 2
+        assert np.sqrt(np.mean((model.predict(Q) - truth) ** 2)) < 0.08
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ConfigurationError):
+            KNNRegressor().predict(np.zeros((1, 2)))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            KNNRegressor(k=10).fit(np.zeros((3, 2)), np.zeros(3))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            KNNRegressor(k=1).fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_loo_rmse_reasonable(self):
+        X, y = self.make_xy(n=200)
+        model = KNNRegressor(k=5).fit(X, y)
+        assert 0.0 < model.loo_rmse() < 0.5
+
+    def test_constant_feature_handled(self):
+        X = np.hstack([np.ones((30, 1)), np.linspace(0, 1, 30)[:, None]])
+        y = X[:, 1] * 3.0
+        model = KNNRegressor(k=3).fit(X, y)
+        assert np.isfinite(model.predict(X[:2])).all()
+
+
+class TestTraining:
+    def test_sample_task_counts(self):
+        t = sample_task_counts(8, 4096, 200, seed=0)
+        assert t.min() >= 8 and t.max() <= 4096
+        assert np.all(np.diff(t) > 0)
+
+    def test_sample_validation(self):
+        with pytest.raises(ConfigurationError):
+            sample_task_counts(100, 100, 10)
+
+    def test_generate_training_set(self):
+        ts = generate_training_set(GX1, n=100, seed=0)
+        assert set(ts.labels) == set(DecompStrategy)
+        assert ts.features.shape == (ts.n_samples, len(FEATURE_NAMES))
+        for y in ts.labels.values():
+            assert np.all(y >= 0.9)  # factor >= 1 up to measurement noise
+
+    def test_split_partitions(self):
+        ts = generate_training_set(GX1, n=120, seed=0)
+        tr, te = ts.split(0.75, seed=1)
+        assert tr.n_samples + te.n_samples == ts.n_samples
+        assert te.n_samples >= 1
+
+    def test_split_validation(self):
+        ts = generate_training_set(GX1, n=50, seed=0)
+        with pytest.raises(ConfigurationError):
+            ts.split(1.5)
+
+
+class TestSelector:
+    @pytest.fixture(scope="class")
+    def selector(self):
+        return train_selector(GX1, n=500, seed=0)
+
+    def test_predictions_near_truth(self, selector):
+        ts = generate_training_set(GX1, n=60, seed=99)  # fresh queries
+        for strat in (DecompStrategy.CARTESIAN, DecompStrategy.ROUNDROBIN):
+            preds = [
+                selector.predict_costs(int(t))[strat] for t in ts.task_counts
+            ]
+            truth = [
+                imbalance_factor(GX1, int(t), strat) for t in ts.task_counts
+            ]
+            rmse = np.sqrt(np.mean((np.array(preds) - np.array(truth)) ** 2))
+            assert rmse < 0.15
+
+    def test_low_regret(self, selector):
+        queries = sample_task_counts(16, 4000, 80, seed=7)
+        regrets = [selector.regret(int(t)) for t in queries]
+        assert np.mean(regrets) < 0.03
+
+    def test_beats_default_on_awkward_counts(self, selector):
+        # Odd / prime-ish counts are where the default heuristic stumbles.
+        awkward = [91, 113, 247, 331, 505, 1021, 2003]
+        gain = selector.improvement_over_default(awkward)
+        assert gain > 0.01
+
+    def test_policy_resolution(self, selector):
+        assert strategy_for(GX1, 96, IceDecompPolicy.DEFAULT) is default_strategy(96)
+        assert strategy_for(GX1, 96, IceDecompPolicy.ORACLE) is best_strategy(GX1, 96)
+        assert strategy_for(GX1, 96, IceDecompPolicy.LEARNED, selector) in DecompStrategy
+
+    def test_learned_needs_selector(self):
+        with pytest.raises(ConfigurationError):
+            strategy_for(GX1, 96, IceDecompPolicy.LEARNED)
+
+    def test_wrong_grid_rejected(self):
+        ts = generate_training_set(GX1, n=60, seed=0)
+        with pytest.raises(ConfigurationError):
+            train_selector(TX0_1, training=ts)
+
+
+class TestSimulatorIntegration:
+    def test_learned_policy_smooths_ice_curve(self):
+        """The headline of ref. [10]: ML-selected decompositions reduce the
+        ice curve's noise and make awkward counts faster."""
+        from repro.cesm import ComponentId, CoupledRunSimulator, make_case
+
+        case = make_case("1deg", 2048, seed=0)
+        selector = train_selector(case.ice_grid, n=500, seed=0)
+        sim_default = CoupledRunSimulator(case)
+        sim_learned = CoupledRunSimulator(case, ice_strategy_for=selector.select)
+
+        awkward_nodes = [91, 113, 247, 505, 1021]
+        t_default = np.array(
+            [sim_default.benchmark(ComponentId.ICE, n) for n in awkward_nodes]
+        )
+        t_learned = np.array(
+            [sim_learned.benchmark(ComponentId.ICE, n) for n in awkward_nodes]
+        )
+        # learned never slower on aggregate, and strictly faster somewhere
+        assert t_learned.sum() < t_default.sum()
+        assert np.all(t_learned <= t_default * 1.02)

@@ -1,0 +1,183 @@
+"""Round-trip tests: Model -> AMPL text -> Model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cesm import ComponentId, make_case
+from repro.exceptions import ModelError
+from repro.fitting import PerfModel
+from repro.model import Model, Objective, ObjSense, Sense, VarType, from_ampl, to_ampl
+
+
+def assert_models_equivalent(a: Model, b: Model, probe_envs):
+    """Same variables/bounds/domains, and every row + objective agrees on
+    the probe points (structural equality of trees is too strict — the
+    parser may associate differently)."""
+    assert set(a.variables) == set(b.variables)
+    for name, va in a.variables.items():
+        vb = b.variables[name]
+        assert va.vtype == vb.vtype, name
+        assert va.lb == pytest.approx(vb.lb)
+        assert va.ub == pytest.approx(vb.ub)
+    assert set(a.constraints) == set(b.constraints)
+    for env in probe_envs:
+        for name, ca in a.constraints.items():
+            cb = b.constraints[name]
+            assert ca.sense == cb.sense
+            assert float(ca.body.evaluate(env)) == pytest.approx(
+                float(cb.body.evaluate(env)), rel=1e-9, abs=1e-9
+            ), name
+        if a.objective is not None:
+            assert a.objective.sense == b.objective.sense
+            assert float(a.objective.expr.evaluate(env)) == pytest.approx(
+                float(b.objective.expr.evaluate(env)), rel=1e-9, abs=1e-9
+            )
+
+
+class TestRoundTrip:
+    def test_simple_model(self):
+        m = Model("demo")
+        x = m.add_variable("x", VarType.CONTINUOUS, 0.0, 10.0)
+        k = m.add_variable("k", VarType.INTEGER, 1, 5)
+        z = m.add_variable("z", VarType.BINARY)
+        m.add_constraint("cap", x.ref() + 2 * k.ref() - z.ref(), Sense.LE, 8.0)
+        m.add_constraint("curve", 10.0 / x.ref() + x.ref() ** 1.5, Sense.GE, 1.0)
+        m.set_objective(Objective("obj", x.ref() + k.ref()))
+        back = from_ampl(to_ampl(m))
+        envs = [{"x": 2.0, "k": 3.0, "z": 1.0}, {"x": 7.5, "k": 1.0, "z": 0.0}]
+        assert_models_equivalent(m, back, envs)
+
+    def test_maximize_sense(self):
+        m = Model()
+        x = m.add_variable("x", lb=0, ub=1)
+        m.set_objective(Objective("o", x.ref(), ObjSense.MAXIMIZE))
+        back = from_ampl(to_ampl(m))
+        assert back.objective.sense is ObjSense.MAXIMIZE
+
+    def test_negative_bounds(self):
+        m = Model()
+        m.add_variable("x", lb=-5.5, ub=-1.25)
+        back = from_ampl(to_ampl(m))
+        assert back.variables["x"].lb == -5.5
+        assert back.variables["x"].ub == -1.25
+
+    def test_free_variable(self):
+        m = Model()
+        m.add_variable("free")
+        back = from_ampl(to_ampl(m))
+        assert math.isinf(back.variables["free"].lb)
+        assert math.isinf(back.variables["free"].ub)
+
+    def test_layout_model_roundtrip(self):
+        """The real Table I model survives the round trip."""
+        from repro.hslb.layout_models import layout_model_for_case
+
+        I, L, A, O = (ComponentId.ICE, ComponentId.LND,
+                      ComponentId.ATM, ComponentId.OCN)
+        perf = {
+            I: PerfModel(a=8000.0, d=18.0),
+            L: PerfModel(a=1465.0, d=2.6),
+            A: PerfModel(a=27000.0, b=0.001, c=1.2, d=45.0),
+            O: PerfModel(a=7900.0, d=36.0),
+        }
+        case = make_case("1deg", 128)
+        m = layout_model_for_case(case, perf)
+        back = from_ampl(to_ampl(m))
+        env = {name: 0.5 * (v.lb + min(v.ub, v.lb + 10)) for name, v in m.variables.items()}
+        assert_models_equivalent(m, back, [env])
+        # the parsed model is still certifiably convex and solvable
+        assert back.is_certified_convex()
+        from repro.minlp import solve_lpnlp
+
+        a = solve_lpnlp(m)
+        b = solve_lpnlp(back)
+        assert a.objective == pytest.approx(b.objective, rel=1e-6)
+
+
+class TestParserDirect:
+    def test_comments_ignored(self):
+        text = """
+        # a comment
+        var x >= 0, <= 2;   # trailing comment
+        minimize obj: x;
+        """
+        m = from_ampl(text)
+        assert "x" in m.variables
+
+    def test_precedence(self):
+        text = "var x >= 0, <= 10;\nsubject to c: 2 + 3 * x ^ 2 <= 100;\n"
+        m = from_ampl(text)
+        body = m.constraints["c"].body
+        # 2 + 3*x^2 - 100 at x=2 -> 2 + 12 - 100
+        assert body.evaluate({"x": 2.0}) == pytest.approx(-86.0)
+
+    def test_right_associative_power(self):
+        text = "var x >= 1, <= 10;\nsubject to c: x ^ 2 ^ 3 <= 1e9;\n"
+        m = from_ampl(text)
+        # x^(2^3) = x^8
+        assert m.constraints["c"].body.evaluate({"x": 2.0}) == pytest.approx(
+            2.0**8 - 1e9
+        )
+
+    def test_unary_minus(self):
+        text = "var x >= -5, <= 5;\nminimize o: -x + -2;\n"
+        m = from_ampl(text)
+        assert m.objective.expr.evaluate({"x": 3.0}) == pytest.approx(-5.0)
+
+    def test_scientific_notation(self):
+        m = from_ampl("var x >= 0, <= 1.5e3;\n")
+        assert m.variables["x"].ub == 1500.0
+
+    def test_equality_row(self):
+        m = from_ampl("var x >= 0, <= 9;\nsubject to c: 2 * x = 4;\n")
+        assert m.constraints["c"].sense is Sense.EQ
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ModelError, match="AMPL parse error"):
+            from_ampl("var 123bad;")
+        with pytest.raises(ModelError):
+            from_ampl("subject to c x <= 1;")  # missing colon
+        with pytest.raises(ModelError):
+            from_ampl("frobnicate x;")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ModelError):
+            from_ampl("var x >= 0, <= 1;\nminimize o: (x + 1;\n")
+
+
+@st.composite
+def random_model(draw):
+    m = Model("rand")
+    n_vars = draw(st.integers(1, 4))
+    names = [f"v{i}" for i in range(n_vars)]
+    for name in names:
+        lo = draw(st.floats(-10.0, 0.0))
+        hi = lo + draw(st.floats(0.5, 20.0))
+        vtype = draw(st.sampled_from([VarType.CONTINUOUS, VarType.INTEGER]))
+        m.add_variable(name, vtype, round(lo, 3), round(hi, 3))
+    for ci in range(draw(st.integers(1, 3))):
+        expr = None
+        for name in names:
+            coef = round(draw(st.floats(-3.0, 3.0)), 3)
+            term = coef * m.variables[name].ref()
+            expr = term if expr is None else expr + term
+        sense = draw(st.sampled_from(list(Sense)))
+        rhs = round(draw(st.floats(-5.0, 5.0)), 3)
+        m.add_constraint(f"c{ci}", expr, sense, rhs)
+    m.set_objective(Objective("obj", m.variables[names[0]].ref()))
+    return m
+
+
+class TestRoundTripProperty:
+    @given(model=random_model(), probe=st.floats(-1.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_random_linear_models(self, model, probe):
+        back = from_ampl(to_ampl(model))
+        env = {
+            name: v.lb + (v.ub - v.lb) * (0.5 + 0.4 * probe)
+            for name, v in model.variables.items()
+        }
+        assert_models_equivalent(model, back, [env])

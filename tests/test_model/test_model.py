@@ -1,0 +1,274 @@
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import (
+    Model,
+    Objective,
+    ObjSense,
+    Sense,
+    SOS1Set,
+    Variable,
+    VarType,
+    to_ampl,
+)
+
+
+def small_model():
+    m = Model("demo")
+    x = m.add_variable("x", VarType.CONTINUOUS, 0.0, 10.0)
+    k = m.add_variable("k", VarType.INTEGER, 1, 5)
+    m.add_constraint("cap", x.ref() + k.ref(), Sense.LE, 8.0)
+    m.add_constraint("curve", 10.0 / x.ref() - k.ref(), Sense.LE, 0.0)
+    m.set_objective(Objective("obj", x.ref() + k.ref(), ObjSense.MINIMIZE))
+    return m
+
+
+class TestVariable:
+    def test_binary_bounds_default(self):
+        v = Variable("z", VarType.BINARY)
+        assert (v.lb, v.ub) == (0.0, 1.0)
+
+    def test_binary_bad_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("z", VarType.BINARY, lb=-1)
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("x", lb=2, ub=1)
+
+    def test_rounded_feasible_integer(self):
+        v = Variable("k", VarType.INTEGER, 1, 5)
+        assert v.rounded_feasible(3.4) == 3.0
+        assert v.rounded_feasible(0.2) == 1.0
+        assert v.rounded_feasible(9.0) == 5.0
+
+    def test_integrality_violation(self):
+        v = Variable("k", VarType.INTEGER)
+        assert v.integrality_violation(2.5) == pytest.approx(0.5)
+        assert v.integrality_violation(3.0) == 0.0
+        c = Variable("x")
+        assert c.integrality_violation(2.5) == 0.0
+
+    def test_ref_builds_expressions(self):
+        v = Variable("n")
+        e = 1.0 / v.ref() + 2.0
+        assert e.evaluate({"n": 0.5}) == 4.0
+
+
+class TestModelConstruction:
+    def test_duplicate_variable_rejected(self):
+        m = Model()
+        m.add_variable("x")
+        with pytest.raises(ModelError, match="duplicate"):
+            m.add_variable("x")
+
+    def test_duplicate_constraint_rejected(self):
+        m = Model()
+        x = m.add_variable("x")
+        m.add_constraint("c", x.ref(), Sense.LE, 1.0)
+        with pytest.raises(ModelError, match="duplicate"):
+            m.add_constraint("c", x.ref(), Sense.GE, 0.0)
+
+    def test_undeclared_variable_in_constraint_rejected(self):
+        m = Model()
+        m.add_variable("x")
+        from repro.expr import var
+
+        with pytest.raises(ModelError, match="undeclared"):
+            m.add_constraint("c", var("ghost"), Sense.LE, 1.0)
+
+    def test_undeclared_variable_in_objective_rejected(self):
+        m = Model()
+        from repro.expr import var
+
+        with pytest.raises(ModelError, match="undeclared"):
+            m.set_objective(Objective("o", var("ghost")))
+
+    def test_stats(self):
+        m = small_model()
+        s = m.stats()
+        assert s["variables"] == 2
+        assert s["integer_variables"] == 1
+        assert s["constraints"] == 2
+        assert s["nonlinear_constraints"] == 1
+        assert s["sos1_sets"] == 0
+
+
+class TestClassification:
+    def test_linear_vs_nonlinear_split(self):
+        m = small_model()
+        assert [c.name for c in m.linear_constraints()] == ["cap"]
+        assert [c.name for c in m.nonlinear_constraints()] == ["curve"]
+
+    def test_convexity_certification(self):
+        m = small_model()
+        assert m.is_certified_convex()
+
+    def test_nonconvex_model_flagged(self):
+        m = Model()
+        x = m.add_variable("x", lb=0.1, ub=10)
+        t = m.add_variable("t", lb=0, ub=100)
+        # t >= sqrt(x): body x^0.5 - t <= 0 has a concave term on the LE
+        # side, so the row is not certifiably convex -> flagged.
+        m.add_constraint("c", x.ref() ** 0.5 - t.ref(), Sense.LE, 0.0)
+        assert not m.is_certified_convex()
+
+
+class TestCheckPoint:
+    def test_feasible_point(self):
+        m = small_model()
+        assert m.check_point({"x": 4.0, "k": 3.0}) == []
+
+    def test_bound_violation_reported(self):
+        m = small_model()
+        assert "bounds:x" in m.check_point({"x": -1.0, "k": 3.0})
+
+    def test_integrality_violation_reported(self):
+        m = small_model()
+        assert "integrality:k" in m.check_point({"x": 4.0, "k": 2.5})
+
+    def test_constraint_violation_reported(self):
+        m = small_model()
+        bad = m.check_point({"x": 7.0, "k": 5.0})
+        assert "cap" in bad
+
+    def test_objective_value(self):
+        m = small_model()
+        assert m.objective_value({"x": 4.0, "k": 3.0}) == 7.0
+
+    def test_objective_missing_raises(self):
+        m = Model()
+        m.add_variable("x")
+        with pytest.raises(ModelError):
+            m.objective_value({"x": 0.0})
+
+
+class TestAllowedValues:
+    def test_allowed_values_block(self):
+        m = Model()
+        n = m.add_variable("n_ocn", VarType.INTEGER, 1, 10_000)
+        sos = m.add_allowed_values(n, [480, 512, 2356])
+        assert len(sos) == 3
+        assert sos.target == "n_ocn"
+        # hull bounds tightened
+        assert (n.lb, n.ub) == (480.0, 2356.0)
+        # choose-one and link rows exist and are linear
+        names = set(m.constraints)
+        assert any("choose_one" in s for s in names)
+        assert any("link" in s for s in names)
+        assert all(c.is_linear for c in m.constraints.values())
+
+    def test_allowed_values_dedup_and_sort(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100)
+        sos = m.add_allowed_values(n, [8, 2, 8, 4])
+        assert sos.weights == (2.0, 4.0, 8.0)
+
+    def test_empty_set_rejected(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100)
+        with pytest.raises(ModelError):
+            m.add_allowed_values(n, [])
+
+    def test_arithmetic_progression_encoding(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100_000)
+        out = m.add_allowed_values(n, range(256, 32769, 2), prefix="z")
+        assert out is None
+        assert m.sos1_sets == {}
+        assert "z_idx" in m.variables
+        assert (n.lb, n.ub) == (256.0, 32768.0)
+        # the progression row forces even values
+        env = {"n": 300.0, "z_idx": 22.0}
+        assert m.check_point(env) == []
+        env_odd = {"n": 301.0, "z_idx": 22.5}
+        assert "integrality:z_idx" in m.check_point(env_odd)
+
+    def test_contiguous_range_tightens_bounds_only(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100)
+        out = m.add_allowed_values(n, range(5, 20))
+        assert out is None
+        assert m.constraints == {} and len(m.variables) == 1
+        assert (n.lb, n.ub) == (5.0, 19.0)
+
+    def test_sos_encoding_forced(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100)
+        sos = m.add_allowed_values(n, [2, 4, 6], encode="sos")
+        assert sos is not None and len(sos) == 3
+
+    def test_unknown_encoding_rejected(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100)
+        with pytest.raises(ModelError):
+            m.add_allowed_values(n, [2, 4], encode="huh")
+
+    def test_point_checking_with_sos(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100)
+        m.add_allowed_values(n, [2, 4, 8], prefix="z")
+        env = {"n": 4.0, "z_0": 0.0, "z_1": 1.0, "z_2": 0.0}
+        assert m.check_point(env) == []
+        env_bad = {"n": 5.0, "z_0": 0.0, "z_1": 1.0, "z_2": 0.0}
+        assert "z_link" in m.check_point(env_bad)
+
+
+class TestSOS1Set:
+    def test_weights_must_increase(self):
+        with pytest.raises(ModelError):
+            SOS1Set("s", ("a", "b"), (2.0, 2.0))
+
+    def test_member_weight_length_mismatch(self):
+        with pytest.raises(ModelError):
+            SOS1Set("s", ("a",), (1.0, 2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            SOS1Set("s", (), ())
+
+    def test_fractional_weight_and_integrality(self):
+        s = SOS1Set("s", ("a", "b", "c"), (1.0, 2.0, 4.0))
+        env = {"a": 0.5, "b": 0.5, "c": 0.0}
+        assert s.fractional_weight(env) == pytest.approx(1.5)
+        assert not s.is_integral(env)
+        assert s.active_members(env) == ["a", "b"]
+        assert s.is_integral({"a": 0.0, "b": 1.0, "c": 0.0})
+
+
+class TestAmplExport:
+    def test_export_contains_all_pieces(self):
+        m = small_model()
+        text = to_ampl(m)
+        assert "var x >= 0.0, <= 10.0;" in text
+        assert "var k integer, >= 1.0, <= 5.0;" in text
+        assert "minimize obj:" in text
+        assert "subject to cap:" in text
+        assert "subject to curve:" in text
+
+    def test_export_power_and_division(self):
+        m = Model()
+        n = m.add_variable("n", lb=1, ub=100)
+        m.add_constraint("t", 10.0 / n.ref() + n.ref() ** 1.5, Sense.LE, 50.0)
+        text = to_ampl(m)
+        assert "/" in text and "^" in text
+
+    def test_export_sos_comment(self):
+        m = Model()
+        n = m.add_variable("n", VarType.INTEGER, 1, 100)
+        m.add_allowed_values(n, [2, 4, 16], prefix="z")
+        assert "SOS1 set z" in to_ampl(m)
+
+    def test_binary_declared_binary(self):
+        m = Model()
+        m.add_variable("z", VarType.BINARY)
+        assert "var z binary" in to_ampl(m)
+
+    def test_infinite_bounds_omitted(self):
+        m = Model()
+        m.add_variable("free")
+        text = to_ampl(m)
+        assert "var free;" in text
+        assert math.isinf(m.variables["free"].lb)

@@ -1,0 +1,143 @@
+"""Regression tests for barrier-solver internals.
+
+Each test here encodes a failure mode that was actually observed while
+building the MINLP stack: corner starts after phase 1, ill-conditioned
+Hessians faking convergence, and deep-interior cold starts crawling."""
+
+import numpy as np
+import pytest
+
+from repro.cesm import ComponentId, ground_truth
+from repro.expr import var
+from repro.fitting import PerfModel
+from repro.nlp import BarrierOptions, NLPProblem, NLPStatus, solve_nlp
+from repro.nlp.barrier import _Barrier
+
+I, L, A, O = ComponentId.ICE, ComponentId.LND, ComponentId.ATM, ComponentId.OCN
+
+
+def coupled_relaxation():
+    """The 1-degree full relaxation that used to crawl for 750+ iterations."""
+    T, ni, nl, na, no = (var(s) for s in ("T", "n_i", "n_l", "n_a", "n_o"))
+    truth = ground_truth("1deg")
+    return NLPProblem(
+        names=["T", "n_i", "n_l", "n_a", "n_o"],
+        objective=T,
+        inequalities=[
+            ("ci", truth[I].law.expr("n_i") - T),
+            ("cl", truth[L].law.expr("n_l") - T),
+            ("ca", truth[A].law.expr("n_a") - T),
+            ("co", truth[O].law.expr("n_o") - T),
+            ("cap", ni + nl + na + no - 2048.0),
+        ],
+        lb=np.array([0.0, 4.0, 4.0, 8.0, 8.0]),
+        ub=np.array([1e5, 2048.0, 2048.0, 2048.0, 2048.0]),
+    )
+
+
+class TestColdStartRobustness:
+    def test_coupled_relaxation_converges(self):
+        res = solve_nlp(coupled_relaxation())
+        assert res.is_optimal
+        # balanced optimum around T ~ 64; anything near it is fine
+        assert res.objective < 80.0
+        assert res.newton_iterations < 500
+
+    def test_corner_start_recovers(self):
+        """Explicit corner start (all n at their floors) — the phase-1 exit
+        shape that used to trap the crawl."""
+        p = coupled_relaxation()
+        x0 = np.array([5e4, 4.5, 4.5, 9.0, 9.0])
+        res = solve_nlp(p, x0=x0)
+        assert res.is_optimal
+        assert res.objective < 80.0
+
+    def test_epigraph_with_dominant_component(self):
+        """min T with one enormous component: the barrier must push the big
+        component's nodes up instead of stalling against its row (the
+        no=4.18 regression)."""
+        T, a, b = var("T"), var("a"), var("b")
+        p = NLPProblem(
+            names=["T", "a", "b"],
+            objective=T,
+            inequalities=[
+                ("ca", 50.0 / a - T),
+                ("cb", 4241.0 / b - T),
+                ("cap", a + b - 8.0),
+            ],
+            lb=np.array([0.0, 1.0, 1.0]),
+            ub=np.array([1e4, 8.0, 8.0]),
+        )
+        res = solve_nlp(p)
+        assert res.is_optimal
+        # optimum pushes b near 7: T ~ 4241/7 = 605.9
+        assert res.objective == pytest.approx(4241.0 / 7.0 + 50.0 / 1.0 * 0, rel=0.02)
+
+
+class TestNewtonDirection:
+    def test_descent_on_singular_hessian(self):
+        p = coupled_relaxation()
+        b = _Barrier(p, BarrierOptions())
+        grad = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        H = np.zeros((5, 5))  # fully singular
+        dx, dec = b._newton_direction(grad, H)
+        assert dec > 0.0
+        assert np.all(np.isfinite(dx))
+
+    def test_descent_on_indefinite_hessian(self):
+        p = coupled_relaxation()
+        b = _Barrier(p, BarrierOptions())
+        grad = np.ones(5)
+        H = -np.eye(5)  # would send a naive solve uphill
+        dx, dec = b._newton_direction(grad, H)
+        assert dec > 0.0
+
+    def test_newton_on_clean_hessian(self):
+        p = coupled_relaxation()
+        b = _Barrier(p, BarrierOptions())
+        H = np.diag([1.0, 2.0, 3.0, 4.0, 5.0])
+        grad = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        dx, dec = b._newton_direction(grad, H)
+        np.testing.assert_allclose(dx, -np.ones(5), rtol=1e-5)
+
+
+class TestMaxBoxStep:
+    def test_step_to_upper(self):
+        p = coupled_relaxation()
+        b = _Barrier(p, BarrierOptions())
+        x = np.array([10.0, 100.0, 100.0, 100.0, 100.0])
+        dx = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        assert b._max_box_step(x, dx) == pytest.approx(1e5 - 10.0)
+
+    def test_step_to_lower(self):
+        p = coupled_relaxation()
+        b = _Barrier(p, BarrierOptions())
+        x = np.array([10.0, 100.0, 100.0, 100.0, 100.0])
+        dx = np.array([-1.0, 0.0, 0.0, 0.0, 0.0])
+        assert b._max_box_step(x, dx) == pytest.approx(10.0)
+
+    def test_zero_direction_unbounded(self):
+        p = coupled_relaxation()
+        b = _Barrier(p, BarrierOptions())
+        x = np.array([10.0, 100.0, 100.0, 100.0, 100.0])
+        assert b._max_box_step(x, np.zeros(5)) == np.inf
+
+
+class TestHonestStatuses:
+    def test_unconverged_never_reports_optimal_garbage(self):
+        """With a starved budget the solver must degrade its *status*,
+        not fabricate an optimum."""
+        res = solve_nlp(
+            coupled_relaxation(),
+            options=BarrierOptions(max_newton=10, max_newton_per_center=5),
+        )
+        if res.is_optimal:
+            assert res.objective < 80.0  # only acceptable if actually there
+        else:
+            assert res.status in (NLPStatus.ITERATION_LIMIT, NLPStatus.NUMERICAL_ERROR)
+
+    def test_certified_gap_message_on_stall_finish(self):
+        """A solve that finishes by stall must carry a meaningful gap."""
+        res = solve_nlp(coupled_relaxation())
+        assert res.mu_final == res.mu_final  # not NaN
+        assert res.mu_final < 1.0

@@ -1,0 +1,93 @@
+import pytest
+
+from repro.pipeline.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_args(self):
+        args = build_parser().parse_args(
+            ["tune", "--resolution", "1deg", "--nodes", "128", "--seed", "3"]
+        )
+        assert args.resolution == "1deg" and args.nodes == 128 and args.seed == 3
+        assert args.method == "lpnlp"
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--resolution", "2deg", "--nodes", "8"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "t3-1" in out and "fig4" in out
+
+    def test_tune_smoke(self, capsys):
+        code = main(["tune", "--resolution", "1deg", "--nodes", "128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Total time, sec" in out
+        assert "fit R^2" in out
+        assert "solver:" in out
+
+    def test_tune_oracle_method(self, capsys):
+        code = main(
+            ["tune", "--resolution", "1deg", "--nodes", "128", "--method", "oracle"]
+        )
+        assert code == 0
+        assert "Total time, sec" in capsys.readouterr().out
+
+    def test_ampl_export(self, capsys):
+        code = main(["ampl", "--resolution", "1deg", "--nodes", "128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimize total_time" in out
+        assert "subject to" in out
+
+    def test_exp_unknown_id_errors(self, capsys):
+        code = main(["exp", "definitely-not-an-experiment"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_exp_runs_ablation(self, capsys):
+        assert main(["exp", "a-solve"]) == 0
+        assert "A-SOLVE" in capsys.readouterr().out
+
+    def test_gather_fit_solve_file_workflow(self, capsys, tmp_path):
+        bench = str(tmp_path / "bench.json")
+        fits = str(tmp_path / "fits.json")
+        assert main(["gather", "--resolution", "1deg", "--nodes", "128",
+                     "--out", bench]) == 0
+        assert main(["fit", "--benchmarks", bench, "--out", fits]) == 0
+        assert main(["solve", "--fits", fits, "--resolution", "1deg",
+                     "--nodes", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "predicted total:" in out
+        assert "n_atm" in out
+
+    def test_fit_bad_file_errors(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "nope"}')
+        assert main(["fit", "--benchmarks", str(bad), "--out",
+                     str(tmp_path / "out.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_exp_without_id_errors(self, capsys):
+        assert main(["exp"]) == 1
+        assert "experiment id or --all" in capsys.readouterr().err
+
+    def test_decomp_advice(self, capsys):
+        assert main(["decomp", "91", "1021"]) == 0
+        out = capsys.readouterr().out
+        assert "decomposition advice" in out
+        assert "91" in out and "recommended" in out
+
+    def test_tune_infeasible_configuration_errors(self, capsys):
+        # 8th degree at 300 nodes: no allowed ocean count fits.
+        code = main(["tune", "--resolution", "8th", "--nodes", "300"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

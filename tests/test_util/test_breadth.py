@@ -1,0 +1,138 @@
+"""Breadth/edge-case tests across small utility surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.cesm import ComponentId
+from repro.hslb.report import format_table3_block
+from repro.util.tables import TextTable
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+class TestTextTableEdges:
+    def test_empty_table_renders_headers(self):
+        t = TextTable(["a", "bb"])
+        out = t.render()
+        assert "a" in out and "bb" in out
+        assert len(out.splitlines()) == 2  # header + rule
+
+    def test_mixed_cell_types(self):
+        t = TextTable(["k", "v"])
+        t.add_row(["int", 42])
+        t.add_row(["float", 1.5])
+        t.add_row(["str", "x"])
+        out = t.render()
+        assert "42" in out and "1.500" in out and "x" in out
+
+    def test_wide_cells_expand_columns(self):
+        t = TextTable(["short"])
+        t.add_row(["a-very-long-cell-value"])
+        lines = t.render().splitlines()
+        assert len(lines[0]) == len("a-very-long-cell-value")
+
+    def test_str_dunder(self):
+        t = TextTable(["x"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+
+class TestReportEdges:
+    def full_times(self, v):
+        return {L: v, I: v, A: v, O: v}
+
+    def test_totals_optional(self):
+        text = format_table3_block(
+            "t", None, None, self.full_times(1), self.full_times(2.0), None
+        )
+        assert "Total time, sec" in text
+
+    def test_all_columns_present(self):
+        text = format_table3_block(
+            "t",
+            self.full_times(10),
+            self.full_times(1.0),
+            self.full_times(12),
+            self.full_times(2.0),
+            self.full_times(3.0),
+            manual_total=4.0,
+            predicted_total=5.0,
+            actual_total=6.0,
+        )
+        for col in ("manual # nodes", "manual time, sec", "HSLB # nodes",
+                    "HSLB predicted, sec", "HSLB actual, sec"):
+            assert col in text
+        for v in ("4.000", "5.000", "6.000"):
+            assert v in text
+
+
+class TestOracleEdges:
+    def test_single_ocean_value(self):
+        from repro.cesm import Layout
+        from repro.fitting import PerfModel
+        from repro.hslb import LayoutOracle
+
+        perf = {c: PerfModel(a=100.0, d=1.0) for c in (I, L, A, O)}
+        bounds = {c: (1, 16) for c in (I, L, A, O)}
+        bounds[A] = (2, 16)
+        oracle = LayoutOracle(
+            Layout.HYBRID, 16, perf, bounds, ocn_allowed=[4]
+        )
+        res = oracle.solve()
+        assert res.allocation[O] == 4
+
+    def test_atm_explicit_singleton(self):
+        from repro.cesm import Layout
+        from repro.fitting import PerfModel
+        from repro.hslb import LayoutOracle
+
+        perf = {c: PerfModel(a=100.0, d=1.0) for c in (I, L, A, O)}
+        bounds = {c: (1, 16) for c in (I, L, A, O)}
+        oracle = LayoutOracle(
+            Layout.HYBRID, 16, perf, bounds,
+            atm_allowed={"values": [8], "lo": 8, "hi": 8},
+        )
+        res = oracle.solve()
+        assert res.allocation[A] == 8
+        # ice+lnd must fit inside the pinned atmosphere group
+        assert res.allocation[I] + res.allocation[L] <= 8
+
+    def test_layout3_with_ocean_set(self):
+        from repro.cesm import Layout
+        from repro.fitting import PerfModel
+        from repro.hslb import LayoutOracle
+
+        perf = {c: PerfModel(a=100.0, d=1.0) for c in (I, L, A, O)}
+        bounds = {c: (1, 32) for c in (I, L, A, O)}
+        oracle = LayoutOracle(
+            Layout.FULLY_SEQUENTIAL, 32, perf, bounds, ocn_allowed=[2, 8, 16]
+        )
+        res = oracle.solve()
+        assert res.allocation[O] == 16  # cheapest allowed ocean
+
+
+class TestSimulatorOverheadScaling:
+    def test_overhead_shrinks_with_atm_nodes(self):
+        from repro.cesm import CoupledRunSimulator, make_case
+
+        sim = CoupledRunSimulator(make_case("1deg", 2048, seed=0))
+        small = sim.run_coupled({"lnd": 24, "ice": 80, "atm": 104, "ocn": 24})
+        large = sim.run_coupled({"lnd": 128, "ice": 512, "atm": 1024, "ocn": 512})
+        assert large.overhead < small.overhead
+
+
+class TestIoRunResultRoundTripJson:
+    def test_json_dump_and_shape(self, tmp_path):
+        import json
+
+        from repro.cesm import make_case
+        from repro.hslb import HSLBPipeline
+        from repro.io import run_result_to_dict
+
+        result = HSLBPipeline(make_case("1deg", 128, seed=1)).run()
+        payload = run_result_to_dict(result)
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(payload))
+        loaded = json.loads(path.read_text())
+        assert loaded["case"]["seed"] == 1
+        assert loaded["predicted_total"] == pytest.approx(result.predicted_total)

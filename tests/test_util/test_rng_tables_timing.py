@@ -1,0 +1,120 @@
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, keyed_rng, spawn_child
+from repro.util.tables import TextTable, format_seconds
+from repro.util.timing import Stopwatch
+
+
+class TestAsRng:
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestSpawnChild:
+    def test_deterministic_per_tag(self):
+        a = spawn_child(as_rng(1), "ice").random(4)
+        b = spawn_child(as_rng(1), "ice").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_tags_decorrelated(self):
+        a = spawn_child(as_rng(1), "ice").random(4)
+        b = spawn_child(as_rng(1), "atm").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_parents_differ(self):
+        a = spawn_child(as_rng(1), "ice").random(4)
+        b = spawn_child(as_rng(2), "ice").random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestKeyedRng:
+    def test_pure_function_of_key(self):
+        a = keyed_rng(3, "bench", "atm:64").random(4)
+        b = keyed_rng(3, "bench", "atm:64").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_tags_differ(self):
+        a = keyed_rng(3, "bench", "atm:64").random(4)
+        b = keyed_rng(3, "bench", "atm:65").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = keyed_rng(3, "bench").random(4)
+        b = keyed_rng(4, "bench").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_order_independence(self):
+        # Drawing key X first or after key Y must not change X's stream.
+        first = keyed_rng(1, "x").random()
+        keyed_rng(1, "y").random()
+        again = keyed_rng(1, "x").random()
+        assert first == again
+
+
+class TestTextTable:
+    def test_renders_aligned_columns(self):
+        t = TextTable(["component", "# nodes", "time, sec"], title="demo")
+        t.add_row(["atm", 104, 306.952])
+        t.add_row(["ocn", 24, 362.669])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "306.952" in out and "362.669" in out
+        # all data lines share the same width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_row_length_mismatch_raises(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row([1])
+
+    def test_format_seconds_three_decimals(self):
+        assert format_seconds(1.23456) == "1.235"
+        assert format_seconds(410.6234) == "410.623"
+
+
+class TestStopwatch:
+    def test_accumulates_phases(self):
+        sw = Stopwatch()
+        with sw.phase("lp"):
+            pass
+        with sw.phase("lp"):
+            pass
+        with sw.phase("nlp"):
+            pass
+        assert sw.count("lp") == 2
+        assert sw.count("nlp") == 1
+        assert sw.elapsed("lp") >= 0.0
+        assert sw.total() == pytest.approx(sw.elapsed("lp") + sw.elapsed("nlp"))
+
+    def test_unknown_phase_is_zero(self):
+        sw = Stopwatch()
+        assert sw.elapsed("nothing") == 0.0
+        assert sw.count("nothing") == 0
+
+    def test_summary_snapshot(self):
+        sw = Stopwatch()
+        with sw.phase("x"):
+            pass
+        summary = sw.summary()
+        assert set(summary) == {"x"}
+        seconds, count = summary["x"]
+        assert count == 1 and seconds >= 0.0
+
+    def test_exception_still_recorded(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with sw.phase("boom"):
+                raise RuntimeError("boom")
+        assert sw.count("boom") == 1

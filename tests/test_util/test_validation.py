@@ -1,0 +1,100 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_finite_array,
+    check_finite_number,
+    check_in_range,
+    check_integer,
+    check_nonnegative,
+    check_positive,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(math.nan, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(math.inf, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("3", "x")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_nonnegative(-1e-9, "x")
+
+
+class TestCheckFiniteNumber:
+    def test_accepts_int(self):
+        assert check_finite_number(3, "x") == 3
+
+    def test_accepts_numpy_scalar(self):
+        assert check_finite_number(np.float64(2.5), "x") == 2.5
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(7, "k") == 7
+
+    def test_accepts_numpy_int(self):
+        assert check_integer(np.int64(7), "k") == 7
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_integer(7.0, "k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_integer(True, "k")
+
+
+class TestCheckInRange:
+    def test_accepts_endpoints(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"in \[0.0, 1.0\]"):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+
+class TestCheckFiniteArray:
+    def test_passes_through_values(self):
+        out = check_finite_array([1, 2, 3], "a")
+        assert out.dtype == float
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite_array([1.0, math.nan], "a")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_finite_array(np.array([math.inf]), "a")

@@ -1,6 +1,5 @@
 """Ablation benchmarks backing the paper's textual claims."""
 
-import pytest
 
 from conftest import run_once
 from repro.experiments.ablations import (

@@ -6,7 +6,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cesm.components import ComponentId
 from repro.cesm.layouts import Layout
 from repro.exceptions import ConfigurationError
 from repro.fitting.perfmodel import PerfModel

@@ -15,7 +15,6 @@ Two artifacts:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.cesm.components import ComponentId

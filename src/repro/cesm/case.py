@@ -7,7 +7,7 @@ the sweet-spot sets), the target job size, the layout, and the noise seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cesm.calibration import ground_truth
 from repro.cesm.components import OPTIMIZED_COMPONENTS, ComponentId

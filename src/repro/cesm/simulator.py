@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.cesm.case import CESMCase
 from repro.cesm.components import OPTIMIZED_COMPONENTS, ComponentId

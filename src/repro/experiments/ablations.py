@@ -13,15 +13,13 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cesm import ComponentId, CoupledRunSimulator, make_case
 from repro.fitting import FitOptions, fit_perf_model
 from repro.hslb import HSLBPipeline, ObjectiveKind, solve_allocation
-from repro.hslb.layout_models import layout_model_for_case
-from repro.hslb.oracle import oracle_for_case
 from repro.minlp import BranchRule, MINLPOptions, solve_lpnlp
 from repro.util.tables import TextTable
 

@@ -3,14 +3,35 @@
 Tree-walking evaluation pays Python dispatch and dict-lookup costs at every
 node on every call; the barrier solver evaluates the same gradients and
 Hessian entries thousands of times per solve.  :func:`compile_expr` emits
-the expression as a single Python source expression over an input vector
-``x`` (indexed by a fixed variable ordering) and ``eval``-compiles it once —
-after which each evaluation is one bytecode-compiled expression.
+the expression as Python source over an input vector ``x`` (indexed by a
+fixed variable ordering) and compiles it once — after which each evaluation
+is one bytecode-compiled expression.
+
+Two emission strategies share one grammar:
+
+- :func:`expr_source` renders a *single* Python expression.  It walks the
+  tree iteratively (no recursion limit) and flattens left-leaning ``Add``/
+  ``Mul`` chains — the shape produced by ``expr = expr + term`` loops — into
+  n-ary operator chains, which Python evaluates in exactly the tree's
+  left-associative order (bit-identical results).  Shapes that cannot be
+  flattened below CPython's own parser/compiler limits raise a clear
+  :class:`~repro.exceptions.ExpressionError` carrying the offending depth.
+- :func:`cse_source` renders an *expression set* as a sequence of
+  assignment statements with common-subexpression elimination: every
+  distinct subtree (by :meth:`~repro.expr.node.Expr.struct_key`) is
+  computed exactly once into a temporary.  Statements nest only one level,
+  so arbitrarily deep and wide trees compile, and the same source evaluates
+  a scalar point ``x`` (shape ``(n,)``) or a batch ``X`` (shape ``(m, n)``)
+  when loads use ``X[..., i]`` indexing.
 
 The generated source draws only from the expression grammar this package
-defines (numbers, ``x[i]``, ``+ - * / **`` and parentheses), and the
+defines (numbers, vector loads, ``+ - * / **`` and parentheses), and the
 compilation namespace is emptied of builtins, so there is no injection
 surface as long as variable *indices* — never names — are interpolated.
+
+Constants are always emitted as *floats* (``repr(float(v))``): a bare
+integer literal like ``2`` would let ``x ** 2`` stay integer-typed for
+integer inputs, silently diverging from tree evaluation's float dtype.
 """
 
 from __future__ import annotations
@@ -18,44 +39,235 @@ from __future__ import annotations
 from repro.exceptions import ExpressionError
 from repro.expr.node import Add, Const, Div, Expr, Mul, Neg, Pow, VarRef
 
-__all__ = ["compile_expr", "expr_source"]
+__all__ = [
+    "compile_expr",
+    "expr_source",
+    "cse_source",
+    "compile_expr_set",
+    "compile_expr_single",
+]
+
+#: CPython's parser rejects ~200 nested parentheses; stay well below.
+_MAX_NESTING = 150
+#: CPython's compiler recurses per chained binary operator (~3000 limit);
+#: chains longer than this are emitted (or rejected) accordingly.
+_MAX_CHAIN = 1200
+
+
+class _SourceTooDeep(ExpressionError):
+    """Single-expression emission would exceed CPython's compile limits."""
+
+
+def _const_source(value) -> str:
+    """Float literal source; negatives parenthesized so they are safe as
+    ``Pow`` bases (``-2.0 ** x`` parses as ``-(2.0 ** x)``)."""
+    text = repr(float(value))
+    return f"({text})" if text.startswith("-") else text
+
+
+def _flat_operands(node: Expr) -> tuple:
+    """Operands of an ``Add``/``Mul`` with first-position chains of the same
+    type expanded.  Only the *first* operand is expanded: left-associativity
+    makes the flat chain evaluate in exactly the tree's order."""
+    cls = type(node)
+    tails = []
+    first: Expr = node
+    while isinstance(first, cls):
+        terms = first.terms if cls is Add else (first.left, first.right)
+        tails.append(terms[1:])
+        first = terms[0]
+    ops = [first]
+    for tail in reversed(tails):
+        ops.extend(tail)
+    return tuple(ops)
+
+
+def _operands(node: Expr) -> tuple:
+    if isinstance(node, (Add, Mul)):
+        return _flat_operands(node)
+    return node.children()
 
 
 def expr_source(expr: Expr, index: dict) -> str:
     """Python source for ``expr`` over vector ``x`` with ``index[name] -> i``."""
-    if isinstance(expr, Const):
-        return repr(expr.value)
-    if isinstance(expr, VarRef):
+    memo: dict = {}  # id(node) -> (source, paren_depth)
+    stack = [(expr, False)]
+    while stack:
+        node, ready = stack.pop()
+        if id(node) in memo:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for child in _operands(node):
+                if id(child) not in memo:
+                    stack.append((child, False))
+            continue
+        memo[id(node)] = _emit_one(node, memo, index)
+    return memo[id(expr)][0]
+
+
+def _emit_one(node: Expr, memo: dict, index: dict):
+    if isinstance(node, Const):
+        return _const_source(node.value), 0
+    if isinstance(node, VarRef):
         try:
-            return f"x[{int(index[expr.name])}]"
+            return f"x[{int(index[node.name])}]", 0
         except KeyError:
             raise ExpressionError(
-                f"variable {expr.name!r} missing from the compilation index"
+                f"variable {node.name!r} missing from the compilation index"
             ) from None
-    if isinstance(expr, Add):
-        return "(" + " + ".join(expr_source(t, index) for t in expr.terms) + ")"
-    if isinstance(expr, Neg):
-        return f"(-{expr_source(expr.operand, index)})"
-    if isinstance(expr, Mul):
-        return f"({expr_source(expr.left, index)} * {expr_source(expr.right, index)})"
-    if isinstance(expr, Div):
-        return (
-            f"({expr_source(expr.numerator, index)} / "
-            f"{expr_source(expr.denominator, index)})"
+    ops = _operands(node)
+    parts = [memo[id(c)] for c in ops]
+    depth = 1 + max(d for _, d in parts)
+    if depth > _MAX_NESTING:
+        raise _SourceTooDeep(
+            f"expression nests {depth} levels deep; single-expression "
+            f"compilation is limited to {_MAX_NESTING} (use the statement "
+            "emitter: compile_expr falls back to it automatically)"
         )
-    if isinstance(expr, Pow):
-        return (
-            f"({expr_source(expr.base, index)} ** "
-            f"{expr_source(expr.exponent, index)})"
+    if len(parts) > _MAX_CHAIN:
+        raise _SourceTooDeep(
+            f"operator chain of {len(parts)} terms exceeds the "
+            f"{_MAX_CHAIN}-term single-expression limit (use the statement "
+            "emitter: compile_expr falls back to it automatically)"
         )
-    raise ExpressionError(f"cannot compile node type {type(expr).__name__}")
+    srcs = [s for s, _ in parts]
+    if isinstance(node, Add):
+        return "(" + " + ".join(srcs) + ")", depth
+    if isinstance(node, Mul):
+        return "(" + " * ".join(srcs) + ")", depth
+    if isinstance(node, Neg):
+        return f"(-{srcs[0]})", depth
+    if isinstance(node, Div):
+        return f"({srcs[0]} / {srcs[1]})", depth
+    if isinstance(node, Pow):
+        return f"({srcs[0]} ** {srcs[1]})", depth
+    raise ExpressionError(f"cannot compile node type {type(node).__name__}")
+
+
+# -- CSE statement emission ----------------------------------------------------
+
+
+def cse_source(exprs, index: dict, load: str = "x[{}]"):
+    """Assignment statements evaluating every expression in ``exprs``.
+
+    Returns ``(lines, outputs)``: after executing ``lines`` top to bottom,
+    ``outputs[i]`` is the atom (temporary name or float literal) holding the
+    value of ``exprs[i]``.  Subtrees that are structurally equal — by
+    :meth:`~repro.expr.node.Expr.struct_key` — are computed exactly once,
+    *across* the whole expression set, so gradients and Hessian entries
+    sharing structure with the objective cost one evaluation.
+
+    ``load`` formats a variable load from the input vector/batch; the
+    default ``"x[{}]"`` serves scalar points, ``"X[..., {}]"`` serves
+    batches (the emitted arithmetic is shape-agnostic).
+    """
+    atoms: dict = {}      # struct_key -> atom string
+    lines: list = []
+    counter = [0]
+
+    def fresh() -> str:
+        name = f"v{counter[0]}"
+        counter[0] += 1
+        return name
+
+    for expr in exprs:
+        stack = [(expr, False)]
+        while stack:
+            node, ready = stack.pop()
+            key = node.struct_key()
+            if key in atoms:
+                continue
+            if not ready:
+                stack.append((node, True))
+                for child in node.children():
+                    if child.struct_key() not in atoms:
+                        stack.append((child, False))
+                continue
+            atoms[key] = _emit_statement(node, atoms, index, lines, fresh, load)
+    return lines, [atoms[e.struct_key()] for e in exprs]
+
+
+def _emit_statement(node, atoms, index, lines, fresh, load):
+    if isinstance(node, Const):
+        return _const_source(node.value)  # inline literal, no temp
+    if isinstance(node, VarRef):
+        try:
+            column = int(index[node.name])
+        except KeyError:
+            raise ExpressionError(
+                f"variable {node.name!r} missing from the compilation index"
+            ) from None
+        name = fresh()
+        lines.append(f"{name} = {load.format(column)}")
+        return name
+    child_atoms = [atoms[c.struct_key()] for c in node.children()]
+    name = fresh()
+    if isinstance(node, Add):
+        # Chunk very wide sums: one chained expression per ~_MAX_CHAIN terms
+        # keeps each statement inside CPython's compiler limits while
+        # preserving left-associative accumulation order bit for bit.
+        first, rest = child_atoms[0], child_atoms[1:]
+        if not rest:
+            lines.append(f"{name} = {first}")
+        acc = first
+        for start in range(0, len(rest), _MAX_CHAIN):
+            chunk = rest[start:start + _MAX_CHAIN]
+            lines.append(f"{name} = {acc} + " + " + ".join(chunk))
+            acc = name
+    elif isinstance(node, Mul):
+        lines.append(f"{name} = {child_atoms[0]} * {child_atoms[1]}")
+    elif isinstance(node, Neg):
+        lines.append(f"{name} = -{child_atoms[0]}")
+    elif isinstance(node, Div):
+        lines.append(f"{name} = {child_atoms[0]} / {child_atoms[1]}")
+    elif isinstance(node, Pow):
+        lines.append(f"{name} = {child_atoms[0]} ** {child_atoms[1]}")
+    else:
+        raise ExpressionError(f"cannot compile node type {type(node).__name__}")
+    return name
+
+
+def compile_expr_set(exprs, index: dict, load: str = "x[{}]", arg: str = "x"):
+    """One callable evaluating every expression in ``exprs`` in a single pass.
+
+    The callable takes the input vector (or batch, with the appropriate
+    ``load`` format) and returns a tuple with one entry per expression;
+    entries for fully-constant expressions come back as plain floats.
+    """
+    lines, outputs = cse_source(exprs, index, load=load)
+    body = lines + ["return (" + ", ".join(outputs) + ("," if len(outputs) == 1 else "") + ")"]
+    source = f"def _compiled({arg}):\n    " + "\n    ".join(body)
+    namespace: dict = {"__builtins__": {}}
+    exec(source, namespace)  # noqa: S102 - closed grammar, empty builtins
+    fn = namespace["_compiled"]
+    fn.__source__ = source
+    return fn
+
+
+def compile_expr_single(expr: Expr, index: dict, load: str = "x[{}]", arg: str = "x"):
+    """Like :func:`compile_expr_set` for one expression, returning its value
+    directly instead of a 1-tuple (no unpacking layer on the hot path)."""
+    lines, outputs = cse_source([expr], index, load=load)
+    body = lines + [f"return {outputs[0]}"]
+    source = f"def _compiled({arg}):\n    " + "\n    ".join(body)
+    namespace: dict = {"__builtins__": {}}
+    exec(source, namespace)  # noqa: S102 - closed grammar, empty builtins
+    fn = namespace["_compiled"]
+    fn.__source__ = source
+    return fn
 
 
 def compile_expr(expr: Expr, index: dict):
     """A callable ``f(x) -> float`` equivalent to ``expr.evaluate``.
 
     ``x`` may be any indexable of numbers (list, numpy vector); numpy
-    arrays as *entries* broadcast exactly as tree evaluation does.
+    arrays as *entries* broadcast exactly as tree evaluation does.  Trees
+    too deep or too wide for a single Python expression are compiled
+    through the statement emitter instead (same semantics, no size limit).
     """
-    source = f"lambda x: {expr_source(expr, index)}"
+    try:
+        source = f"lambda x: {expr_source(expr, index)}"
+    except _SourceTooDeep:
+        return compile_expr_single(expr, index)
     return eval(source, {"__builtins__": {}}, {})  # noqa: S307 - closed grammar

@@ -17,6 +17,7 @@ once (per the vectorize-don't-loop guidance for numerical Python).
 
 from __future__ import annotations
 
+import hashlib
 import numbers
 from dataclasses import dataclass
 
@@ -62,6 +63,25 @@ def const(value: float) -> "Const":
     return Const(float(value))
 
 
+#: Global intern table for structural keys: identical structures anywhere in
+#: the process share one key *object*, so dict lookups keyed by struct keys
+#: compare by pointer first.  Keys are tiny fixed-size strings; the table
+#: grows with the number of *distinct* structures, not with tree sizes.
+_KEY_INTERN: dict = {}
+
+
+def _intern_key(key: str) -> str:
+    return _KEY_INTERN.setdefault(key, key)
+
+
+def _digest(parts) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for p in parts:
+        h.update(p.encode("utf-8"))
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
 class Expr:
     """Base class for expression nodes.
 
@@ -91,6 +111,42 @@ class Expr:
     def evaluate(self, env: dict):
         """Evaluate with ``env`` mapping variable names to floats/arrays."""
         raise NotImplementedError
+
+    def struct_key(self) -> str:
+        """A canonical structural hash of this tree, interned process-wide.
+
+        Two expressions have the same key iff they are structurally equal
+        (same node types, same shape, same constants and variable names).
+        Keys are computed iteratively (no recursion limit), cached on every
+        node they pass through, and interned so equal keys are one object.
+        The kernel layer uses them to cache compiled evaluators across
+        branch-and-bound nodes, whose subproblems share almost all of their
+        expression trees.
+        """
+        cached = getattr(self, "_struct_key", None)
+        if cached is not None:
+            return cached
+        stack = [(self, False)]
+        while stack:
+            node, ready = stack.pop()
+            if getattr(node, "_struct_key", None) is not None:
+                continue
+            if not ready:
+                stack.append((node, True))
+                for child in node.children():
+                    if getattr(child, "_struct_key", None) is None:
+                        stack.append((child, False))
+                continue
+            key = _intern_key(node._leaf_key() if not node.children() else _digest(
+                [node._op] + [c._struct_key for c in node.children()]
+            ))
+            object.__setattr__(node, "_struct_key", key)
+        return self._struct_key
+
+    def _leaf_key(self) -> str:
+        raise ExpressionError(
+            f"node type {type(self).__name__} has children but no operator tag"
+        )
 
     # -- operator overloading ------------------------------------------------
 
@@ -145,6 +201,9 @@ class Const(Expr):
 
     value: float
 
+    def _leaf_key(self) -> str:
+        return f"C{float(self.value)!r}"
+
     def evaluate(self, env: dict):
         return self.value
 
@@ -162,6 +221,9 @@ class VarRef(Expr):
         if not isinstance(self.name, str) or not self.name:
             raise ExpressionError("variable name must be a non-empty string")
 
+    def _leaf_key(self) -> str:
+        return f"V{self.name}"
+
     def evaluate(self, env: dict):
         try:
             return env[self.name]
@@ -177,6 +239,7 @@ class Add(Expr):
     """N-ary sum of terms."""
 
     terms: tuple
+    _op = "+"
 
     def __post_init__(self):
         if not self.terms:
@@ -204,6 +267,7 @@ class Mul(Expr):
 
     left: Expr
     right: Expr
+    _op = "*"
 
     def children(self) -> tuple:
         return (self.left, self.right)
@@ -221,6 +285,7 @@ class Div(Expr):
 
     numerator: Expr
     denominator: Expr
+    _op = "/"
 
     def children(self) -> tuple:
         return (self.numerator, self.denominator)
@@ -244,6 +309,7 @@ class Pow(Expr):
 
     base: Expr
     exponent: Expr
+    _op = "^"
 
     def children(self) -> tuple:
         return (self.base, self.exponent)
@@ -262,6 +328,7 @@ class Neg(Expr):
     """Unary negation."""
 
     operand: Expr
+    _op = "neg"
 
     def children(self) -> tuple:
         return (self.operand,)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.fitting import FitOptions, FitResult, fit_perf_model
+from repro.fitting import FitOptions, fit_perf_model
 from repro.hslb.gather import BenchmarkData
 
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 from repro.cesm.components import ComponentId
 from repro.cesm.layouts import Layout
 from repro.exceptions import ConfigurationError
-from repro.fitting.perfmodel import PerfModel
 from repro.hslb.objectives import ObjectiveKind
 from repro.model import Model, Objective, ObjSense, Sense, VarType
 

@@ -18,8 +18,6 @@ Complexities (N = total nodes):
 
 from __future__ import annotations
 
-import bisect
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,11 +25,49 @@ import numpy as np
 from repro.cesm.components import ComponentId
 from repro.cesm.layouts import Layout, composed_total
 from repro.exceptions import ConfigurationError
+from repro.expr.node import VarRef, const
+from repro.fitting.perfmodel import PerfModel
 from repro.hslb.objectives import ObjectiveKind
+from repro.kernels import default_cache
 
 A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
 
 _BRUTE_FORCE_LIMIT = 8192
+
+
+def _tabulate(perf, idx: np.ndarray) -> np.ndarray:
+    """Evaluate ``perf`` on the integer grid ``idx`` (as floats).
+
+    :class:`PerfModel` curves go through a cached batched kernel
+    (:meth:`repro.kernels.KernelCache.batch`) built from a symbolic tree
+    whose operation order matches ``PerfModel.__call__`` exactly —
+    ``(a/n + b*n**c) + d`` — so the tabulation is bit-identical to direct
+    evaluation while the same fitted curve, re-tabulated across cases and
+    components, compiles only once per process.  Arbitrary callables fall
+    back to direct vectorized evaluation.
+    """
+    pts = idx.astype(float)
+    if isinstance(perf, PerfModel):
+        n = VarRef("n")
+        expr = const(perf.a) / n + const(perf.b) * n ** const(perf.c) + const(perf.d)
+        kernel = default_cache().batch([expr], {"n": 0})
+        return kernel.values(pts[:, None])[:, 0]
+    return perf(pts)
+
+
+def _first_min_args(values: np.ndarray) -> np.ndarray:
+    """Running argmin with *first-occurrence* tie-breaking.
+
+    ``out[i]`` is the smallest index ``j <= i`` minimizing ``values[:i+1]``
+    — the vectorized equivalent of a left-to-right scan keeping the first
+    strict improvement.
+    """
+    running = np.minimum.accumulate(values)
+    prev = np.concatenate(([np.inf], running[:-1]))
+    improving = values < prev
+    return np.maximum.accumulate(
+        np.where(improving, np.arange(values.size), 0)
+    )
 
 
 @dataclass(frozen=True)
@@ -59,7 +95,7 @@ class _Curve:
             idx = np.arange(lo, hi + 1)
         if idx.size == 0:
             raise ConfigurationError("component has no admissible node count")
-        values[idx] = perf(idx.astype(float))
+        values[idx] = _tabulate(perf, idx)
         self.values = values
         # prefix minimum and its arg: best time using at most x nodes.
         self.best = np.minimum.accumulate(values)
@@ -223,35 +259,36 @@ class LayoutOracle:
         return self._combine_hybrid(pair, choice, stage_combine=combine)
 
     def _combine_hybrid(self, pair, choice, stage_combine: str):
-        """Minimize over (n_atm, n_ocn) given the ice/land pair table."""
-        a_vals = [v for v in self.atm_values if v < pair.shape[0]]
-        h = np.array([pair[v] + self.atm.values[v] for v in a_vals])
+        """Minimize over (n_atm, n_ocn) given the ice/land pair table.
+
+        All candidate ocean sizes are scored in one vectorized block:
+        a ``searchsorted`` finds each candidate's largest admissible
+        atmosphere size, prefix minima of the stage-1 table supply the best
+        atmosphere choice at or below it, and a single ``argmin`` picks the
+        winner (first-occurrence ties reproduce the scan order exactly).
+        """
+        a_vals = np.array([v for v in self.atm_values if v < pair.shape[0]])
+        h = pair[a_vals] + self.atm.values[a_vals]
         # prefix-min of h over ascending atmosphere sizes
         h_pref = np.minimum.accumulate(h)
         h_arg = np.arange(len(a_vals))
         improving = h <= h_pref
         h_arg = np.maximum.accumulate(np.where(improving, h_arg, 0))
 
-        best = (np.inf, None, None)
-        for no in self.ocn_values:
-            na_cap = self.N - no
-            idx = bisect.bisect_right(a_vals, na_cap) - 1
-            if idx < 0:
-                continue
-            na = a_vals[int(h_arg[idx])]
-            stage1 = float(h_pref[idx])
-            t_o = self.ocn.at(no)
-            if stage_combine == "sum":
-                total = stage1 + t_o
-            else:
-                total = max(stage1, t_o)
-            if total < best[0]:
-                best = (total, na, no)
-        total, na, no = best
-        if na is None:
+        o_vals = np.array(self.ocn_values)
+        idx = np.searchsorted(a_vals, self.N - o_vals, side="right") - 1
+        feasible = idx >= 0
+        stage1 = h_pref[np.maximum(idx, 0)]
+        t_o = self.ocn.values[o_vals]
+        total = stage1 + t_o if stage_combine == "sum" else np.maximum(stage1, t_o)
+        total = np.where(feasible, total, np.inf)
+        j = int(np.argmin(total))
+        if not np.isfinite(total[j]):
             raise ConfigurationError("no feasible (atm, ocn) split")
+        na = int(a_vals[int(h_arg[idx[j]])])
+        no = int(o_vals[j])
         ni, nl = map(int, choice[na])
-        return self._result({I: ni, L: nl, A: int(na), O: int(no)}, total)
+        return self._result({I: ni, L: nl, A: na, O: no}, float(total[j]))
 
     def _solve_hybrid_maxmin(self, tsync):
         """max-min with full node use: n_ice + n_lnd = n_atm, n_atm + n_ocn = N."""
@@ -298,36 +335,42 @@ class LayoutOracle:
 
     def _solve_sequential(self, objective: ObjectiveKind):
         if self.layout is Layout.SEQUENTIAL_SPLIT:
-            best = (np.inf, None)
-            a_vals = self.atm_values
-            for no in self.ocn_values:
-                cap = self.N - no
-                if cap < 1:
-                    continue
-                idx = bisect.bisect_right(a_vals, cap) - 1
-                if idx < 0:
-                    continue
-                cap_i = min(cap, self.ice.hi)
-                cap_l = min(cap, self.lnd.hi)
-                if cap_i < self.ice.lo or cap_l < self.lnd.lo:
-                    continue
-                # each stage-1 component independently prefix-minimized
-                na = self._best_atm_upto(cap)
-                if na is None:
-                    continue
-                ni = int(self.ice.best_arg[cap_i])
-                nl = int(self.lnd.best_arg[cap_l])
-                stage1 = (
-                    self.ice.at(ni) + self.lnd.at(nl) + self.atm.at(na)
-                )
-                t_o = self.ocn.at(no)
-                total = stage1 + t_o if objective is ObjectiveKind.MIN_SUM else max(stage1, t_o)
-                if total < best[0]:
-                    best = (total, {I: ni, L: nl, A: na, O: no})
-            total, alloc = best
-            if alloc is None:
+            # Score every candidate ocean size in one vectorized block.
+            # Each stage-1 component is independently prefix-minimized
+            # within the cap left by the ocean; first-occurrence argmin
+            # reproduces the scan order's tie-breaking.
+            a_vals = np.array(self.atm_values)
+            a_times = self.atm.values[a_vals]
+            a_best = _first_min_args(a_times)
+
+            o_vals = np.array(self.ocn_values)
+            cap = self.N - o_vals
+            idx = np.searchsorted(a_vals, cap, side="right") - 1
+            cap_i = np.minimum(cap, self.ice.hi)
+            cap_l = np.minimum(cap, self.lnd.hi)
+            feasible = (
+                (cap >= 1) & (idx >= 0)
+                & (cap_i >= self.ice.lo) & (cap_l >= self.lnd.lo)
+            )
+            idx_s = np.maximum(idx, 0)
+            cap_i = np.maximum(cap_i, 0)
+            cap_l = np.maximum(cap_l, 0)
+            na = a_vals[a_best[idx_s]]
+            ni = self.ice.best_arg[cap_i]
+            nl = self.lnd.best_arg[cap_l]
+            stage1 = self.ice.values[ni] + self.lnd.values[nl] + self.atm.values[na]
+            t_o = self.ocn.values[o_vals]
+            total = (
+                stage1 + t_o
+                if objective is ObjectiveKind.MIN_SUM
+                else np.maximum(stage1, t_o)
+            )
+            total = np.where(feasible, total, np.inf)
+            j = int(np.argmin(total))
+            if not np.isfinite(total[j]):
                 raise ConfigurationError("layout 2: no feasible allocation")
-            return self._result(alloc, total)
+            alloc = {I: int(ni[j]), L: int(nl[j]), A: int(na[j]), O: int(o_vals[j])}
+            return self._result(alloc, float(total[j]))
 
         # FULLY_SEQUENTIAL: all components independent within N.
         ni = int(self.ice.best_arg[min(self.ice.hi, self.N)])

@@ -16,6 +16,7 @@ import time
 import numpy as np
 
 from repro.exceptions import ModelError, SolverError
+from repro.kernels import KernelCache
 from repro.model.model import Model
 from repro.minlp.branching import (
     branch_integer,
@@ -49,6 +50,11 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
         )
     obj_expr = model.objective.minimization_expr()
 
+    # One cache for the whole tree: children share their parent's
+    # expressions (only bounds differ), so every node after the root
+    # re-uses the root's compiled kernels.
+    cache = KernelCache()
+
     incumbent: dict | None = None
     upper = math.inf
     queue = NodeQueue(opt.node_selection)
@@ -76,7 +82,10 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
             continue
         nodes += 1
 
-        built = build_nlp(model, obj_expr, fixings={}, bounds=node.bounds)
+        built = build_nlp(
+            model, obj_expr, fixings={}, bounds=node.bounds,
+            kernel_cache=cache, evaluator=opt.evaluator,
+        )
         if built.infeasible_reason is not None:
             continue
         if built.fully_fixed:
@@ -167,4 +176,5 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
         wall_time=time.monotonic() - t0,
         message=message,
         phase_seconds={k: v[0] for k, v in sw.summary().items()},
+        kernel_counters=cache.summary(),
     )

@@ -28,6 +28,7 @@ import time
 
 from repro.exceptions import ExpressionError, ModelError, SolverError
 from repro.expr.linear import linear_coefficients
+from repro.kernels import KernelCache
 from repro.expr.linearize import linearize_at
 from repro.expr.node import VarRef
 from repro.lp.result import LPStatus
@@ -85,9 +86,14 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
     nlp_solves = 0
     lp_iterations = 0
 
+    # One kernel cache for every NLP this solve builds: the seed relaxation
+    # and all fixed-integer NLP(ŷ) subproblems share the same nonlinear
+    # bodies, so compilation happens once.
+    cache = KernelCache()
+
     # Step 1: seed the cut pool from a continuous relaxation point.
     with sw.phase("initial_nlp"):
-        seed_env, seeded_nlp = _initial_point(work, obj_expr, nl_bodies, opt)
+        seed_env, seeded_nlp = _initial_point(work, obj_expr, nl_bodies, opt, cache)
         nlp_solves += seeded_nlp
     for _, body in nl_bodies:
         try:
@@ -174,7 +180,9 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
                 v.name: int_env[v.name] for v in work.integer_variables()
             }
             with sw.phase("nlp_fixed"):
-                cand_env, cand_obj, solved = _solve_fixed_nlp(work, obj_expr, fixings, opt)
+                cand_env, cand_obj, solved = _solve_fixed_nlp(
+                    work, obj_expr, fixings, opt, cache
+                )
                 nlp_solves += solved
             if cand_env is not None and cand_obj < upper:
                 upper, incumbent = cand_obj, cand_env
@@ -259,6 +267,7 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
         wall_time=time.monotonic() - t0,
         message=message,
         phase_seconds={k: v[0] for k, v in sw.summary().items()},
+        kernel_counters=cache.summary(),
     )
 
 
@@ -293,7 +302,8 @@ def _prepare(model: Model):
     return work, VarRef(_ETA)
 
 
-def _initial_point(work: Model, obj_expr, nl_bodies, opt: MINLPOptions):
+def _initial_point(work: Model, obj_expr, nl_bodies, opt: MINLPOptions,
+                   cache: KernelCache | None = None):
     """A linearization seed: solve the NLP relaxation *restricted to the
     variables that appear nonlinearly* (plus linear rows fully supported by
     them).  Falls back to box midpoints when the barrier fails.
@@ -333,6 +343,8 @@ def _initial_point(work: Model, obj_expr, nl_bodies, opt: MINLPOptions):
             lb=lb,
             ub=ub,
             eq_rows=eq_rows,
+            kernel_cache=cache,
+            evaluator=opt.evaluator,
         )
         res = solve_nlp(problem, options=opt.nlp_options)
     except (ModelError, SolverError):
@@ -363,9 +375,11 @@ def _box_midpoint(lb: np.ndarray, ub: np.ndarray) -> np.ndarray:
     return mid
 
 
-def _solve_fixed_nlp(work: Model, obj_expr, fixings: dict, opt: MINLPOptions):
+def _solve_fixed_nlp(work: Model, obj_expr, fixings: dict, opt: MINLPOptions,
+                     cache: KernelCache | None = None):
     """Solve NLP(y-hat); returns (full env or None, objective, solver calls)."""
-    built = build_nlp(work, obj_expr, fixings)
+    built = build_nlp(work, obj_expr, fixings,
+                      kernel_cache=cache, evaluator=opt.evaluator)
     if built.infeasible_reason is not None:
         return None, math.inf, 0
     if built.fully_fixed:

@@ -57,10 +57,16 @@ def build_nlp(
     objective: Expr,
     fixings: dict,
     bounds: dict | None = None,
+    kernel_cache=None,
+    evaluator: str = "kernel",
 ) -> BuiltNLP:
     """Construct the NLP left after fixing ``fixings`` and applying node
     ``bounds`` overrides.  Integer variables that are not fixed are relaxed
     to their (possibly overridden) boxes.
+
+    ``kernel_cache``/``evaluator`` are forwarded to :class:`NLPProblem`;
+    passing one cache for a whole branch-and-bound solve lets sibling nodes
+    (identical expressions, different bounds) reuse compiled kernels.
     """
     bounds = bounds or {}
     lo: dict = {}
@@ -161,6 +167,8 @@ def build_nlp(
         lb=np.array([lo[n] for n in free_names]),
         ub=np.array([hi[n] for n in free_names]),
         eq_rows=eq_rows,
+        kernel_cache=kernel_cache,
+        evaluator=evaluator,
     )
     return BuiltNLP(fixed=fixed, problem=problem, objective=obj)
 

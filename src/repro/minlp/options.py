@@ -49,5 +49,6 @@ class MINLPOptions:
     require_convex: bool = True    # refuse non-certified models (global optimality)
     max_cut_rounds: int = 40       # OA cut passes per node before forced branch
     use_warm_start: bool = True    # dual-simplex warm starts for node LPs
+    evaluator: str = "kernel"      # NLP evaluation back-end: kernel | scalar | tree
     lp_options: SimplexOptions = field(default_factory=SimplexOptions)
     nlp_options: BarrierOptions = field(default_factory=BarrierOptions)

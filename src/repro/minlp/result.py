@@ -22,7 +22,9 @@ class MINLPResult:
     for OPTIMAL, and for limit statuses when an incumbent exists.
     ``nodes`` / ``cuts_added`` / ``nlp_solves`` / ``lp_iterations`` feed the
     solver-performance benchmarks (paper Sec. III-E: < 60 s at 40,960 nodes,
-    SOS vs binary branching).
+    SOS vs binary branching).  ``kernel_counters`` snapshots the solve's
+    :class:`repro.kernels.KernelCache` counters (compiles, hits/misses,
+    gradient/Hessian evaluations).
     """
 
     status: MINLPStatus
@@ -36,6 +38,7 @@ class MINLPResult:
     wall_time: float = 0.0
     message: str = ""
     phase_seconds: dict = field(default_factory=dict)
+    kernel_counters: dict = field(default_factory=dict)
 
     @property
     def is_optimal(self) -> bool:

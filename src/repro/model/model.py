@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import ModelError
-from repro.expr.node import Add, Const, Expr, Mul, Neg, VarRef
+from repro.expr.node import Add, Const, Mul, VarRef
 from repro.model.constraint import Constraint, Sense
 from repro.model.objective import Objective
 from repro.model.sos import SOS1Set

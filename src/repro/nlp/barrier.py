@@ -166,6 +166,8 @@ class _Barrier:
             lb=np.concatenate([self.p.lb, [-np.inf]]),
             ub=np.concatenate([self.p.ub, [np.inf]]),
             eq_rows=list(self.p.eq_rows),
+            kernel_cache=self.p.kernel_cache,
+            evaluator=self.p.evaluator,
         )
         g0 = self.p.g_values(x_start)
         s0 = float(g0.max(initial=0.0)) + 1.0

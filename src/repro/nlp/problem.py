@@ -1,11 +1,17 @@
-"""NLP problem container with precompiled derivatives.
+"""NLP problem container evaluating through compiled kernels.
 
-Symbolic gradients and Hessians are derived once at construction and then
-*compiled* (:mod:`repro.expr.compile`) into plain-Python callables over the
-problem's variable vector; evaluation during the barrier iterations is then
-a handful of bytecode-compiled expressions instead of tree walks, while
-linear rows contribute constant Jacobian entries assembled directly into
-numpy arrays.
+Symbolic gradients and Hessians are derived once and compiled into
+CSE-grouped kernels (:mod:`repro.kernels`) over the problem's variable
+vector; evaluation during the barrier iterations is then a handful of
+bytecode-compiled statement blocks instead of tree walks, while linear rows
+contribute constant Jacobian entries assembled directly into numpy arrays.
+
+Construction goes through a :class:`~repro.kernels.KernelCache` — pass the
+same cache to sibling subproblems (the MINLP solvers pass one per solve)
+and structurally identical functions are neither re-differentiated nor
+recompiled.  ``evaluator`` selects the back-end: ``"kernel"`` (default),
+``"scalar"`` (one compiled lambda per expression — the historical path) or
+``"tree"`` (direct ``Expr.evaluate`` walks, the bit-identical reference).
 """
 
 from __future__ import annotations
@@ -14,67 +20,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ExpressionError, ModelError
-from repro.expr.compile import compile_expr
-from repro.expr.diff import gradient, hessian
-from repro.expr.linear import LinearForm, linear_coefficients
+from repro.exceptions import ModelError
 from repro.expr.node import Expr
+from repro.kernels import KernelCache, SmoothKernel
 
-
-class _Smooth:
-    """A smooth scalar function with compiled first/second derivatives.
-
-    All callables take the problem's full variable vector ``x``; index maps
-    variable names to positions in that vector.
-    """
-
-    __slots__ = ("expr", "linear", "value", "_grad_items", "_hess_items")
-
-    def __init__(self, expr: Expr, index: dict):
-        self.expr = expr
-        support = sorted(expr.variables())
-        try:
-            self.linear = linear_coefficients(expr)
-        except ExpressionError:
-            self.linear = None
-        self.value = compile_expr(expr, index)
-        grads = gradient(expr, support)
-        # (position, compiled derivative) per support variable.
-        self._grad_items = [
-            (index[n], compile_expr(grads[n], index)) for n in support
-        ]
-        hess = hessian(expr, support)
-        self._hess_items = [
-            (index[a], index[b], compile_expr(e, index))
-            for (a, b), e in hess.items()
-        ]
-
-    def grad_into(self, x, out: np.ndarray) -> None:
-        """Accumulate the gradient at ``x`` into dense vector ``out``."""
-        if self.linear is not None:
-            # affine: constant gradient (fast path keeps indices compiled in)
-            for pos, fn in self._grad_items:
-                out[pos] += fn(x)
-            return
-        for pos, fn in self._grad_items:
-            out[pos] += fn(x)
-
-    def grad_vector(self, x, n: int) -> np.ndarray:
-        out = np.zeros(n)
-        self.grad_into(x, out)
-        return out
-
-    def hess_into(self, x, out: np.ndarray, scale: float) -> None:
-        """Accumulate ``scale * Hessian`` at ``x`` into dense matrix ``out``."""
-        if self.linear is not None:
-            return  # affine: zero Hessian
-        for ia, ib, fn in self._hess_items:
-            v = fn(x) * scale
-            if v == 0.0:
-                continue
-            out[ia, ib] += v
-            if ia != ib:
-                out[ib, ia] += v
+#: Re-exported for the issue-facing name: the smooth-function evaluator the
+#: barrier solver consumes is the kernel layer's object.
+_Smooth = SmoothKernel
 
 
 @dataclass
@@ -83,6 +35,9 @@ class NLPProblem:
 
     ``names`` fixes the variable ordering used by all dense arrays.
     ``eq_rows`` is a list of ``(coeffs_dict, rhs)`` linear equalities.
+    ``kernel_cache`` shares compiled evaluators between related problems
+    (a private cache is created when omitted); ``evaluator`` picks the
+    evaluation back-end (see the module docstring).
     """
 
     names: list
@@ -91,6 +46,8 @@ class NLPProblem:
     lb: np.ndarray
     ub: np.ndarray
     eq_rows: list = field(default_factory=list)
+    kernel_cache: KernelCache | None = None
+    evaluator: str = "kernel"
 
     def __post_init__(self):
         self.names = list(self.names)
@@ -114,8 +71,14 @@ class NLPProblem:
         missing = self.objective.variables() - known
         if missing:
             raise ModelError(f"objective uses unknown variables {sorted(missing)}")
-        self._f = _Smooth(self.objective, self.index)
-        self._g = [(label, _Smooth(body, self.index)) for label, body in self.inequalities]
+        if self.kernel_cache is None:
+            self.kernel_cache = KernelCache()
+        cache = self.kernel_cache
+        self._f = cache.smooth(self.objective, self.index, evaluator=self.evaluator)
+        self._g = [
+            (label, cache.smooth(body, self.index, evaluator=self.evaluator))
+            for label, body in self.inequalities
+        ]
 
         # Dense equality matrix.
         m = len(self.eq_rows)
@@ -151,7 +114,7 @@ class NLPProblem:
         return np.array([s.value(x) for _, s in self._g])
 
     def g_items(self):
-        """(label, _Smooth) pairs for the inequalities."""
+        """(label, smooth kernel) pairs for the inequalities."""
         return self._g
 
     def max_violation(self, x: np.ndarray) -> float:

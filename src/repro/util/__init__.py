@@ -9,7 +9,7 @@ from repro.util.validation import (
 )
 from repro.util.rng import as_rng, spawn_child
 from repro.util.tables import TextTable, format_seconds
-from repro.util.timing import Stopwatch
+from repro.util.timing import Counters, Stopwatch
 
 __all__ = [
     "check_positive",
@@ -22,4 +22,5 @@ __all__ = [
     "TextTable",
     "format_seconds",
     "Stopwatch",
+    "Counters",
 ]

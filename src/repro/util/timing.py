@@ -1,8 +1,11 @@
-"""A tiny stopwatch for solver instrumentation.
+"""A tiny stopwatch and event counters for solver instrumentation.
 
 Solvers report wall-clock spent per phase (relaxation solves, cut
 generation, branching) in their result objects; :class:`Stopwatch` keeps
-that bookkeeping out of the algorithm code.
+that bookkeeping out of the algorithm code.  :class:`Counters` does the
+same for *event counts* — kernel compiles, cache hits, batched evaluation
+points — which the kernel layer accumulates and the MINLP solvers surface
+in their solve reports.
 """
 
 from __future__ import annotations
@@ -50,3 +53,45 @@ class Stopwatch:
     def summary(self) -> dict:
         """``{phase: (seconds, count)}`` snapshot."""
         return {k: (self._elapsed[k], self._counts[k]) for k in self._elapsed}
+
+
+class Counters:
+    """Named monotonic event counters.
+
+    >>> c = Counters()
+    >>> c.incr("kernel_hits")
+    >>> c.incr("kernel_hits", 2)
+    >>> c.get("kernel_hits")
+    3
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0 on first use)."""
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def ratio(self, numer: str, *denoms: str) -> float:
+        """``numer / sum(denoms)``, or 0.0 when the denominator is empty.
+
+        ``counters.ratio("kernel_hits", "kernel_hits", "kernel_misses")``
+        is the cache hit rate.
+        """
+        total = sum(self.get(d) for d in denoms)
+        return self.get(numer) / total if total else 0.0
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate ``other``'s counts into this instance."""
+        for name, count in other._counts.items():
+            self._counts[name] += count
+
+    def summary(self) -> dict:
+        """Plain ``{name: count}`` snapshot (sorted for stable reports)."""
+        return {k: self._counts[k] for k in sorted(self._counts)}

@@ -2,7 +2,6 @@ import numpy as np
 import pytest
 
 from repro.cesm import (
-    CESMCase,
     ComponentId,
     CoupledRunSimulator,
     Layout,

@@ -1,7 +1,5 @@
 """Keep docs/tutorial.md honest: its key snippets must actually run."""
 
-import numpy as np
-import pytest
 
 from repro.cesm import ComponentId, make_case
 from repro.hslb import (

@@ -1,0 +1,93 @@
+"""Emission fixes that ride along with the kernel layer:
+
+- deeply nested / very wide trees either flatten cleanly or raise a clear
+  ``ExpressionError`` (never ``RecursionError``), and ``compile_expr``
+  falls back to statement emission so they compile regardless;
+- ``Const`` values are always emitted as float literals (a bare ``2``
+  would keep ``x ** 2`` integer-typed for integer inputs), with negative
+  literals parenthesized so they are safe as ``Pow`` bases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.expr.compile import compile_expr, expr_source
+from repro.expr.node import Neg, Pow, const, var
+
+
+def add_chain(n: int):
+    e = var("x")
+    for _ in range(n):
+        e = e + 1.0
+    return e
+
+
+def mul_chain(n: int):
+    e = var("x")
+    for _ in range(n):
+        e = e * 1.0
+    return e
+
+
+def nested(n: int):
+    """Alternating Neg/Pow nesting that cannot be flattened into a chain."""
+    e = var("x")
+    for i in range(n):
+        e = Neg(e) if i % 2 else Pow(e, const(1.0))
+    return e
+
+
+class TestDeepChains:
+    def test_long_add_chain_compiles(self):
+        """10k left-leaning additions compile without RecursionError."""
+        e = add_chain(10_000)
+        f = compile_expr(e, {"x": 0})
+        assert f([1.0]) == 10_001.0
+
+    def test_long_mul_chain_compiles(self):
+        f = compile_expr(mul_chain(10_000), {"x": 0})
+        assert f([3.0]) == 3.0
+
+    def test_wide_chain_single_expression_rejected_clearly(self):
+        e = add_chain(5_000)
+        with pytest.raises(ExpressionError, match=r"\d+ terms"):
+            expr_source(e, {"x": 0})
+
+    def test_deep_nesting_single_expression_rejected_clearly(self):
+        e = nested(400)
+        with pytest.raises(ExpressionError, match=r"nests \d+ levels"):
+            expr_source(e, {"x": 0})
+
+    def test_deep_nesting_compiles_through_statements(self):
+        """compile_expr falls back to the statement emitter and still
+        matches tree evaluation."""
+        e = nested(400)
+        f = compile_expr(e, {"x": 0})
+        assert f([2.0]) == e.evaluate({"x": 2.0})
+
+    def test_moderate_nesting_stays_single_expression(self):
+        e = nested(100)
+        src = expr_source(e, {"x": 0})
+        assert eval(f"lambda x: {src}")([2.0]) == e.evaluate({"x": 2.0})
+
+
+class TestFloatConstants:
+    def test_integer_const_emits_float_literal(self):
+        assert expr_source(const(2), {}) == "2.0"
+
+    def test_pow_stays_float_for_integer_inputs(self):
+        f = compile_expr(Pow(var("x"), const(2)), {"x": 0})
+        out = f([3])  # deliberately an int input
+        assert isinstance(out, float)
+        assert out == 9.0
+
+    def test_negative_const_base_parenthesized(self):
+        """(-2.0) ** 2 is 4; unparenthesized emission would give -(2**2)."""
+        e = Pow(const(-2.0), const(2.0))
+        assert compile_expr(e, {})([]) == 4.0
+        assert e.evaluate({}) == 4.0
+
+    def test_negative_const_in_source(self):
+        assert expr_source(const(-2.5), {}) == "(-2.5)"

@@ -1,0 +1,57 @@
+"""Structural hashing (Expr.struct_key) used by the kernel cache."""
+
+from __future__ import annotations
+
+from repro.expr.node import Neg, Pow, const, var
+
+
+def chain(n: int):
+    e = var("x")
+    for _ in range(n):
+        e = e + 1.0
+    return e
+
+
+class TestStructKey:
+    def test_equal_structure_equal_key(self):
+        a = 2.0 / var("n") + var("n") ** 1.3
+        b = 2.0 / var("n") + var("n") ** 1.3
+        assert a is not b
+        assert a.struct_key() == b.struct_key()
+
+    def test_keys_are_interned(self):
+        a = (var("x") + 1.0) * var("y")
+        b = (var("x") + 1.0) * var("y")
+        assert a.struct_key() is b.struct_key()
+
+    def test_value_discriminates(self):
+        assert const(2.0).struct_key() != const(3.0).struct_key()
+
+    def test_name_discriminates(self):
+        assert var("x").struct_key() != var("y").struct_key()
+
+    def test_int_and_float_consts_agree(self):
+        assert const(2).struct_key() == const(2.0).struct_key()
+
+    def test_operator_discriminates(self):
+        x, y = var("x"), var("y")
+        assert (x + y).struct_key() != (x * y).struct_key()
+        assert (x / y).struct_key() != Pow(x, y).struct_key()
+
+    def test_operand_order_discriminates(self):
+        x, y = var("x"), var("y")
+        assert (x / y).struct_key() != (y / x).struct_key()
+
+    def test_shared_subtree_same_key(self):
+        s = var("x") * var("y")
+        assert (s + s).children()[0].struct_key() == s.struct_key()
+
+    def test_deep_chain_no_recursion(self):
+        """10k-node chains must not hit the interpreter recursion limit."""
+        a, b = chain(10_000), chain(10_000)
+        assert a.struct_key() == b.struct_key()
+        assert a.struct_key() != chain(9_999).struct_key()
+
+    def test_key_cached_on_node(self):
+        e = Neg(var("x") + const(1.0))
+        assert e.struct_key() is e.struct_key()

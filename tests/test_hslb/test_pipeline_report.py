@@ -1,6 +1,6 @@
 import pytest
 
-from repro.cesm import ComponentId, CoupledRunSimulator, make_case
+from repro.cesm import ComponentId, make_case
 from repro.cesm.layouts import validate_allocation
 from repro.hslb import HSLBPipeline, format_table3_block
 

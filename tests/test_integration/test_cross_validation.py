@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 from repro.cesm import ComponentId, CoupledRunSimulator, Layout, make_case
 from repro.exceptions import FittingError
 from repro.fitting import PerfModel, fit_perf_model
-from repro.hslb import HSLBPipeline, LayoutOracle, ObjectiveKind, solve_allocation
+from repro.hslb import HSLBPipeline, LayoutOracle
 from repro.hslb.layout_models import build_layout_model
 from repro.minlp import MINLPOptions, solve_lpnlp, solve_nlp_bnb
 

@@ -2,12 +2,10 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.expr import var
 from repro.lp import LPStatus, solve_lp
-from repro.lp.problem import RowSense
 from repro.expr.linearize import TangentCut
 from repro.expr.linear import LinearForm
 from repro.model import Model, Objective, Sense, VarType

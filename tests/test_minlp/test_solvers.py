@@ -1,6 +1,5 @@
 """End-to-end MINLP solver tests: both algorithms, brute-force cross-checks."""
 
-import itertools
 import math
 
 import pytest

@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.exceptions import ModelError
 from repro.expr import var
-from repro.nlp import BarrierOptions, NLPProblem, NLPStatus, solve_nlp
+from repro.nlp import NLPProblem, NLPStatus, solve_nlp
 
 
 def qp_1d():

@@ -9,7 +9,6 @@ import pytest
 
 from repro.cesm import ComponentId, ground_truth
 from repro.expr import var
-from repro.fitting import PerfModel
 from repro.nlp import BarrierOptions, NLPProblem, NLPStatus, solve_nlp
 from repro.nlp.barrier import _Barrier
 

@@ -1,6 +1,5 @@
 """Breadth/edge-case tests across small utility surfaces."""
 
-import numpy as np
 import pytest
 
 from repro.cesm import ComponentId

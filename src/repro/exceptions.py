@@ -41,12 +41,53 @@ class IterationLimitError(SolverError):
     """A solver hit its iteration budget before converging."""
 
 
+class DeadlineExceededError(SolverError):
+    """A wall-clock :class:`~repro.resilience.Deadline` expired mid-stage."""
+
+
 class FittingError(ReproError):
     """Least-squares fitting failed (too few points, degenerate data...)."""
 
 
 class SimulationError(ReproError):
     """The CESM simulator was asked to run an invalid configuration."""
+
+
+class InjectedFaultError(SimulationError):
+    """A fault deliberately injected by a :class:`~repro.resilience.FaultySimulator`.
+
+    Modeled after the failure modes of real benchmark jobs on Intrepid:
+    crashes and queue timeouts abort the run (raised), while corrupted or
+    outlying timings come back as bad *values* and must be caught by the
+    gather stage's validation and outlier rejection.
+    """
+
+
+class InjectedCrashError(InjectedFaultError):
+    """The simulated benchmark job crashed before producing a timing."""
+
+
+class InjectedTimeoutError(InjectedFaultError):
+    """The simulated benchmark job hit its queue time limit.
+
+    ``timeout_seconds`` carries the simulated wall-clock that was lost.
+    """
+
+    def __init__(self, message: str, timeout_seconds: float = 0.0):
+        super().__init__(message)
+        self.timeout_seconds = float(timeout_seconds)
+
+
+class GatherError(ReproError):
+    """Benchmark gathering degraded past the point of a usable fit.
+
+    ``partial`` carries whatever :class:`~repro.hslb.gather.BenchmarkData`
+    survived, so callers can inspect (or persist) the salvaged points.
+    """
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial = partial
 
 
 class ConfigurationError(ReproError):

@@ -24,7 +24,12 @@ from repro.hslb.gather import BenchmarkData, gather_benchmarks
 from repro.hslb.fitstep import fit_components
 from repro.hslb.layout_models import build_layout_model
 from repro.hslb.oracle import LayoutOracle, OracleResult
-from repro.hslb.solve import SolveOutcome, solve_allocation
+from repro.hslb.solve import (
+    SolveOutcome,
+    proportional_baseline,
+    solve_allocation,
+    solve_allocation_resilient,
+)
 from repro.hslb.pipeline import HSLBPipeline, HSLBRunResult
 from repro.hslb.report import format_table3_block
 
@@ -38,6 +43,8 @@ __all__ = [
     "OracleResult",
     "SolveOutcome",
     "solve_allocation",
+    "solve_allocation_resilient",
+    "proportional_baseline",
     "HSLBPipeline",
     "HSLBRunResult",
     "format_table3_block",

@@ -2,23 +2,74 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+from repro.exceptions import FittingError
 from repro.fitting import FitOptions, fit_perf_model
 from repro.hslb.gather import BenchmarkData
+from repro.resilience.events import EventKind, EventLog
+from repro.resilience.retry import RetryPolicy
 
 
 def fit_components(
-    data: BenchmarkData, options: FitOptions | None = None
+    data: BenchmarkData,
+    options: FitOptions | None = None,
+    policy: RetryPolicy | None = None,
+    events: EventLog | None = None,
 ) -> dict:
     """Least-squares fits for every component in ``data``.
 
     Returns ``{ComponentId: FitResult}``.  Four separate problems, one per
     component, exactly as the paper's step 2 ("solve 4 ... different least
     squares problems outlined in Table II").
+
+    With ``policy``/``events`` set, a :class:`~repro.exceptions.FittingError`
+    triggers a multi-start refit — doubling the restart count and reseeding
+    each attempt — before giving up, recording each escalation on the event
+    log.  The solver is nonconvex in ``c``, so more restarts genuinely widen
+    the basin search (the paper's own remedy for disagreeing local optima).
     """
-    return {
-        comp: fit_perf_model(data.nodes(comp), data.times(comp), options)
-        for comp in data.components()
-    }
+    if policy is None and events is None:
+        return {
+            comp: fit_perf_model(data.nodes(comp), data.times(comp), options)
+            for comp in data.components()
+        }
+    policy = policy or RetryPolicy()
+    events = events if events is not None else EventLog()
+    fits = {}
+    for comp in data.components():
+        fits[comp] = _fit_resilient(
+            comp, data.nodes(comp), data.times(comp), options, policy, events
+        )
+    return fits
+
+
+def _fit_resilient(comp, nodes, times, options, policy: RetryPolicy, events: EventLog):
+    opt = options or FitOptions()
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fit_perf_model(nodes, times, opt)
+        except FittingError as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            escalated = replace(
+                opt,
+                n_starts=opt.n_starts * 2,
+                seed=(opt.seed or 0) + attempt,
+            )
+            events.record(
+                EventKind.FIT_RETRY,
+                stage="fit",
+                detail=(
+                    f"fit failed ({exc}); refitting with "
+                    f"{escalated.n_starts} starts, seed {escalated.seed}"
+                ),
+                component=comp.value,
+                attempt=attempt,
+                n_starts=escalated.n_starts,
+            )
+            opt = escalated
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def fit_quality_summary(fits: dict) -> dict:

@@ -5,10 +5,22 @@ requirements and on the greatest number of nodes possible.  In addition, a
 few simulations should be done in between to capture the curvature of the
 scaling. ... the number of benchmarking runs ... should be at least greater
 than four for each component."
+
+The benchmark jobs behind those numbers crash, hit queue timeouts, and
+return corrupted timings.  Pass a :class:`~repro.resilience.RetryPolicy`
+(and optionally an :class:`~repro.resilience.EventLog` / ``deadline``) and
+:func:`gather_benchmarks` runs a resilient sweep instead of the bare one:
+failed points are retried with capped deterministic backoff, implausible
+measurements are rejected by a MAD test and re-measured, exhausted points
+are replaced by a neighboring node count or dropped, and the fit proceeds
+as long as 3 distinct points per component survive — otherwise a
+:class:`~repro.exceptions.GatherError` carries out the partial data.
+Without a policy the historical clean path runs unchanged.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,7 +28,10 @@ import numpy as np
 from repro.cesm.case import CESMCase
 from repro.cesm.components import OPTIMIZED_COMPONENTS, ComponentId
 from repro.cesm.simulator import CoupledRunSimulator
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, GatherError, SimulationError
+from repro.resilience.events import EventKind, EventLog
+from repro.resilience.outliers import worst_outlier
+from repro.resilience.retry import Deadline, RetryPolicy
 
 
 @dataclass
@@ -30,6 +45,17 @@ class BenchmarkData:
         t = np.asarray(times, dtype=float)
         if n.shape != t.shape:
             raise ConfigurationError("nodes/times length mismatch")
+        # Mirror fit_component's preconditions here, where corrupted
+        # measurements first enter the pipeline: reject them loudly instead
+        # of letting NaNs poison the fit three stages later.
+        if not np.all(np.isfinite(n)) or np.any(n <= 0):
+            raise ConfigurationError(
+                f"{component.value}: node counts must be finite and positive"
+            )
+        if not np.all(np.isfinite(t)) or np.any(t < 0):
+            raise ConfigurationError(
+                f"{component.value}: times must be finite and nonnegative"
+            )
         if component in self.samples:
             n0, t0 = self.samples[component]
             n, t = np.concatenate([n0, n]), np.concatenate([t0, t])
@@ -50,30 +76,290 @@ class BenchmarkData:
 
 
 def gather_benchmarks(
-    simulator: CoupledRunSimulator,
+    simulator,
     points: int = 5,
     components: tuple = OPTIMIZED_COMPONENTS,
+    policy: RetryPolicy | None = None,
+    events: EventLog | None = None,
+    deadline=None,
 ) -> BenchmarkData:
     """Run the benchmark sweeps for ``components`` on ``simulator``.
 
     ``points`` node counts per component are spread geometrically between
     the memory floor and the job size (the paper's recommendation, with the
     geometric spacing capturing the curvature where it lives).
+
+    With ``policy`` (or ``events``/``deadline``) set, the sweep is fault
+    tolerant — see the module docstring.  The clean path is bit-identical
+    to the historical behavior.
     """
     if points < 3:
         raise ConfigurationError(
             "need at least 3 benchmark points per component to fit the model "
             "(the paper recommends more than 4)"
         )
+    if policy is None and events is None and deadline is None:
+        return _gather_plain(simulator, points, components)
+    return _gather_resilient(
+        simulator,
+        points,
+        components,
+        policy or RetryPolicy(),
+        events if events is not None else EventLog(),
+        Deadline.coerce(deadline),
+    )
+
+
+def _sweep_counts(case: CESMCase, comp: ComponentId, points: int) -> list:
+    counts = case.benchmark_node_counts(comp, points=points)
+    if len(counts) < 3:
+        raise ConfigurationError(
+            f"component {comp.value}: node range too narrow for "
+            f"{points} distinct benchmark sizes"
+        )
+    return counts
+
+
+def _gather_plain(
+    simulator: CoupledRunSimulator, points: int, components: tuple
+) -> BenchmarkData:
     case: CESMCase = simulator.case
     data = BenchmarkData()
     for comp in components:
-        counts = case.benchmark_node_counts(comp, points=points)
-        if len(counts) < 3:
-            raise ConfigurationError(
-                f"component {comp.value}: node range too narrow for "
-                f"{points} distinct benchmark sizes"
-            )
+        counts = _sweep_counts(case, comp, points)
         sweep = simulator.benchmark_sweep(comp, counts)
         data.add(comp, [n for n, _ in sweep], [t for _, t in sweep])
     return data
+
+
+# -- resilient path -------------------------------------------------------------
+
+
+def _gather_resilient(
+    simulator,
+    points: int,
+    components: tuple,
+    policy: RetryPolicy,
+    events: EventLog,
+    deadline: Deadline,
+) -> BenchmarkData:
+    case: CESMCase = simulator.case
+    data = BenchmarkData()
+    partial = BenchmarkData()
+    for comp in components:
+        counts = _sweep_counts(case, comp, points)
+        budget = _SweepBudget(policy.sweep_budget)
+        survived: dict = {}  # nodes -> seconds
+        for n in counts:
+            value = _measure_point(
+                simulator, comp, n, policy, events, deadline, budget
+            )
+            if value is None:
+                value, n = _replace_point(
+                    simulator, comp, n, counts, survived, case,
+                    policy, events, deadline, budget,
+                )
+            if value is None:
+                continue
+            survived[n] = value
+
+        _reject_outliers(
+            simulator, comp, survived, policy, events, deadline, budget
+        )
+
+        if survived:
+            ns = sorted(survived)
+            partial.add(comp, ns, [survived[n] for n in ns])
+        if len(survived) < 3:
+            raise GatherError(
+                f"component {comp.value}: only {len(survived)} of "
+                f"{len(counts)} benchmark points survived (need 3 to fit)",
+                partial=partial,
+            )
+        if len(survived) < len(counts):
+            events.record(
+                EventKind.GATHER_DEGRADED,
+                stage="gather",
+                detail=(
+                    f"proceeding with {len(survived)}/{len(counts)} points"
+                ),
+                component=comp.value,
+                requested=len(counts),
+                survived=len(survived),
+            )
+        ns = sorted(survived)
+        data.add(comp, ns, [survived[n] for n in ns])
+    return data
+
+
+class _SweepBudget:
+    """Counts failed attempts across one component's sweep."""
+
+    def __init__(self, total: int):
+        self.remaining = int(total)
+
+    def spend(self) -> None:
+        self.remaining -= 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0
+
+
+def _measure_point(
+    simulator,
+    comp: ComponentId,
+    nodes: int,
+    policy: RetryPolicy,
+    events: EventLog,
+    deadline: Deadline,
+    budget: _SweepBudget,
+    repeat: int = 0,
+) -> float | None:
+    """One point with retries; ``None`` when every attempt failed."""
+    seed = simulator.case.seed
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            value = float(simulator.benchmark(comp, nodes, repeat=repeat))
+            if math.isfinite(value) and value > 0.0:
+                return value
+            reason = f"corrupt measurement ({value!r})"
+        except SimulationError as exc:
+            reason = str(exc)
+        budget.spend()
+        # Out of retries for this point, sweep budget spent, or the global
+        # deadline has passed: give up on the point (degrade, don't abort).
+        if attempt >= policy.max_attempts or budget.exhausted or deadline.expired():
+            events.record(
+                EventKind.RETRY,
+                stage="gather",
+                detail=f"attempt {attempt} at {nodes} nodes failed: {reason}; giving up",
+                component=comp.value,
+                attempt=attempt,
+                nodes=int(nodes),
+                exhausted=True,
+            )
+            return None
+        delay = policy.delay_for(attempt, seed, "bench", comp.value, str(nodes))
+        events.record(
+            EventKind.RETRY,
+            stage="gather",
+            detail=(
+                f"attempt {attempt} at {nodes} nodes failed: {reason}; "
+                f"retrying after {delay:.3f}s"
+            ),
+            component=comp.value,
+            attempt=attempt,
+            nodes=int(nodes),
+            delay=round(delay, 6),
+        )
+        policy.pause(delay)
+    return None
+
+
+def _replace_point(
+    simulator,
+    comp: ComponentId,
+    nodes: int,
+    counts: list,
+    survived: dict,
+    case: CESMCase,
+    policy: RetryPolicy,
+    events: EventLog,
+    deadline: Deadline,
+    budget: _SweepBudget,
+):
+    """Try neighboring node counts for a point that exhausted its retries.
+
+    Returns ``(value, nodes)`` on success, ``(None, nodes)`` when the point
+    is dropped for good.
+    """
+    lo, hi = case.component_bounds(comp)
+    taken = set(counts) | set(survived)
+    candidates = []
+    for distance in range(1, policy.replacement_candidates + 1):
+        for cand in (nodes - distance, nodes + distance):
+            if lo <= cand <= hi and cand not in taken:
+                candidates.append(cand)
+    for cand in candidates:
+        if deadline.expired():
+            break
+        try:
+            value = float(simulator.benchmark(comp, cand))
+        except SimulationError:
+            budget.spend()
+            continue
+        if math.isfinite(value) and value > 0.0:
+            events.record(
+                EventKind.POINT_REPLACED,
+                stage="gather",
+                detail=f"{nodes} nodes unusable; substituted neighbor {cand}",
+                component=comp.value,
+                nodes=int(nodes),
+                replacement=int(cand),
+            )
+            return value, cand
+        budget.spend()
+    events.record(
+        EventKind.POINT_DROPPED,
+        stage="gather",
+        detail=f"dropped {nodes} nodes (retries and neighbors exhausted)",
+        component=comp.value,
+        nodes=int(nodes),
+    )
+    return None, nodes
+
+
+def _reject_outliers(
+    simulator,
+    comp: ComponentId,
+    survived: dict,
+    policy: RetryPolicy,
+    events: EventLog,
+    deadline: Deadline,
+    budget: _SweepBudget,
+) -> None:
+    """Greedy MAD rejection + re-measurement, one worst point per round."""
+    for round_no in range(1, policy.max_outlier_rounds + 1):
+        if len(survived) < 4 or deadline.expired():
+            return
+        ns = sorted(survived)
+        ts = [survived[n] for n in ns]
+        idx = worst_outlier(ns, ts, policy.outlier_threshold)
+        if idx is None:
+            return
+        bad_n = ns[idx]
+        events.record(
+            EventKind.OUTLIER_REJECTED,
+            stage="gather",
+            detail=(
+                f"measurement {ts[idx]:.4g}s at {bad_n} nodes is implausible "
+                f"against the sweep trend; re-measuring"
+            ),
+            component=comp.value,
+            nodes=int(bad_n),
+            value=round(float(ts[idx]), 6),
+        )
+        fresh = _measure_point(
+            simulator, comp, bad_n, policy, events, deadline, budget,
+            repeat=round_no,
+        )
+        if fresh is None:
+            del survived[bad_n]
+            events.record(
+                EventKind.POINT_DROPPED,
+                stage="gather",
+                detail=f"dropped {bad_n} nodes (re-measurement failed)",
+                component=comp.value,
+                nodes=int(bad_n),
+            )
+        else:
+            survived[bad_n] = fresh
+            events.record(
+                EventKind.REMEASURED,
+                stage="gather",
+                detail=f"re-measured {bad_n} nodes: {fresh:.4g}s",
+                component=comp.value,
+                nodes=int(bad_n),
+                value=round(float(fresh), 6),
+            )

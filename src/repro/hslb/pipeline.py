@@ -6,22 +6,31 @@ Gather -> fit -> solve -> execute over one :class:`~repro.cesm.CESMCase`:
 >>> from repro.hslb import HSLBPipeline
 >>> result = HSLBPipeline(make_case("1deg", 128)).run()   # doctest: +SKIP
 >>> print(result.report())                                # doctest: +SKIP
+
+Resilient mode — pass ``fault_profile`` (chaos injection), ``retry_policy``
+and/or ``deadline`` — threads a shared :class:`~repro.resilience.EventLog`
+through every step, retries failed benchmarks and coupled runs, and falls
+back across solver backends; see :mod:`repro.resilience`.  With none of the
+three set, every step runs the historical clean path bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cesm.case import CESMCase
 from repro.cesm.components import OPTIMIZED_COMPONENTS
 from repro.cesm.simulator import ComponentTimings, CoupledRunSimulator
+from repro.exceptions import InjectedFaultError
 from repro.fitting import FitOptions
 from repro.hslb.fitstep import fit_components
 from repro.hslb.gather import BenchmarkData, gather_benchmarks
 from repro.hslb.objectives import ObjectiveKind
 from repro.hslb.report import format_run_result
-from repro.hslb.solve import SolveOutcome, solve_allocation
+from repro.hslb.solve import SolveOutcome, solve_allocation, solve_allocation_resilient
 from repro.minlp import MINLPOptions
+from repro.resilience import Deadline, EventLog, FaultProfile, FaultySimulator, RetryPolicy
+from repro.resilience.events import EventKind
 
 
 @dataclass
@@ -33,6 +42,7 @@ class HSLBRunResult:
     fits: dict                    # ComponentId -> FitResult
     solve: SolveOutcome
     actual: ComponentTimings
+    events: EventLog = field(default_factory=EventLog)
 
     @property
     def allocation(self) -> dict:
@@ -71,6 +81,9 @@ class HSLBPipeline:
         minlp_options: MINLPOptions | None = None,
         seed: int | None = None,
         fine_tuning: bool = False,
+        fault_profile: FaultProfile | None = None,
+        retry_policy: RetryPolicy | None = None,
+        deadline: float | Deadline | None = None,
     ):
         # A pipeline-level seed overrides the case's (convenience for
         # repeated runs with fresh noise).
@@ -90,11 +103,25 @@ class HSLBPipeline:
         self.fit_options = fit_options
         self.minlp_options = minlp_options
         self.fine_tuning = fine_tuning
+        self.fault_profile = fault_profile
+        # Any resilience knob switches the whole pipeline onto the resilient
+        # path; a fault profile without an explicit policy still needs
+        # retries to survive its own chaos.
+        self.resilient = (
+            fault_profile is not None
+            or retry_policy is not None
+            or deadline is not None
+        )
+        self.retry_policy = retry_policy or (RetryPolicy() if self.resilient else None)
+        self.deadline_seconds = deadline
+        self.events = EventLog()
         self.simulator = CoupledRunSimulator(self.case)
+        if fault_profile is not None and fault_profile.active:
+            self.simulator = FaultySimulator(self.simulator, fault_profile)
 
     # individual steps exposed for experimentation ------------------------------
 
-    def gather(self) -> BenchmarkData:
+    def gather(self, deadline: Deadline | None = None) -> BenchmarkData:
         """Step 1: benchmark sweeps for the optimized components (plus the
         riding coupler/river components under fine-tuning)."""
         components = OPTIMIZED_COMPONENTS
@@ -105,36 +132,88 @@ class HSLBPipeline:
                 ComponentId.RTM,
                 ComponentId.CPL,
             )
+        if not self.resilient:
+            return gather_benchmarks(
+                self.simulator, points=self.points, components=components
+            )
         return gather_benchmarks(
-            self.simulator, points=self.points, components=components
+            self.simulator,
+            points=self.points,
+            components=components,
+            policy=self.retry_policy,
+            events=self.events,
+            deadline=deadline if deadline is not None else self.deadline_seconds,
         )
 
     def fit(self, data: BenchmarkData) -> dict:
         """Step 2: least-squares fits."""
-        return fit_components(data, self.fit_options)
+        if not self.resilient:
+            return fit_components(data, self.fit_options)
+        return fit_components(
+            data, self.fit_options, policy=self.retry_policy, events=self.events
+        )
 
-    def solve(self, fits: dict) -> SolveOutcome:
+    def solve(self, fits: dict, deadline: Deadline | None = None) -> SolveOutcome:
         """Step 3: MINLP for the optimal allocation."""
-        return solve_allocation(
+        if not self.resilient:
+            return solve_allocation(
+                self.case,
+                fits,
+                objective=self.objective,
+                method=self.method,
+                options=self.minlp_options,
+                fine_tuning=self.fine_tuning,
+            )
+        return solve_allocation_resilient(
             self.case,
             fits,
             objective=self.objective,
             method=self.method,
             options=self.minlp_options,
             fine_tuning=self.fine_tuning,
+            events=self.events,
+            deadline=deadline if deadline is not None else self.deadline_seconds,
         )
 
     def execute(self, outcome: SolveOutcome) -> ComponentTimings:
         """Step 4: coupled run at the chosen allocation."""
-        return self.simulator.run_coupled(
-            {c: outcome.allocation[c] for c in OPTIMIZED_COMPONENTS}
-        )
+        allocation = {c: outcome.allocation[c] for c in OPTIMIZED_COMPONENTS}
+        if not self.resilient:
+            return self.simulator.run_coupled(allocation)
+        policy = self.retry_policy
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self.simulator.run_coupled(allocation)
+            except InjectedFaultError as exc:
+                if attempt >= policy.max_attempts:
+                    raise
+                delay = policy.delay_for(attempt, self.case.seed, "run")
+                self.events.record(
+                    EventKind.EXECUTE_RETRY,
+                    stage="execute",
+                    detail=(
+                        f"coupled run failed ({exc}); "
+                        f"resubmitting after {delay:.3f}s"
+                    ),
+                    attempt=attempt,
+                    delay=round(delay, 6),
+                )
+                policy.pause(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def run(self) -> HSLBRunResult:
         """All four steps."""
-        data = self.gather()
+        deadline = None
+        if self.resilient:
+            # Fresh log + fault history per run: two runs of the same
+            # pipeline replay the exact same chaos and events.
+            self.events = EventLog()
+            if isinstance(self.simulator, FaultySimulator):
+                self.simulator.reset()
+            deadline = Deadline.coerce(self.deadline_seconds)
+        data = self.gather(deadline=deadline)
         fits = self.fit(data)
-        outcome = self.solve(fits)
+        outcome = self.solve(fits, deadline=deadline)
         actual = self.execute(outcome)
         return HSLBRunResult(
             case=self.case,
@@ -142,4 +221,5 @@ class HSLBPipeline:
             fits=fits,
             solve=outcome,
             actual=actual,
+            events=self.events,
         )

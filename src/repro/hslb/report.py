@@ -57,7 +57,7 @@ def format_run_result(result) -> str:
         f"layout ({case.layout.value})"
         + (", unconstrained ocean nodes" if case.unconstrained_ocean else "")
     )
-    return format_table3_block(
+    block = format_table3_block(
         title=title,
         manual=None,
         manual_times=None,
@@ -67,3 +67,7 @@ def format_run_result(result) -> str:
         predicted_total=result.predicted_total,
         actual_total=result.actual_total,
     )
+    events = getattr(result, "events", None)
+    if events:
+        block += "\n\n" + events.summary()
+    return block

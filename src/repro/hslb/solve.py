@@ -1,16 +1,29 @@
-"""HSLB step 3b: solve the layout MINLP for the optimal allocation."""
+"""HSLB step 3b: solve the layout MINLP for the optimal allocation.
+
+:func:`solve_allocation` is the bare solve; :func:`solve_allocation_resilient`
+wraps it in a fallback chain (configured backend, then the other of
+``bnb``/``lpnlp``, then a proportional allocation built from the fits as a
+last resort) with an optional wall-clock :class:`~repro.resilience.Deadline`
+threaded into both branch-and-bound loops via ``MINLPOptions.check_hook``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro.cesm.components import ComponentId
-from repro.cesm.layouts import composed_total
-from repro.exceptions import ConfigurationError, SolverError
+from repro.cesm.layouts import Layout, composed_total, validate_allocation
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    SolverError,
+)
 from repro.hslb.layout_models import VAR_NAMES, layout_model_for_case
 from repro.hslb.objectives import ObjectiveKind
 from repro.hslb.oracle import oracle_for_case
 from repro.minlp import MINLPOptions, solve_lpnlp, solve_nlp_bnb
+from repro.resilience.events import EventKind, EventLog
+from repro.resilience.retry import Deadline
 
 A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
 
@@ -25,6 +38,7 @@ class SolveOutcome:
     objective_value: float
     method: str
     solver_result: object = None  # MINLPResult when a B&B method ran
+    events: EventLog = field(default_factory=EventLog)
 
     def nodes_used(self) -> int:
         return sum(self.allocation.values())
@@ -108,3 +122,191 @@ def solve_allocation(
         method=method,
         solver_result=result,
     )
+
+
+# -- resilient solve -------------------------------------------------------------
+
+
+def solve_allocation_resilient(
+    case,
+    fits: dict,
+    objective: ObjectiveKind = ObjectiveKind.MIN_MAX,
+    tsync: float | None = None,
+    method: str = "lpnlp",
+    options: MINLPOptions | None = None,
+    fine_tuning: bool = False,
+    events: EventLog | None = None,
+    deadline=None,
+) -> SolveOutcome:
+    """:func:`solve_allocation` behind a fallback chain.
+
+    The configured backend runs first; on :class:`SolverError` the other
+    branch-and-bound variant gets a try (their failure modes are disjoint —
+    one stresses the simplex, the other the barrier), and if that also
+    fails the proportional baseline built from the fitted models is the
+    last resort — degraded but feasible, never an aborted tuning request.
+    Every hand-off appends a typed event; ``deadline`` (seconds or a
+    :class:`Deadline`) is enforced inside both MINLP loops via
+    ``MINLPOptions.check_hook``.
+    """
+    events = events if events is not None else EventLog()
+    deadline = Deadline.coerce(deadline)
+    opts = options or MINLPOptions()
+    if deadline.is_limited:
+        opts = replace(
+            opts,
+            check_hook=deadline.as_hook(),
+            time_limit=min(opts.time_limit, max(deadline.remaining(), 0.001)),
+        )
+
+    chain = [method]
+    if method in ("lpnlp", "bnb"):
+        chain.append("bnb" if method == "lpnlp" else "lpnlp")
+    for index, backend in enumerate(chain):
+        if deadline.expired():
+            events.record(
+                EventKind.DEADLINE_EXPIRED,
+                stage="solve",
+                detail=f"deadline expired before trying {backend!r}",
+            )
+            break
+        try:
+            outcome = solve_allocation(
+                case,
+                fits,
+                objective=objective,
+                tsync=tsync,
+                method=backend,
+                options=opts,
+                fine_tuning=fine_tuning,
+            )
+            outcome.events = events
+            return outcome
+        except DeadlineExceededError as exc:
+            events.record(
+                EventKind.DEADLINE_EXPIRED,
+                stage="solve",
+                detail=f"{backend} aborted: {exc}",
+            )
+            break
+        except ConfigurationError:
+            raise  # a misconfigured request; retrying cannot fix it
+        except SolverError as exc:
+            fallback = chain[index + 1] if index + 1 < len(chain) else "baseline"
+            events.record(
+                EventKind.SOLVER_FALLBACK,
+                stage="solve",
+                detail=f"{backend} failed ({exc}); falling back to {fallback}",
+                backend=backend,
+                fallback=fallback,
+            )
+
+    perf = {c: (f.model if hasattr(f, "model") else f) for c, f in fits.items()}
+    allocation = proportional_baseline(case, perf)
+    predicted = {
+        comp: float(perf[comp](allocation[comp])) for comp in (I, L, A, O)
+    }
+    predicted_total = composed_total(case.layout, predicted)
+    events.record(
+        EventKind.BASELINE_FALLBACK,
+        stage="solve",
+        detail=(
+            "proportional baseline allocation used "
+            f"(predicted total {predicted_total:.3f}s)"
+        ),
+        allocation={c.value: int(n) for c, n in allocation.items()},
+    )
+    return SolveOutcome(
+        allocation=allocation,
+        predicted_times=predicted,
+        predicted_total=predicted_total,
+        objective_value=predicted_total,
+        method="baseline",
+        solver_result=None,
+        events=events,
+    )
+
+
+def proportional_baseline(case, perf: dict) -> dict:
+    """Feasible allocation proportional to fitted work — no solver needed.
+
+    Each component's work is proxied by ``n_ref * T(n_ref)`` under its
+    fitted model at a common reference size; nodes are split by those
+    shares and snapped onto the layout's validity region (Table I).  Crude
+    next to the MINLP optimum, but it always returns *something* runnable.
+    """
+    N = case.total_nodes
+    bounds = {c: case.component_bounds(c) for c in (I, L, A, O)}
+
+    def clamp(value, lo, hi):
+        return int(min(max(int(round(value)), lo), hi))
+
+    def snap_atm(target):
+        """Nearest *allowed* atmosphere count (the 1-degree set skips
+        1639..1663) within the component's box."""
+        lo, hi = bounds[A]
+        allowed = case.atm_allowed()
+        if allowed["values"] is None:
+            return clamp(target, max(lo, allowed["lo"]), min(hi, allowed["hi"]))
+        values = [v for v in allowed["values"] if lo <= v <= hi]
+        if not values:
+            return clamp(target, lo, hi)
+        return min(values, key=lambda v: abs(v - target))
+
+    work = {}
+    for comp in (I, L, A, O):
+        lo, hi = bounds[comp]
+        ref = clamp(max(N // 8, lo), lo, hi)
+        work[comp] = max(float(perf[comp](ref)) * ref, 1e-9)
+
+    ocn_values = sorted(case.ocean_allowed())
+    lo_a, hi_a = bounds[A]
+
+    if case.layout is Layout.FULLY_SEQUENTIAL:
+        # Everything sequential over all N nodes: each component simply gets
+        # as many nodes as it can use.
+        alloc = {
+            I: clamp(N, *bounds[I]),
+            L: clamp(N, *bounds[L]),
+            A: snap_atm(N),
+        }
+        alloc[O] = max(v for v in ocn_values if v <= N)
+    elif case.layout is Layout.SEQUENTIAL_SPLIT:
+        # Ocean gets its work share; ice/land/atm each use the full rest.
+        share_o = work[O] / (work[O] + work[A] + max(work[I], work[L]))
+        floor_other = max(bounds[I][0], bounds[L][0], lo_a)
+        usable = [v for v in ocn_values if N - v >= floor_other]
+        if not usable:
+            usable = [min(ocn_values)]
+        n_o = min(usable, key=lambda v: abs(v - share_o * N))
+        rest = N - n_o
+        alloc = {
+            I: clamp(rest, *bounds[I]),
+            L: clamp(rest, *bounds[L]),
+            A: min(snap_atm(rest), rest),
+            O: n_o,
+        }
+    else:
+        # Hybrid: ocean concurrent with the (ice|land) -> atm group.
+        stage1_work = work[A] + max(work[I], work[L])
+        share_o = work[O] / (work[O] + stage1_work)
+        usable = [v for v in ocn_values if N - v >= lo_a]
+        if not usable:
+            usable = [min(ocn_values)]
+        n_o = min(usable, key=lambda v: abs(v - share_o * N))
+        n_a = min(snap_atm(N - n_o), N - n_o)
+        share_i = work[I] / (work[I] + work[L])
+        lo_i, hi_i = bounds[I]
+        lo_l, hi_l = bounds[L]
+        n_i = clamp(share_i * n_a, lo_i, min(hi_i, max(n_a - lo_l, lo_i)))
+        n_l = clamp(n_a - n_i, lo_l, hi_l)
+        if n_i + n_l > n_a:
+            n_i = max(lo_i, n_a - n_l)
+        alloc = {I: n_i, L: n_l, A: n_a, O: n_o}
+    try:
+        validate_allocation(case.layout, alloc, N)
+    except Exception as exc:  # pragma: no cover - repair exhausted
+        raise SolverError(
+            f"baseline allocation infeasible for this case: {exc}"
+        ) from exc
+    return alloc

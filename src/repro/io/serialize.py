@@ -117,6 +117,7 @@ def load_fits(path) -> dict:
 def run_result_to_dict(result) -> dict:
     """Flatten an :class:`~repro.hslb.pipeline.HSLBRunResult` for archiving."""
     case = result.case
+    events = getattr(result, "events", None)
     return {
         "format": "repro/run@1",
         "case": {
@@ -136,4 +137,5 @@ def run_result_to_dict(result) -> dict:
         "fit_r_squared": {
             c.value: float(v) for c, v in result.fit_r_squared().items()
         },
+        "events": events.to_list() if events is not None else [],
     }

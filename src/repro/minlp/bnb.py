@@ -76,6 +76,9 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
         if time.monotonic() - t0 > opt.time_limit:
             status, message = MINLPStatus.TIME_LIMIT, "time limit reached"
             break
+        if opt.check_hook is not None and opt.check_hook():
+            status, message = MINLPStatus.TIME_LIMIT, "stopped by check hook"
+            break
 
         node = queue.pop()
         if node.bound >= cutoff():

@@ -26,7 +26,12 @@ from __future__ import annotations
 import math
 import time
 
-from repro.exceptions import ExpressionError, ModelError, SolverError
+from repro.exceptions import (
+    ExpressionError,
+    IterationLimitError,
+    ModelError,
+    SolverError,
+)
 from repro.expr.linear import linear_coefficients
 from repro.kernels import KernelCache
 from repro.expr.linearize import linearize_at
@@ -127,6 +132,9 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
         if time.monotonic() - t0 > opt.time_limit:
             status, message = MINLPStatus.TIME_LIMIT, "time limit reached"
             break
+        if opt.check_hook is not None and opt.check_hook():
+            status, message = MINLPStatus.TIME_LIMIT, "stopped by check hook"
+            break
 
         node = queue.pop()
         if node.bound >= cutoff():
@@ -150,7 +158,7 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
             status, message = MINLPStatus.UNBOUNDED, "master LP relaxation unbounded"
             break
         if res.status is LPStatus.ITERATION_LIMIT:
-            raise SolverError("node LP hit the simplex iteration limit")
+            raise IterationLimitError("node LP hit the simplex iteration limit")
 
         obj_lp = res.objective + master.obj_constant
         if tracker is not None and node.pc_info is not None:

@@ -47,6 +47,9 @@ class MINLPOptions:
     var_branch_rule: VarBranchRule = VarBranchRule.PSEUDO_COST
     node_selection: NodeSelection = NodeSelection.BEST_BOUND
     require_convex: bool = True    # refuse non-certified models (global optimality)
+    check_hook: object = None      # callable() -> bool polled each node; truthy stops
+                                   # the search with a TIME_LIMIT status (the
+                                   # resilience layer passes Deadline.as_hook())
     max_cut_rounds: int = 40       # OA cut passes per node before forced branch
     use_warm_start: bool = True    # dual-simplex warm starts for node LPs
     evaluator: str = "kernel"      # NLP evaluation back-end: kernel | scalar | tree

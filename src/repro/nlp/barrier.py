@@ -214,7 +214,7 @@ class _Barrier:
         failed_stages = 0
         # Last cleanly-centered stage: its objective minus its duality-gap
         # proxy is a *certified* lower bound even if later stages stall.
-        clean_f, clean_gap = None, math.inf
+        clean_f, clean_gap, clean_x = None, math.inf, None
         while True:
             x, ok, msg = self._center(x, t, stop_idx, stop_below)
             if stop_idx is not None and x[stop_idx] < stop_below:
@@ -230,6 +230,11 @@ class _Barrier:
                     and clean_gap <= max(opt.tol * 100.0, 1e-5) * (1.0 + abs(clean_f))
                 )
                 if tight_enough:
+                    # The certificate belongs to the cleanly-centered
+                    # iterate; a stalled stage (singular KKT, lstsq step)
+                    # may have drifted off the equality manifold.
+                    if self.p.max_violation(x) > self.p.max_violation(clean_x) + 1e-9:
+                        x = clean_x
                     message = f"finished on stall with certified gap {clean_gap:.2e}"
                     break
                 if failed_stages >= 3 or self.newton_iters >= opt.max_newton:
@@ -239,6 +244,7 @@ class _Barrier:
                 failed_stages = 0
                 clean_f = self.p.f(x)
                 clean_gap = self.m_barrier / t if t > 0 else 0.0
+                clean_x = x.copy()
                 if self.m_barrier == 0 or self.m_barrier / t < opt.tol:
                     break
             t *= opt.mu
@@ -323,7 +329,10 @@ class _Barrier:
         interpolates between Newton and scaled gradient descent.
         """
         n = grad.shape[0]
-        scale = float(np.trace(H)) / n + 1.0
+        # abs: a negative-trace (indefinite) Hessian must not flip the
+        # ridge scale negative — that would poison the last-resort
+        # preconditioner below into an ascent direction.
+        scale = abs(float(np.trace(H))) / n + 1.0
         ridge = self.opt.regularization * scale
         eye = np.eye(n)
         for _ in range(24):

@@ -44,6 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument(
         "--method", choices=("lpnlp", "bnb", "oracle"), default="lpnlp"
     )
+    _add_resilience_args(p_tune)
 
     p_ampl = sub.add_parser("ampl", help="print the Table I model as AMPL")
     p_ampl.add_argument("--resolution", choices=("1deg", "8th"), required=True)
@@ -60,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_gather.add_argument("--points", type=int, default=5)
     p_gather.add_argument("--seed", type=int, default=0)
     p_gather.add_argument("--out", required=True, help="output JSON path")
+    _add_resilience_args(p_gather)
 
     p_fit = sub.add_parser(
         "fit", help="fit performance models from saved benchmarks"
@@ -89,6 +91,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_decomp.add_argument("tasks", type=int, nargs="+", help="MPI task counts")
     p_decomp.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--fault-profile",
+        metavar="SPEC",
+        help="inject deterministic faults, e.g. "
+        "'crash=0.2,outlier=0.05,mult=10,hot.atm=0.3'",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="N",
+        help="benchmark retry attempts per point (enables the resilient path)",
+    )
+    group.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for gather+solve; past it the pipeline "
+        "degrades instead of starting new work",
+    )
+
+
+def _resilience_kwargs(args) -> dict:
+    """Pipeline/gather keyword arguments from the resilience CLI flags."""
+    from repro.resilience import FaultProfile, RetryPolicy
+
+    kwargs: dict = {}
+    if args.fault_profile:
+        kwargs["fault_profile"] = FaultProfile.parse(args.fault_profile)
+    if args.max_retries is not None:
+        kwargs["retry_policy"] = RetryPolicy(max_attempts=args.max_retries)
+    if args.deadline is not None:
+        kwargs["deadline"] = args.deadline
+    return kwargs
+
+
+def _print_event_summary(events) -> None:
+    if events:
+        print()
+        print(events.summary())
 
 
 def cmd_list() -> int:
@@ -129,9 +174,9 @@ def cmd_tune(args) -> int:
         seed=args.seed,
     )
     result = HSLBPipeline(
-        case, points=args.points, method=args.method
+        case, points=args.points, method=args.method, **_resilience_kwargs(args)
     ).run()
-    print(result.report())
+    print(result.report())  # includes the event-log summary when non-empty
     r2 = ", ".join(
         f"{c.value}={v:.4f}" for c, v in result.fit_r_squared().items()
     )
@@ -168,9 +213,25 @@ def cmd_gather(args) -> int:
     from repro.cesm import CoupledRunSimulator, make_case
     from repro.hslb import gather_benchmarks
     from repro.io import save_benchmarks
+    from repro.resilience import EventLog, FaultySimulator
 
     case = make_case(args.resolution, args.nodes, seed=args.seed)
-    data = gather_benchmarks(CoupledRunSimulator(case), points=args.points)
+    simulator = CoupledRunSimulator(case)
+    resilience = _resilience_kwargs(args)
+    profile = resilience.pop("fault_profile", None)
+    if profile is not None and profile.active:
+        simulator = FaultySimulator(simulator, profile)
+    events = EventLog()
+    if profile is not None or resilience:
+        data = gather_benchmarks(
+            simulator,
+            points=args.points,
+            policy=resilience.get("retry_policy"),
+            events=events,
+            deadline=resilience.get("deadline"),
+        )
+    else:
+        data = gather_benchmarks(simulator, points=args.points)
     save_benchmarks(
         args.out,
         data,
@@ -184,6 +245,7 @@ def cmd_gather(args) -> int:
         f"{c.value}:{data.point_count(c)}" for c in data.components()
     )
     print(f"wrote {args.out} ({counts} points)")
+    _print_event_summary(events)
     return 0
 
 

@@ -1,0 +1,251 @@
+"""Deterministic fault injection over the coupled-run simulator.
+
+:class:`FaultySimulator` wraps a :class:`~repro.cesm.CoupledRunSimulator`
+and, per benchmark attempt, draws from ``keyed_rng(seed, "fault", ...)``
+whether to crash, time out, corrupt, or inflate the measurement.  The key
+includes a per-configuration *attempt counter*, so a retried point sees a
+fresh fault draw (jobs resubmitted after a crash usually succeed) while the
+whole chaos run remains a pure function of ``(seed, FaultProfile)`` — two
+identical pipeline runs replay the exact same faults.
+
+Crashes and timeouts are *raised* (:class:`InjectedCrashError`,
+:class:`InjectedTimeoutError`); corruption and outliers come back as bad
+values, exactly the two ways a real 5-day CESM benchmark job on Intrepid
+failed: aborted in the queue, or finished with garbage in the timing file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cesm.components import ComponentId
+from repro.exceptions import (
+    ConfigurationError,
+    InjectedCrashError,
+    InjectedTimeoutError,
+)
+from repro.util.rng import keyed_rng
+
+
+def _as_probability(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"FaultProfile.{name} must be in [0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-benchmark fault rates driving a :class:`FaultySimulator`.
+
+    ``hot_components`` adds extra crash probability for named components
+    (``{"atm": 0.3}``), modeling a component whose executable or node pool
+    is particularly flaky.  ``run_crash_probability`` extends the chaos to
+    full coupled runs (step 4), off by default so the verification run that
+    the acceptance comparison relies on stays clean.
+    """
+
+    crash_probability: float = 0.0
+    timeout_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    outlier_probability: float = 0.0
+    outlier_multiplier: float = 10.0
+    timeout_seconds: float = 300.0
+    run_crash_probability: float = 0.0
+    hot_components: tuple = field(default_factory=tuple)  # ((comp_value, extra_p),...)
+
+    def __post_init__(self):
+        for name in (
+            "crash_probability",
+            "timeout_probability",
+            "corrupt_probability",
+            "outlier_probability",
+            "run_crash_probability",
+        ):
+            object.__setattr__(self, name, _as_probability(name, getattr(self, name)))
+        if self.outlier_multiplier <= 1.0:
+            raise ConfigurationError("FaultProfile.outlier_multiplier must be > 1")
+        if self.timeout_seconds <= 0.0:
+            raise ConfigurationError("FaultProfile.timeout_seconds must be > 0")
+        hot = []
+        for key, extra in dict(self.hot_components).items():
+            comp = key.value if isinstance(key, ComponentId) else str(key)
+            try:
+                ComponentId(comp)
+            except ValueError:
+                raise ConfigurationError(
+                    f"FaultProfile.hot_components: unknown component {comp!r}"
+                ) from None
+            hot.append((comp, _as_probability(f"hot_components[{comp}]", extra)))
+        object.__setattr__(self, "hot_components", tuple(sorted(hot)))
+
+    @property
+    def active(self) -> bool:
+        """Whether this profile can perturb anything at all."""
+        return any(
+            p > 0.0
+            for p in (
+                self.crash_probability,
+                self.timeout_probability,
+                self.corrupt_probability,
+                self.outlier_probability,
+                self.run_crash_probability,
+            )
+        ) or bool(self.hot_components)
+
+    def crash_probability_for(self, component: ComponentId) -> float:
+        extra = dict(self.hot_components).get(component.value, 0.0)
+        return min(1.0, self.crash_probability + extra)
+
+    # -- CLI spec parsing --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultProfile":
+        """Build a profile from a ``key=value`` comma list.
+
+        Keys: ``crash``, ``timeout``, ``corrupt``, ``outlier`` (probabilities),
+        ``mult`` (outlier multiplier), ``timeout_s``, ``run_crash``, and
+        ``hot.<component>`` for per-component extra crash probability, e.g.::
+
+            crash=0.2,outlier=0.05,mult=10,hot.atm=0.3
+        """
+        kwargs: dict = {}
+        hot: dict = {}
+        aliases = {
+            "crash": "crash_probability",
+            "timeout": "timeout_probability",
+            "corrupt": "corrupt_probability",
+            "outlier": "outlier_probability",
+            "mult": "outlier_multiplier",
+            "outlier_multiplier": "outlier_multiplier",
+            "timeout_s": "timeout_seconds",
+            "run_crash": "run_crash_probability",
+        }
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ConfigurationError(
+                    f"bad fault-profile entry {item!r} (expected key=value)"
+                )
+            key, _, value = item.partition("=")
+            key = key.strip()
+            try:
+                number = float(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad fault-profile value {value!r} for {key!r}"
+                ) from None
+            if key.startswith("hot."):
+                hot[key[len("hot."):]] = number
+            elif key in aliases:
+                kwargs[aliases[key]] = number
+            else:
+                raise ConfigurationError(
+                    f"unknown fault-profile key {key!r} "
+                    f"(expected one of {sorted(aliases)} or hot.<component>)"
+                )
+        if hot:
+            kwargs["hot_components"] = tuple(sorted(hot.items()))
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        parts = []
+        for label, value in (
+            ("crash", self.crash_probability),
+            ("timeout", self.timeout_probability),
+            ("corrupt", self.corrupt_probability),
+            ("outlier", self.outlier_probability),
+            ("run_crash", self.run_crash_probability),
+        ):
+            if value > 0:
+                parts.append(f"{label}={value:g}")
+        if self.outlier_probability > 0:
+            parts.append(f"mult={self.outlier_multiplier:g}")
+        for comp, extra in self.hot_components:
+            parts.append(f"hot.{comp}={extra:g}")
+        return ",".join(parts) if parts else "none"
+
+
+class FaultySimulator:
+    """Chaos wrapper around :class:`~repro.cesm.CoupledRunSimulator`.
+
+    Exposes the same measurement API (``benchmark``, ``benchmark_sweep``,
+    ``run_coupled``, ``case``) so it drops into every consumer of the plain
+    simulator.  Fault draws are keyed by ``(seed, component, nodes,
+    attempt)`` where ``attempt`` counts how many times *this wrapper
+    instance* has been asked for that configuration — call :meth:`reset`
+    (the pipeline does, per run) to replay a run exactly.
+    """
+
+    def __init__(self, inner, profile: FaultProfile, seed: int | None = None):
+        self.inner = inner
+        self.profile = profile
+        self.seed = inner.case.seed if seed is None else int(seed)
+        self._attempts: dict = {}
+
+    @property
+    def case(self):
+        return self.inner.case
+
+    def reset(self) -> None:
+        """Forget attempt history so the next run replays the same faults."""
+        self._attempts.clear()
+
+    def _next_attempt(self, key: tuple) -> int:
+        count = self._attempts.get(key, 0)
+        self._attempts[key] = count + 1
+        return count
+
+    # -- measurement API ---------------------------------------------------------
+
+    def benchmark(self, component: ComponentId, nodes: int, repeat: int = 0) -> float:
+        attempt = self._next_attempt(("bench", component.value, int(nodes)))
+        rng = keyed_rng(
+            self.seed, "fault", "bench",
+            f"{component.value}:{int(nodes)}:{attempt}",
+        )
+        # Fixed draw count per attempt keeps the stream aligned no matter
+        # which faults are enabled.
+        u_crash, u_timeout, u_corrupt, u_outlier, u_mode = rng.uniform(size=5)
+        p = self.profile
+        if u_crash < p.crash_probability_for(component):
+            raise InjectedCrashError(
+                f"injected crash: {component.value} benchmark at {nodes} nodes "
+                f"(attempt {attempt})"
+            )
+        if u_timeout < p.timeout_probability:
+            raise InjectedTimeoutError(
+                f"injected timeout: {component.value} benchmark at {nodes} nodes "
+                f"exceeded {p.timeout_seconds:g}s (attempt {attempt})",
+                timeout_seconds=p.timeout_seconds,
+            )
+        value = self.inner.benchmark(component, nodes, repeat=repeat)
+        if u_corrupt < p.corrupt_probability:
+            # Garbage in the timing file: NaN or a negative wall-clock.
+            return float("nan") if u_mode < 0.5 else -value
+        if u_outlier < p.outlier_probability:
+            return value * p.outlier_multiplier
+        return value
+
+    def benchmark_sweep(self, component: ComponentId, node_counts) -> list:
+        """Like the inner sweep, but each point can fault (and raise)."""
+        return [(int(n), self.benchmark(component, int(n))) for n in node_counts]
+
+    def run_coupled(self, allocation):
+        if self.profile.run_crash_probability > 0.0:
+            key = ",".join(
+                f"{k.value if isinstance(k, ComponentId) else k}={v}"
+                for k, v in sorted(
+                    allocation.items(),
+                    key=lambda kv: kv[0].value if isinstance(kv[0], ComponentId) else str(kv[0]),
+                )
+            )
+            attempt = self._next_attempt(("run", key))
+            rng = keyed_rng(self.seed, "fault", "run", f"{key}:{attempt}")
+            if float(rng.uniform()) < self.profile.run_crash_probability:
+                raise InjectedCrashError(
+                    f"injected crash: coupled run at {{{key}}} (attempt {attempt})"
+                )
+        return self.inner.run_coupled(allocation)

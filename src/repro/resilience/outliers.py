@@ -1,0 +1,67 @@
+"""Robust outlier detection for benchmark sweeps.
+
+A corrupted benchmark (a node with a sick NIC, a timer glitch) shows up as
+one wildly-off point in an otherwise smooth scaling sweep.  The detector
+fits a Theil-Sen line — median of pairwise slopes, immune to a minority of
+outliers, unlike a least-squares fit of the 4-parameter performance model
+which will happily *absorb* a 10x point into its ``a/n`` term — through the
+sweep in log-log space, and scores each point by its MAD-normalized
+residual.  A floor on the MAD scale keeps near-noiseless sweeps (where the
+model's genuine curvature dominates the residual spread) from rejecting
+good measurements.
+
+Only the single worst point above threshold is flagged per call; the gather
+stage re-measures it and re-runs the test, so multiple outliers are peeled
+greedily, each adjudicated against a cleaner sweep than the last.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Minimum residual scale (in log-seconds): below this, points within ~5%
+#: of the trend are never flagged no matter how tiny the measurement noise.
+SCALE_FLOOR = 0.05
+
+
+def theil_sen_line(x: np.ndarray, y: np.ndarray) -> tuple:
+    """Robust ``(slope, intercept)``: median pairwise slope, median offset."""
+    n = x.size
+    slopes = [
+        (y[j] - y[i]) / (x[j] - x[i])
+        for i in range(n)
+        for j in range(i + 1, n)
+        if x[j] != x[i]
+    ]
+    if not slopes:
+        return 0.0, float(np.median(y))
+    slope = float(np.median(slopes))
+    return slope, float(np.median(y - slope * x))
+
+
+def mad_scores(nodes, times, scale_floor: float = SCALE_FLOOR) -> np.ndarray:
+    """MAD-normalized |log-residual| of each point against the robust trend."""
+    x = np.log(np.asarray(nodes, dtype=float))
+    y = np.log(np.asarray(times, dtype=float))
+    slope, intercept = theil_sen_line(x, y)
+    resid = y - (slope * x + intercept)
+    med = float(np.median(resid))
+    mad = float(np.median(np.abs(resid - med)))
+    scale = max(1.4826 * mad, scale_floor)
+    return np.abs(resid - med) / scale
+
+
+def worst_outlier(nodes, times, threshold: float) -> int | None:
+    """Index of the most suspicious measurement, or ``None`` if all pass.
+
+    Needs at least 4 points — with 3 a single bad point cannot be told
+    apart from genuine curvature.
+    """
+    times = np.asarray(times, dtype=float)
+    if times.size < 4:
+        return None
+    scores = mad_scores(nodes, times)
+    worst = int(np.argmax(scores))
+    if scores[worst] > threshold:
+        return worst
+    return None

@@ -1,0 +1,127 @@
+"""Retry budgets, deterministic backoff, and wall-clock deadlines.
+
+:class:`RetryPolicy` bounds how hard the gather/fit stages fight a failing
+measurement: per-point attempt caps, a per-sweep failure budget, and capped
+exponential backoff whose jitter comes from :func:`~repro.util.rng.keyed_rng`
+so the delays (and therefore the event log) are a pure function of
+``(seed, key, attempt)``.
+
+:class:`Deadline` is a monotonic wall-clock budget shared across stages.
+The MINLP solvers poll it through ``MINLPOptions.check_hook`` and stop with
+a ``TIME_LIMIT`` status; pipeline stages call :meth:`Deadline.check` to
+raise :class:`~repro.exceptions.DeadlineExceededError` instead.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError, DeadlineExceededError
+from repro.util.rng import keyed_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How persistently to retry failed measurements and fits.
+
+    ``max_attempts`` counts the first try: ``max_attempts=4`` means one
+    measurement plus up to three retries.  ``sweep_budget`` caps the *total*
+    failed attempts tolerated across one component's sweep — once spent,
+    remaining points get a single attempt each (graceful degradation rather
+    than an unbounded fight against a sick machine).
+    """
+
+    max_attempts: int = 4
+    sweep_budget: int = 16
+    base_delay: float = 0.0        # seconds; 0 disables sleeping entirely
+    max_delay: float = 60.0
+    backoff: float = 2.0
+    jitter: float = 0.25           # +/- fraction of the deterministic delay
+    outlier_threshold: float = 3.5  # MAD z-score to reject a measurement
+    max_outlier_rounds: int = 5    # rejection/re-measure passes per sweep
+    replacement_candidates: int = 2  # neighbor node counts to try per side
+    sleep = staticmethod(time.sleep)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError("RetryPolicy.max_attempts must be >= 1")
+        if self.sweep_budget < 0:
+            raise ConfigurationError("RetryPolicy.sweep_budget must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("RetryPolicy delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ConfigurationError("RetryPolicy.backoff must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("RetryPolicy.jitter must be in [0, 1]")
+        if self.outlier_threshold <= 0:
+            raise ConfigurationError("RetryPolicy.outlier_threshold must be > 0")
+
+    def delay_for(self, attempt: int, seed: int, *key: str) -> float:
+        """Backoff before retry number ``attempt`` (1-based), in seconds.
+
+        Capped exponential with deterministic jitter: the same
+        ``(seed, key, attempt)`` always yields the same delay, so chaos runs
+        replay exactly.
+        """
+        if self.base_delay <= 0.0:
+            return 0.0
+        raw = min(self.max_delay, self.base_delay * self.backoff ** (attempt - 1))
+        if self.jitter <= 0.0:
+            return raw
+        rng = keyed_rng(seed, "retry", *key, str(attempt))
+        return raw * (1.0 + self.jitter * float(rng.uniform(-1.0, 1.0)))
+
+    def pause(self, delay: float) -> None:
+        """Sleep for ``delay`` seconds (no-op when the delay is zero)."""
+        if delay > 0.0:
+            self.sleep(delay)
+
+
+class Deadline:
+    """Wall-clock budget measured from construction.
+
+    ``seconds=None`` means unlimited.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, seconds: float | None = None, clock=time.monotonic):
+        if seconds is not None and seconds <= 0:
+            raise ConfigurationError("Deadline seconds must be positive")
+        self.seconds = None if seconds is None else float(seconds)
+        self._clock = clock
+        self._t0 = clock()
+
+    @classmethod
+    def coerce(cls, value) -> "Deadline":
+        """Normalize ``None | float | Deadline`` to a :class:`Deadline`."""
+        if isinstance(value, cls):
+            return value
+        return cls(value)
+
+    @property
+    def is_limited(self) -> bool:
+        return self.seconds is not None
+
+    def elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    def remaining(self) -> float:
+        if self.seconds is None:
+            return math.inf
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is spent."""
+        if self.expired():
+            suffix = f" during {where}" if where else ""
+            raise DeadlineExceededError(
+                f"wall-clock deadline of {self.seconds:.3f}s exceeded{suffix}"
+            )
+
+    def as_hook(self):
+        """A zero-argument callable for ``MINLPOptions.check_hook``."""
+        return self.expired

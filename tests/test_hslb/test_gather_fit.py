@@ -29,6 +29,29 @@ class TestBenchmarkData:
         with pytest.raises(ConfigurationError):
             d.add(A, [1, 2], [3.0])
 
+    @pytest.mark.parametrize(
+        "times", [[float("nan")], [float("inf")], [-1.0]]
+    )
+    def test_corrupt_times_rejected(self, times):
+        # Corrupted measurements must be refused here, where they first
+        # enter the pipeline, not three stages later inside the fitter.
+        d = BenchmarkData()
+        with pytest.raises(ConfigurationError, match="atm.*finite"):
+            d.add(A, [4], times)
+
+    @pytest.mark.parametrize("nodes", [[0], [-2], [float("nan")]])
+    def test_bad_node_counts_rejected(self, nodes):
+        d = BenchmarkData()
+        with pytest.raises(ConfigurationError, match="node counts"):
+            d.add(A, nodes, [10.0])
+
+    def test_rejected_batch_leaves_data_untouched(self):
+        d = BenchmarkData()
+        d.add(A, [2, 4], [40.0, 20.0])
+        with pytest.raises(ConfigurationError):
+            d.add(A, [8], [float("nan")])
+        assert d.point_count(A) == 2
+
 
 class TestGather:
     def test_gathers_all_four_components(self):

@@ -127,3 +127,22 @@ class TestRunResultExport:
         assert set(payload["allocation"]) == {"atm", "ocn", "ice", "lnd"}
         assert payload["actual_total"] > 0
         json.dumps(payload)  # must be JSON-serializable as-is
+
+
+class TestEventSerialization:
+    def test_clean_run_exports_empty_event_list(self):
+        result = HSLBPipeline(make_case("1deg", 128, seed=0)).run()
+        payload = run_result_to_dict(result)
+        assert payload["events"] == []
+
+    def test_chaos_run_events_round_trip(self):
+        from repro.resilience import EventLog, FaultProfile
+
+        result = HSLBPipeline(
+            make_case("1deg", 128, seed=0),
+            fault_profile=FaultProfile(crash_probability=0.3),
+        ).run()
+        payload = run_result_to_dict(result)
+        assert payload["events"], "a 30% crash rate must leave events"
+        json.dumps(payload)  # still JSON-serializable with events attached
+        assert EventLog.from_list(payload["events"]) == result.events

@@ -91,3 +91,48 @@ class TestCommands:
         code = main(["tune", "--resolution", "8th", "--nodes", "300"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_tune_accepts_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["tune", "--resolution", "1deg", "--nodes", "128",
+             "--fault-profile", "crash=0.2", "--max-retries", "3",
+             "--deadline", "30"]
+        )
+        assert args.fault_profile == "crash=0.2"
+        assert args.max_retries == 3
+        assert args.deadline == 30.0
+
+    def test_tune_with_faults_prints_event_summary(self, capsys):
+        code = main(["tune", "--resolution", "1deg", "--nodes", "128",
+                     "--fault-profile", "crash=0.3,outlier=0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Total time, sec" in out
+        assert "resilience events" in out
+
+    def test_tune_bad_fault_profile_errors(self, capsys):
+        code = main(["tune", "--resolution", "1deg", "--nodes", "128",
+                     "--fault-profile", "bogus=1"])
+        assert code == 1
+        assert "fault-profile" in capsys.readouterr().err
+
+    def test_gather_with_faults_writes_data_and_summary(self, capsys, tmp_path):
+        out_path = str(tmp_path / "bench.json")
+        code = main(["gather", "--resolution", "1deg", "--nodes", "128",
+                     "--fault-profile", "crash=0.3", "--out", out_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "resilience events" in out
+
+    def test_gather_max_retries_alone_enables_resilient_path(self, capsys, tmp_path):
+        out_path = str(tmp_path / "bench.json")
+        code = main(["gather", "--resolution", "1deg", "--nodes", "128",
+                     "--max-retries", "2", "--out", out_path])
+        assert code == 0
+        # Clean simulator: resilient path engaged but silent.
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "resilience events" not in out

@@ -1,0 +1,104 @@
+"""End-to-end chaos acceptance: the resilient pipeline under real fault
+rates must still land on (essentially) the fault-free answer.
+
+The ``chaos`` marker lets CI run these in a dedicated job across several
+seeds (``pytest -m chaos`` with ``REPRO_CHAOS_SEEDS=0,1,2``); the default
+suite runs them on seed 0 only.
+"""
+
+import os
+
+import pytest
+
+from repro.cesm import make_case
+from repro.hslb import HSLBPipeline
+from repro.io import run_result_to_dict
+from repro.resilience import FaultProfile, RetryPolicy
+
+SEEDS = [int(s) for s in os.environ.get("REPRO_CHAOS_SEEDS", "0").split(",")]
+
+# The acceptance profile: one in five benchmark jobs crashes, one in
+# twenty comes back 10x inflated.
+ACCEPTANCE = FaultProfile(crash_probability=0.2, outlier_probability=0.05)
+
+
+class TestCleanPathUnchanged:
+    def test_no_resilience_args_is_bit_identical_to_legacy(self):
+        """Constructing the pipeline without resilience knobs must not
+        change a single value (clean-path acceptance)."""
+        a = HSLBPipeline(make_case("1deg", 128, seed=0)).run()
+        b = HSLBPipeline(
+            make_case("1deg", 128, seed=0), fault_profile=FaultProfile()
+        ).run()
+        assert b.allocation == a.allocation
+        assert b.predicted_total == a.predicted_total
+        assert b.actual_total == a.actual_total
+        assert len(b.events) == 0
+
+    def test_inactive_profile_keeps_plain_simulator_semantics(self):
+        from repro.cesm import CoupledRunSimulator
+
+        pipe = HSLBPipeline(make_case("1deg", 128, seed=0))
+        assert isinstance(pipe.simulator, CoupledRunSimulator)
+
+
+@pytest.mark.chaos
+class TestChaosAcceptance:
+    @pytest.mark.parametrize("layout", [1, 2, 3])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_crash_and_outliers_on_every_layout(self, layout, seed):
+        """20% crash + 5% outlier rates: the run completes on all three
+        Table I layouts with an actual total within 5% of fault-free."""
+        case = make_case("1deg", 128, layout=layout, seed=seed)
+        clean = HSLBPipeline(case).run()
+        chaos = HSLBPipeline(case, fault_profile=ACCEPTANCE).run()
+        drift = abs(chaos.actual_total - clean.actual_total) / clean.actual_total
+        assert drift <= 0.05, (
+            f"layout {layout} seed {seed}: chaos total {chaos.actual_total:.2f}"
+            f" vs clean {clean.actual_total:.2f} ({drift:.1%} apart)"
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_identical_runs_replay_identically(self, seed):
+        """Same (seed, FaultProfile) -> identical event logs and
+        allocations, across runs of one pipeline object and across fresh
+        pipeline objects."""
+        case = make_case("1deg", 128, seed=seed)
+        pipe = HSLBPipeline(case, fault_profile=ACCEPTANCE)
+        first, second = pipe.run(), pipe.run()
+        assert first.events == second.events
+        assert first.allocation == second.allocation
+        assert first.actual_total == second.actual_total
+
+        fresh = HSLBPipeline(case, fault_profile=ACCEPTANCE).run()
+        assert fresh.events == first.events
+        assert fresh.allocation == first.allocation
+
+    def test_execute_stage_survives_run_crashes(self):
+        profile = FaultProfile(
+            crash_probability=0.1, run_crash_probability=0.6
+        )
+        result = HSLBPipeline(
+            make_case("1deg", 128, seed=0), fault_profile=profile
+        ).run()
+        assert result.actual_total > 0
+
+    def test_report_and_archive_carry_the_events(self):
+        result = HSLBPipeline(
+            make_case("1deg", 128, seed=0), fault_profile=ACCEPTANCE
+        ).run()
+        assert len(result.events) > 0
+        text = result.report()
+        assert "resilience events" in text
+        payload = run_result_to_dict(result)
+        assert payload["events"] == result.events.to_list()
+
+    def test_retry_policy_alone_enables_resilient_path(self):
+        result = HSLBPipeline(
+            make_case("1deg", 128, seed=0), retry_policy=RetryPolicy()
+        ).run()
+        # Clean simulator: resilient machinery engaged but silent, and the
+        # answer matches the plain pipeline.
+        plain = HSLBPipeline(make_case("1deg", 128, seed=0)).run()
+        assert result.allocation == plain.allocation
+        assert len(result.events) == 0

@@ -1,0 +1,74 @@
+import json
+
+import pytest
+
+from repro.resilience import EventKind, EventLog
+from repro.resilience.events import Event
+
+
+class TestEventLog:
+    def test_record_assigns_dense_sequence(self):
+        log = EventLog()
+        a = log.record(EventKind.RETRY, stage="gather", detail="first")
+        b = log.record(EventKind.POINT_DROPPED, stage="gather", detail="second")
+        assert (a.seq, b.seq) == (0, 1)
+        assert len(log) == 2
+        assert [e.kind for e in log] == [EventKind.RETRY, EventKind.POINT_DROPPED]
+
+    def test_empty_log_is_falsy(self):
+        assert not EventLog()
+        log = EventLog()
+        log.record(EventKind.RETRY, stage="gather", detail="x")
+        assert log
+
+    def test_of_kind_and_counts(self):
+        log = EventLog()
+        log.record(EventKind.RETRY, stage="gather", detail="a")
+        log.record(EventKind.RETRY, stage="gather", detail="b")
+        log.record(EventKind.SOLVER_FALLBACK, stage="solve", detail="c")
+        assert len(log.of_kind(EventKind.RETRY)) == 2
+        assert log.counts() == {EventKind.RETRY: 2, EventKind.SOLVER_FALLBACK: 1}
+
+    def test_extra_kwargs_land_in_data(self):
+        log = EventLog()
+        e = log.record(
+            EventKind.RETRY, stage="gather", detail="d",
+            component="atm", attempt=2, nodes=64, delay=0.5,
+        )
+        assert e.component == "atm" and e.attempt == 2
+        assert e.data == {"nodes": 64, "delay": 0.5}
+
+    def test_round_trip_preserves_equality(self):
+        log = EventLog()
+        log.record(EventKind.OUTLIER_REJECTED, stage="gather", detail="z",
+                   component="ocn", nodes=16, value=532.8)
+        log.record(EventKind.BASELINE_FALLBACK, stage="solve", detail="y")
+        restored = EventLog.from_list(log.to_list())
+        assert restored == log
+        json.dumps(log.to_list())  # JSON-safe as-is
+
+    def test_equality_is_content_based(self):
+        a, b = EventLog(), EventLog()
+        a.record(EventKind.RETRY, stage="gather", detail="same")
+        b.record(EventKind.RETRY, stage="gather", detail="same")
+        assert a == b
+        b.record(EventKind.RETRY, stage="gather", detail="extra")
+        assert a != b
+
+    def test_summary_counts_and_tail(self):
+        log = EventLog()
+        for i in range(15):
+            log.record(EventKind.RETRY, stage="gather", detail=f"r{i}",
+                       component="ice")
+        text = log.summary(max_lines=12)
+        assert "resilience events (15): retry=15" in text
+        assert "... 3 earlier events" in text
+        assert "[14] retry (gather/ice): r14" in text
+        assert "[2]" not in text  # truncated head
+
+    def test_summary_of_empty_log(self):
+        assert EventLog().summary() == "resilience events: none"
+
+    def test_event_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Event.from_dict({"seq": 0, "kind": "nope", "stage": "s", "detail": "d"})

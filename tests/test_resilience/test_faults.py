@@ -1,0 +1,144 @@
+import math
+
+import pytest
+
+from repro.cesm import ComponentId, CoupledRunSimulator, make_case
+from repro.exceptions import (
+    ConfigurationError,
+    InjectedCrashError,
+    InjectedFaultError,
+    InjectedTimeoutError,
+    SimulationError,
+)
+from repro.resilience import FaultProfile, FaultySimulator
+
+ATM, OCN = ComponentId.ATM, ComponentId.OCN
+
+
+def faulty(profile, seed=0, nodes=128):
+    case = make_case("1deg", nodes, seed=seed)
+    return FaultySimulator(CoupledRunSimulator(case), profile)
+
+
+class TestFaultProfile:
+    def test_inactive_by_default(self):
+        assert not FaultProfile().active
+        assert FaultProfile(crash_probability=0.1).active
+        assert FaultProfile(hot_components=(("atm", 0.5),)).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"crash_probability": -0.1},
+            {"outlier_probability": 1.5},
+            {"outlier_multiplier": 1.0},
+            {"timeout_seconds": 0.0},
+            {"hot_components": (("not_a_component", 0.2),)},
+            {"hot_components": (("atm", 2.0),)},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultProfile(**kwargs)
+
+    def test_hot_component_raises_crash_probability(self):
+        p = FaultProfile(crash_probability=0.1, hot_components=(("atm", 0.3),))
+        assert p.crash_probability_for(ATM) == pytest.approx(0.4)
+        assert p.crash_probability_for(OCN) == pytest.approx(0.1)
+
+    def test_parse_full_spec(self):
+        p = FaultProfile.parse("crash=0.2,outlier=0.05,mult=8,hot.atm=0.3")
+        assert p.crash_probability == 0.2
+        assert p.outlier_probability == 0.05
+        assert p.outlier_multiplier == 8.0
+        assert p.hot_components == (("atm", 0.3),)
+
+    @pytest.mark.parametrize("spec", ["crash", "nope=1", "crash=abc", "hot.xyz=0.1"])
+    def test_parse_rejects_garbage(self, spec):
+        with pytest.raises(ConfigurationError):
+            FaultProfile.parse(spec)
+
+    def test_describe_round_trips_through_parse(self):
+        p = FaultProfile.parse("crash=0.2,outlier=0.05,hot.ice=0.1")
+        assert FaultProfile.parse(p.describe()) == p
+        assert FaultProfile().describe() == "none"
+
+
+class TestFaultySimulator:
+    def test_inactive_profile_is_transparent(self):
+        sim = faulty(FaultProfile())
+        clean = CoupledRunSimulator(sim.case)
+        for comp in (ATM, OCN):
+            assert sim.benchmark(comp, 64) == clean.benchmark(comp, 64)
+        sweep = sim.benchmark_sweep(ATM, [16, 32])
+        assert sweep == clean.benchmark_sweep(ATM, [16, 32])
+
+    def test_certain_crash_raises(self):
+        sim = faulty(FaultProfile(crash_probability=1.0))
+        with pytest.raises(InjectedCrashError):
+            sim.benchmark(ATM, 64)
+
+    def test_certain_timeout_raises_with_budget(self):
+        sim = faulty(FaultProfile(timeout_probability=1.0, timeout_seconds=120.0))
+        with pytest.raises(InjectedTimeoutError) as err:
+            sim.benchmark(ATM, 64)
+        assert err.value.timeout_seconds == 120.0
+        assert isinstance(err.value, SimulationError)  # one except clause catches all
+
+    def test_corruption_returns_nan_or_negative(self):
+        sim = faulty(FaultProfile(corrupt_probability=1.0))
+        values = [sim.benchmark(ATM, n) for n in (16, 32, 64, 128)]
+        assert all(math.isnan(v) or v < 0 for v in values)
+        assert any(math.isnan(v) for v in values) or any(v < 0 for v in values)
+
+    def test_outlier_multiplies_true_time(self):
+        sim = faulty(FaultProfile(outlier_probability=1.0, outlier_multiplier=10.0))
+        clean = CoupledRunSimulator(sim.case)
+        assert sim.benchmark(ATM, 64) == pytest.approx(10.0 * clean.benchmark(ATM, 64))
+
+    def test_fault_draws_are_deterministic_per_attempt(self):
+        profile = FaultProfile(crash_probability=0.5)
+
+        def pattern():
+            sim = faulty(profile, seed=3)
+            out = []
+            for _ in range(8):  # repeated asks advance the attempt counter
+                try:
+                    sim.benchmark(ATM, 64)
+                    out.append("ok")
+                except InjectedCrashError:
+                    out.append("crash")
+            return out
+
+        first, second = pattern(), pattern()
+        assert first == second  # pure function of (seed, profile)
+        assert "crash" in first and "ok" in first  # p=0.5 over 8 draws
+
+    def test_reset_replays_the_same_faults(self):
+        sim = faulty(FaultProfile(crash_probability=0.5), seed=3)
+
+        def observe():
+            try:
+                return sim.benchmark(ATM, 64)
+            except InjectedCrashError:
+                return "crash"
+
+        history = [observe() for _ in range(6)]
+        sim.reset()
+        assert [observe() for _ in range(6)] == history
+
+    def test_run_crash_probability_hits_coupled_runs(self):
+        sim = faulty(FaultProfile(run_crash_probability=1.0))
+        alloc = {ComponentId.ICE: 40, ComponentId.LND: 8,
+                 ComponentId.ATM: 48, ComponentId.OCN: 16}
+        with pytest.raises(InjectedFaultError):
+            sim.run_coupled(alloc)
+        # benchmarks are untouched by the run-level knob
+        assert sim.benchmark(ATM, 64) > 0
+
+    def test_clean_coupled_run_passes_through(self):
+        sim = faulty(FaultProfile(crash_probability=0.3))
+        alloc = {ComponentId.ICE: 40, ComponentId.LND: 8,
+                 ComponentId.ATM: 48, ComponentId.OCN: 16}
+        clean = CoupledRunSimulator(sim.case)
+        assert sim.run_coupled(alloc).total == clean.run_coupled(alloc).total

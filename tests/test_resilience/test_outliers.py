@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.cesm import ComponentId, CoupledRunSimulator, make_case
+from repro.resilience import mad_scores, worst_outlier
+from repro.resilience.outliers import theil_sen_line
+
+
+class TestTheilSen:
+    def test_exact_line_recovered(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = 2.0 * x + 1.0
+        slope, intercept = theil_sen_line(x, y)
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_single_outlier_does_not_move_the_line(self):
+        x = np.arange(1.0, 8.0)
+        y = 2.0 * x + 1.0
+        y[3] += 50.0
+        slope, _ = theil_sen_line(x, y)
+        assert slope == pytest.approx(2.0, abs=0.5)
+
+    def test_degenerate_x_falls_back_to_median(self):
+        slope, intercept = theil_sen_line(
+            np.array([2.0, 2.0]), np.array([1.0, 3.0])
+        )
+        assert slope == 0.0
+        assert intercept == pytest.approx(2.0)
+
+
+class TestWorstOutlier:
+    def sweep(self, comp=ComponentId.ATM, points=6):
+        case = make_case("1deg", 1024, seed=0)
+        sim = CoupledRunSimulator(case)
+        counts = case.benchmark_node_counts(comp, points=points)
+        return counts, [sim.benchmark(comp, n) for n in counts]
+
+    def test_clean_sweep_passes(self):
+        nodes, times = self.sweep()
+        assert worst_outlier(nodes, times, threshold=3.5) is None
+
+    @pytest.mark.parametrize("bad_idx", [0, 2, 5])
+    def test_10x_outlier_flagged_at_any_position(self, bad_idx):
+        nodes, times = self.sweep()
+        times = list(times)
+        times[bad_idx] *= 10.0
+        assert worst_outlier(nodes, times, threshold=3.5) == bad_idx
+
+    def test_needs_at_least_four_points(self):
+        # With 3 points an outlier is indistinguishable from curvature.
+        assert worst_outlier([4, 16, 64], [100.0, 25.0, 10000.0], 3.5) is None
+
+    def test_scores_scale_with_deviation(self):
+        nodes, times = self.sweep()
+        clean = mad_scores(nodes, times).max()
+        times = list(times)
+        times[2] *= 10.0
+        dirty = mad_scores(nodes, times)[2]
+        assert dirty > 3.5 > clean

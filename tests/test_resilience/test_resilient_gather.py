@@ -1,0 +1,167 @@
+import numpy as np
+import pytest
+
+from repro.cesm import ComponentId, CoupledRunSimulator, make_case
+from repro.exceptions import GatherError
+from repro.hslb import gather_benchmarks
+from repro.resilience import (
+    EventKind,
+    EventLog,
+    FaultProfile,
+    FaultySimulator,
+    RetryPolicy,
+)
+
+ATM, OCN, ICE, LND = (
+    ComponentId.ATM,
+    ComponentId.OCN,
+    ComponentId.ICE,
+    ComponentId.LND,
+)
+
+
+def clean_sim(nodes=128, seed=0):
+    return CoupledRunSimulator(make_case("1deg", nodes, seed=seed))
+
+
+def chaos_sim(profile, nodes=128, seed=0):
+    return FaultySimulator(clean_sim(nodes, seed), profile)
+
+
+class TestCleanPathEquivalence:
+    def test_policy_on_clean_simulator_changes_nothing(self):
+        """The resilient sweep over a fault-free simulator must return the
+        same samples as the historical plain sweep."""
+        plain = gather_benchmarks(clean_sim(), points=5)
+        events = EventLog()
+        resilient = gather_benchmarks(
+            clean_sim(), points=5, policy=RetryPolicy(), events=events
+        )
+        for comp in plain.components():
+            np.testing.assert_array_equal(plain.nodes(comp), resilient.nodes(comp))
+            np.testing.assert_array_equal(plain.times(comp), resilient.times(comp))
+        assert len(events) == 0
+
+
+class TestRetries:
+    def test_crashes_are_retried_and_logged(self):
+        events = EventLog()
+        data = gather_benchmarks(
+            chaos_sim(FaultProfile(crash_probability=0.3)),
+            points=5,
+            policy=RetryPolicy(),
+            events=events,
+        )
+        # Full sweep recovered: every component keeps its 5 points.
+        for comp in data.components():
+            assert data.point_count(comp) == 5
+        retries = events.of_kind(EventKind.RETRY)
+        assert retries, "a 30% crash rate must trigger at least one retry"
+        assert all(e.stage == "gather" for e in retries)
+
+    def test_corrupt_values_are_rejected_and_retried(self):
+        # 100% corruption: every attempt returns NaN/negative, so every
+        # point exhausts retries and the sweep cannot reach 3 points.
+        events = EventLog()
+        with pytest.raises(GatherError):
+            gather_benchmarks(
+                chaos_sim(FaultProfile(corrupt_probability=1.0)),
+                points=5,
+                policy=RetryPolicy(max_attempts=2, sweep_budget=100),
+                events=events,
+            )
+        assert any(
+            "corrupt measurement" in e.detail
+            for e in events.of_kind(EventKind.RETRY)
+        )
+
+    def test_sweep_budget_caps_total_fight(self):
+        events = EventLog()
+        with pytest.raises(GatherError):
+            gather_benchmarks(
+                chaos_sim(FaultProfile(crash_probability=1.0)),
+                points=5,
+                policy=RetryPolicy(max_attempts=4, sweep_budget=6),
+                events=events,
+            )
+        # Budget of 6 failures: nowhere near 5 points x 4 attempts.
+        failed = [e for e in events.of_kind(EventKind.RETRY)]
+        assert len(failed) <= 5 + 6  # one give-up event per point + retries
+
+
+class TestDegradation:
+    def test_hot_component_fails_with_partial_data(self):
+        """A component whose every benchmark crashes aborts the gather, but
+        the error carries what the other components measured."""
+        profile = FaultProfile(hot_components=(("ocn", 1.0),))
+        events = EventLog()
+        with pytest.raises(GatherError) as err:
+            gather_benchmarks(
+                chaos_sim(profile),
+                points=5,
+                policy=RetryPolicy(max_attempts=2),
+                events=events,
+            )
+        partial = err.value.partial
+        assert partial is not None
+        assert OCN not in partial.components()
+        # Everything gathered before the sick component survived intact.
+        for comp in partial.components():
+            assert partial.point_count(comp) == 5
+        assert events.of_kind(EventKind.POINT_DROPPED)
+
+    def test_outlier_is_remeasured(self):
+        events = EventLog()
+        data = gather_benchmarks(
+            chaos_sim(FaultProfile(outlier_probability=0.15), seed=1),
+            points=6,
+            policy=RetryPolicy(),
+            events=events,
+        )
+        rejected = events.of_kind(EventKind.OUTLIER_REJECTED)
+        assert rejected, "15% outliers over 24 points should trip the MAD test"
+        assert events.of_kind(EventKind.REMEASURED)
+        # The re-measured sweeps must be clean enough to carry full points.
+        for comp in data.components():
+            assert data.point_count(comp) >= 5
+
+    def test_deterministic_event_log(self):
+        profile = FaultProfile(crash_probability=0.25, outlier_probability=0.1)
+
+        def run():
+            events = EventLog()
+            gather_benchmarks(
+                chaos_sim(profile, seed=2), points=5,
+                policy=RetryPolicy(), events=events,
+            )
+            return events
+
+        assert run() == run()
+
+
+class TestDeadline:
+    def test_expired_deadline_stops_retrying(self):
+        from repro.resilience import Deadline
+
+        class Clock:
+            now = 1000.0
+
+            def __call__(self):
+                return self.now
+
+        deadline = Deadline(5.0, clock=Clock())
+        Clock.now += 10.0  # already expired before the sweep starts
+        events = EventLog()
+        # Every point gets exactly one attempt; a 100% crash rate then
+        # fails the component without any retries.
+        with pytest.raises(GatherError):
+            gather_benchmarks(
+                chaos_sim(FaultProfile(crash_probability=1.0)),
+                points=5,
+                policy=RetryPolicy(max_attempts=4),
+                events=events,
+                deadline=deadline,
+            )
+        assert all(
+            e.data.get("exhausted") for e in events.of_kind(EventKind.RETRY)
+        )

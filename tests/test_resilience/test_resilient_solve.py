@@ -1,0 +1,162 @@
+import pytest
+
+from repro.cesm import ComponentId, make_case
+from repro.cesm.layouts import validate_allocation
+from repro.exceptions import ConfigurationError, IterationLimitError, SolverError
+from repro.fitting.perfmodel import PerfModel
+from repro.hslb import (
+    HSLBPipeline,
+    proportional_baseline,
+    solve_allocation,
+    solve_allocation_resilient,
+)
+from repro.lp.simplex import SimplexOptions
+from repro.minlp import MINLPOptions
+from repro.resilience import Deadline, EventKind, EventLog
+
+ATM, OCN, ICE, LND = (
+    ComponentId.ATM,
+    ComponentId.OCN,
+    ComponentId.ICE,
+    ComponentId.LND,
+)
+
+
+def fitted_models(case=None, seed=0):
+    pipeline = HSLBPipeline(case or make_case("1deg", 128, seed=seed))
+    return pipeline.fit(pipeline.gather())
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestFallbackChain:
+    def test_clean_solve_uses_primary_and_logs_nothing(self):
+        case = make_case("1deg", 128, seed=0)
+        fits = fitted_models(case)
+        out = solve_allocation_resilient(case, fits)
+        assert out.method == "lpnlp"
+        assert len(out.events) == 0
+        assert out.allocation == solve_allocation(case, fits).allocation
+
+    def test_primary_failure_falls_back_to_other_bnb(self, monkeypatch):
+        case = make_case("1deg", 128, seed=0)
+        fits = fitted_models(case)
+        expected = solve_allocation(case, fits, method="bnb").allocation
+
+        def boom(model, options=None):
+            raise SolverError("forced primary failure")
+
+        monkeypatch.setattr("repro.hslb.solve.solve_lpnlp", boom)
+        events = EventLog()
+        out = solve_allocation_resilient(case, fits, method="lpnlp", events=events)
+        assert out.method == "bnb"
+        assert out.allocation == expected
+        validate_allocation(case.layout, out.allocation, case.total_nodes)
+        fallback, = events.of_kind(EventKind.SOLVER_FALLBACK)
+        assert fallback.data == {"backend": "lpnlp", "fallback": "bnb"}
+
+    def test_both_backends_down_yields_baseline(self, monkeypatch):
+        case = make_case("1deg", 128, seed=0)
+        fits = fitted_models(case)
+
+        def boom(model, options=None):
+            raise SolverError("forced failure")
+
+        monkeypatch.setattr("repro.hslb.solve.solve_lpnlp", boom)
+        monkeypatch.setattr("repro.hslb.solve.solve_nlp_bnb", boom)
+        events = EventLog()
+        out = solve_allocation_resilient(case, fits, events=events)
+        assert out.method == "baseline"
+        assert out.solver_result is None
+        validate_allocation(case.layout, out.allocation, case.total_nodes)
+        assert out.predicted_total > 0
+        assert len(events.of_kind(EventKind.SOLVER_FALLBACK)) == 2
+        assert events.of_kind(EventKind.BASELINE_FALLBACK)
+
+    def test_configuration_errors_are_not_swallowed(self):
+        case = make_case("1deg", 128, seed=0)
+        with pytest.raises(ConfigurationError):
+            solve_allocation_resilient(case, fitted_models(case), method="nope")
+
+    def test_iteration_limit_error_surfaces_then_recovers(self):
+        """A starved simplex raises IterationLimitError from the bare solve;
+        the resilient wrapper treats it as any SolverError and recovers via
+        the NLP-based B&B (which never touches the simplex)."""
+        case = make_case("1deg", 128, seed=0)
+        fits = fitted_models(case)
+        starved = MINLPOptions(lp_options=SimplexOptions(max_iterations=1))
+        with pytest.raises(IterationLimitError):
+            solve_allocation(case, fits, method="lpnlp", options=starved)
+
+        events = EventLog()
+        out = solve_allocation_resilient(
+            case, fits, method="lpnlp", options=starved, events=events
+        )
+        assert out.method == "bnb"
+        fallback, = events.of_kind(EventKind.SOLVER_FALLBACK)
+        assert "iteration limit" in fallback.detail
+
+
+class TestDeadline:
+    def test_expired_deadline_goes_straight_to_baseline(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.now = 20.0
+        case = make_case("1deg", 128, seed=0)
+        events = EventLog()
+        out = solve_allocation_resilient(
+            case, fitted_models(case), events=events, deadline=deadline
+        )
+        assert out.method == "baseline"
+        assert events.of_kind(EventKind.DEADLINE_EXPIRED)
+        validate_allocation(case.layout, out.allocation, case.total_nodes)
+
+    def test_check_hook_stops_both_bnb_loops(self):
+        from repro.hslb.layout_models import layout_model_for_case
+        from repro.minlp import solve_lpnlp, solve_nlp_bnb
+        from repro.minlp.result import MINLPStatus
+
+        case = make_case("1deg", 128, seed=0)
+        perf = {c: (f.model if hasattr(f, "model") else f)
+                for c, f in fitted_models(case).items()}
+        model = layout_model_for_case(case, perf)
+        opts = MINLPOptions(check_hook=lambda: True)
+        for solver in (solve_lpnlp, solve_nlp_bnb):
+            result = solver(model, opts)
+            assert result.status is MINLPStatus.TIME_LIMIT
+            assert "check hook" in result.message
+
+
+class TestProportionalBaseline:
+    # Generic power-law-ish models; exact values are irrelevant, the
+    # baseline only needs relative work magnitudes.
+    PERF = {
+        ICE: PerfModel(a=400.0, b=0.001, c=1.2, d=5.0),
+        LND: PerfModel(a=150.0, b=0.001, c=1.2, d=3.0),
+        ATM: PerfModel(a=9000.0, b=0.002, c=1.3, d=20.0),
+        OCN: PerfModel(a=6000.0, b=0.001, c=1.2, d=30.0),
+    }
+
+    @pytest.mark.parametrize("layout", [1, 2, 3])
+    @pytest.mark.parametrize("nodes", [128, 512, 2048])
+    def test_feasible_on_every_layout(self, layout, nodes):
+        case = make_case("1deg", nodes, layout=layout, seed=0)
+        alloc = proportional_baseline(case, self.PERF)
+        validate_allocation(case.layout, alloc, case.total_nodes)
+        assert alloc[OCN] in case.ocean_allowed()
+
+    def test_feasible_on_eighth_degree(self):
+        case = make_case("8th", 4096, seed=0)
+        alloc = proportional_baseline(case, self.PERF)
+        validate_allocation(case.layout, alloc, case.total_nodes)
+
+    def test_unconstrained_ocean_case(self):
+        case = make_case("1deg", 512, unconstrained_ocean=True, seed=0)
+        alloc = proportional_baseline(case, self.PERF)
+        validate_allocation(case.layout, alloc, case.total_nodes)

@@ -1,0 +1,98 @@
+import pytest
+
+from repro.exceptions import ConfigurationError, DeadlineExceededError
+from repro.resilience import Deadline, RetryPolicy
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"sweep_budget": -1},
+            {"base_delay": -0.1},
+            {"backoff": 0.5},
+            {"jitter": 1.5},
+            {"outlier_threshold": 0.0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+    def test_zero_base_delay_means_no_waiting(self):
+        policy = RetryPolicy(base_delay=0.0)
+        assert policy.delay_for(1, seed=0, ) == 0.0
+        assert policy.delay_for(5, seed=0) == 0.0
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=1.0, backoff=2.0, jitter=0.0, max_delay=5.0)
+        delays = [policy.delay_for(a, 0, "k") for a in (1, 2, 3, 4, 5)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.25)
+        d1 = policy.delay_for(2, 7, "bench", "atm", "64")
+        d2 = policy.delay_for(2, 7, "bench", "atm", "64")
+        assert d1 == d2  # same (seed, key, attempt) -> same delay
+        assert 2.0 * 0.75 <= d1 <= 2.0 * 1.25
+        assert d1 != policy.delay_for(2, 8, "bench", "atm", "64")
+
+    def test_pause_skips_sleep_for_zero_delay(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(RetryPolicy, "sleep", staticmethod(calls.append))
+        policy = RetryPolicy()
+        policy.pause(0.0)
+        assert calls == []
+        policy.pause(0.25)
+        assert calls == [0.25]
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline()
+        assert not d.is_limited
+        assert d.remaining() == float("inf")
+        assert not d.expired()
+        d.check("anything")  # no raise
+
+    def test_limited_expiry_with_fake_clock(self):
+        clock = FakeClock()
+        d = Deadline(10.0, clock=clock)
+        clock.now = 9.0
+        assert not d.expired()
+        assert d.remaining() == pytest.approx(1.0)
+        clock.now = 10.5
+        assert d.expired()
+        with pytest.raises(DeadlineExceededError, match="during solve"):
+            d.check("solve")
+
+    def test_as_hook_tracks_expiry(self):
+        clock = FakeClock()
+        hook = Deadline(1.0, clock=clock).as_hook()
+        assert hook() is False
+        clock.now = 2.0
+        assert hook() is True
+
+    def test_coerce(self):
+        d = Deadline(5.0)
+        assert Deadline.coerce(d) is d
+        assert Deadline.coerce(None).is_limited is False
+        assert Deadline.coerce(3.0).seconds == 3.0
+
+    def test_nonpositive_seconds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(0.0)
+        with pytest.raises(ConfigurationError):
+            Deadline(-1.0)

@@ -17,6 +17,7 @@ from repro.cesm.components import ComponentId
 from repro.cesm.layouts import Layout
 from repro.cesm.simulator import CoupledRunSimulator
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.parallel.executor import executor_scope
 
 A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
 
@@ -29,21 +30,28 @@ class GridSearchResult:
     evaluated: list = field(default_factory=list)  # (allocation, total)
 
 
-def grid_search_allocation(
-    simulator: CoupledRunSimulator,
-    ocean_fractions: int = 6,
-    ice_fractions: int = 4,
-) -> GridSearchResult:
-    """Exhaustive coarse search over (ocean share, ice share) for layout 1."""
-    case = simulator.case
-    if case.layout is not Layout.HYBRID:
-        raise ConfigurationError("grid search models layout 1")
+@dataclass
+class _GridPoint:
+    """One coupled run at a grid allocation (picklable process payload)."""
+
+    simulator: object
+    allocation: dict
+
+
+def _run_grid_point(point: _GridPoint):
+    """Coupled-run total, or None for an infeasible point — mirroring the
+    serial loop's try/except so parallel reduction sees the same stream."""
+    try:
+        return point.simulator.run_coupled(point.allocation).total
+    except SimulationError:
+        return None
+
+
+def _grid_candidates(case, ocean_fractions: int, ice_fractions: int) -> list:
+    """Candidate allocations in the exact order the historical loop ran them."""
     N = case.total_nodes
     ocn_values = sorted(case.ocean_allowed())
-
-    best = None
-    evaluated = []
-    runs = 0
+    candidates = []
     for f_o in np.linspace(0.08, 0.6, ocean_fractions):
         n_o = min(ocn_values, key=lambda v: abs(v - f_o * N))
         n_a_cap = N - n_o
@@ -58,15 +66,45 @@ def grid_search_allocation(
             n_l = int(min(max(n_a - n_i, lo_l), hi_l))
             if n_i + n_l > n_a:
                 continue
-            alloc = {I: n_i, L: n_l, A: n_a, O: n_o}
-            try:
-                t = simulator.run_coupled(alloc)
-            except SimulationError:
-                continue
-            runs += 1
-            evaluated.append((alloc, t.total))
-            if best is None or t.total < best[1]:
-                best = (alloc, t.total)
+            candidates.append({I: n_i, L: n_l, A: n_a, O: n_o})
+    return candidates
+
+
+def grid_search_allocation(
+    simulator: CoupledRunSimulator,
+    ocean_fractions: int = 6,
+    ice_fractions: int = 4,
+    executor=None,
+    workers: int | None = None,
+) -> GridSearchResult:
+    """Exhaustive coarse search over (ocean share, ice share) for layout 1.
+
+    ``executor``/``workers`` (see :mod:`repro.parallel`) run the coupled
+    evaluations concurrently; the reduction walks results in candidate
+    order, so the winner — including the first-wins tie-break — is
+    identical to the serial search.
+    """
+    case = simulator.case
+    if case.layout is not Layout.HYBRID:
+        raise ConfigurationError("grid search models layout 1")
+
+    candidates = _grid_candidates(case, ocean_fractions, ice_fractions)
+    with executor_scope(executor, workers) as ex:
+        totals = ex.map_ordered(
+            _run_grid_point,
+            [_GridPoint(simulator, alloc) for alloc in candidates],
+        )
+
+    best = None
+    evaluated = []
+    runs = 0
+    for alloc, total in zip(candidates, totals):
+        if total is None:
+            continue
+        runs += 1
+        evaluated.append((alloc, total))
+        if best is None or total < best[1]:
+            best = (alloc, total)
     if best is None:
         raise ConfigurationError("grid search found no feasible allocation")
     return GridSearchResult(

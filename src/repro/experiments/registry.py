@@ -98,3 +98,31 @@ def run_experiment(experiment_id: str, seed: int = 0):
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
     return runner(seed=seed)
+
+
+def _render_entry(job: tuple) -> tuple:
+    """Process-pool worker: run one experiment and render it to text.
+
+    Takes ``(experiment_id, seed)`` rather than a runner closure — closures
+    do not pickle, ids do.  Returning the rendered text (not the data
+    object) keeps the payload picklable for every experiment type.
+    """
+    experiment_id, seed = job
+    return experiment_id, run_experiment(experiment_id, seed=seed).render()
+
+
+def run_experiments(
+    experiment_ids, seed: int = 0, executor=None, workers: int | None = None
+):
+    """Run several experiments, optionally concurrently.
+
+    Returns ``[(experiment_id, rendered_text), ...]`` in the order given,
+    whatever the backend (see :mod:`repro.parallel`).  Each experiment is
+    internally deterministic given ``seed``, so concurrent execution
+    renders the same text serial execution would.
+    """
+    from repro.parallel.executor import executor_scope
+
+    jobs = [(experiment_id, seed) for experiment_id in experiment_ids]
+    with executor_scope(executor, workers) as ex:
+        return ex.map_ordered(_render_entry, jobs)

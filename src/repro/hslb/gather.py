@@ -29,6 +29,7 @@ from repro.cesm.case import CESMCase
 from repro.cesm.components import OPTIMIZED_COMPONENTS, ComponentId
 from repro.cesm.simulator import CoupledRunSimulator
 from repro.exceptions import ConfigurationError, GatherError, SimulationError
+from repro.parallel.executor import executor_scope
 from repro.resilience.events import EventKind, EventLog
 from repro.resilience.outliers import worst_outlier
 from repro.resilience.retry import Deadline, RetryPolicy
@@ -82,6 +83,8 @@ def gather_benchmarks(
     policy: RetryPolicy | None = None,
     events: EventLog | None = None,
     deadline=None,
+    executor=None,
+    workers: int | None = None,
 ) -> BenchmarkData:
     """Run the benchmark sweeps for ``components`` on ``simulator``.
 
@@ -92,22 +95,34 @@ def gather_benchmarks(
     With ``policy`` (or ``events``/``deadline``) set, the sweep is fault
     tolerant — see the module docstring.  The clean path is bit-identical
     to the historical behavior.
+
+    ``executor`` (an executor name or instance, see :mod:`repro.parallel`)
+    runs the sweeps concurrently: the clean path parallelizes individual
+    benchmark points, the resilient path whole component sweeps (each
+    sweep's retry/replace/outlier decisions are sequential within the
+    component).  Results, events, and errors are merged in submission
+    order, so every backend is bit-identical to the default serial run.
     """
     if points < 3:
         raise ConfigurationError(
             "need at least 3 benchmark points per component to fit the model "
             "(the paper recommends more than 4)"
         )
-    if policy is None and events is None and deadline is None:
-        return _gather_plain(simulator, points, components)
-    return _gather_resilient(
-        simulator,
-        points,
-        components,
-        policy or RetryPolicy(),
-        events if events is not None else EventLog(),
-        Deadline.coerce(deadline),
-    )
+    with executor_scope(executor, workers) as ex:
+        if policy is None and events is None and deadline is None:
+            if ex.kind == "serial":
+                return _gather_plain(simulator, points, components)
+            return _gather_plain_parallel(simulator, points, components, ex)
+        policy = policy or RetryPolicy()
+        events = events if events is not None else EventLog()
+        deadline = Deadline.coerce(deadline)
+        if ex.kind == "serial":
+            return _gather_resilient(
+                simulator, points, components, policy, events, deadline
+            )
+        return _gather_resilient_parallel(
+            simulator, points, components, policy, events, deadline, ex
+        )
 
 
 def _sweep_counts(case: CESMCase, comp: ComponentId, points: int) -> list:
@@ -132,7 +147,119 @@ def _gather_plain(
     return data
 
 
+# -- parallel clean path --------------------------------------------------------
+
+
+@dataclass
+class _PointTask:
+    """One clean benchmark measurement (picklable process payload)."""
+
+    simulator: object
+    comp: ComponentId
+    nodes: int
+
+
+def _run_point_task(task: _PointTask) -> float:
+    return task.simulator.benchmark(task.comp, task.nodes)
+
+
+def _gather_plain_parallel(
+    simulator, points: int, components: tuple, ex
+) -> BenchmarkData:
+    """Clean sweep with every (component, node count) point as one task.
+
+    Submission order is the serial iteration order, so after the ordered
+    merge the assembled :class:`BenchmarkData` — and, when a point fails,
+    the raised :class:`~repro.exceptions.SimulationError` — match the
+    serial path exactly.
+    """
+    case: CESMCase = simulator.case
+    tasks: list = []
+    spans: list = []
+    for comp in components:
+        counts = _sweep_counts(case, comp, points)
+        spans.append((comp, len(counts)))
+        tasks.extend(_PointTask(simulator, comp, int(n)) for n in counts)
+    values = ex.map_ordered(_run_point_task, tasks)
+    data = BenchmarkData()
+    offset = 0
+    for comp, width in spans:
+        chunk = tasks[offset:offset + width]
+        data.add(comp, [t.nodes for t in chunk], values[offset:offset + width])
+        offset += width
+    return data
+
+
 # -- resilient path -------------------------------------------------------------
+
+
+def _sweep_component(
+    simulator,
+    comp: ComponentId,
+    counts: list,
+    policy: RetryPolicy,
+    events: EventLog,
+    deadline: Deadline,
+) -> dict:
+    """One component's full resilient sweep; returns ``{nodes: seconds}``.
+
+    Retries, neighbor replacement, and outlier re-measurement are all
+    internal to the component, so this is the unit the parallel gather
+    fans out — the decisions inside stay strictly sequential.
+    """
+    case: CESMCase = simulator.case
+    budget = _SweepBudget(policy.sweep_budget)
+    survived: dict = {}  # nodes -> seconds
+    for n in counts:
+        value = _measure_point(
+            simulator, comp, n, policy, events, deadline, budget
+        )
+        if value is None:
+            value, n = _replace_point(
+                simulator, comp, n, counts, survived, case,
+                policy, events, deadline, budget,
+            )
+        if value is None:
+            continue
+        survived[n] = value
+
+    _reject_outliers(
+        simulator, comp, survived, policy, events, deadline, budget
+    )
+    return survived
+
+
+def _finish_component(
+    comp: ComponentId,
+    requested: int,
+    survived: dict,
+    data: BenchmarkData,
+    partial: BenchmarkData,
+    events: EventLog,
+) -> None:
+    """Fold one component's sweep into the results (or raise GatherError)."""
+    if survived:
+        ns = sorted(survived)
+        partial.add(comp, ns, [survived[n] for n in ns])
+    if len(survived) < 3:
+        raise GatherError(
+            f"component {comp.value}: only {len(survived)} of "
+            f"{requested} benchmark points survived (need 3 to fit)",
+            partial=partial,
+        )
+    if len(survived) < requested:
+        events.record(
+            EventKind.GATHER_DEGRADED,
+            stage="gather",
+            detail=(
+                f"proceeding with {len(survived)}/{requested} points"
+            ),
+            component=comp.value,
+            requested=requested,
+            survived=len(survived),
+        )
+    ns = sorted(survived)
+    data.add(comp, ns, [survived[n] for n in ns])
 
 
 def _gather_resilient(
@@ -148,47 +275,120 @@ def _gather_resilient(
     partial = BenchmarkData()
     for comp in components:
         counts = _sweep_counts(case, comp, points)
-        budget = _SweepBudget(policy.sweep_budget)
-        survived: dict = {}  # nodes -> seconds
-        for n in counts:
-            value = _measure_point(
-                simulator, comp, n, policy, events, deadline, budget
-            )
-            if value is None:
-                value, n = _replace_point(
-                    simulator, comp, n, counts, survived, case,
-                    policy, events, deadline, budget,
-                )
-            if value is None:
-                continue
-            survived[n] = value
-
-        _reject_outliers(
-            simulator, comp, survived, policy, events, deadline, budget
+        survived = _sweep_component(
+            simulator, comp, counts, policy, events, deadline
         )
+        _finish_component(comp, len(counts), survived, data, partial, events)
+    return data
 
-        if survived:
-            ns = sorted(survived)
-            partial.add(comp, ns, [survived[n] for n in ns])
-        if len(survived) < 3:
-            raise GatherError(
-                f"component {comp.value}: only {len(survived)} of "
-                f"{len(counts)} benchmark points survived (need 3 to fit)",
-                partial=partial,
-            )
-        if len(survived) < len(counts):
-            events.record(
-                EventKind.GATHER_DEGRADED,
-                stage="gather",
-                detail=(
-                    f"proceeding with {len(survived)}/{len(counts)} points"
+
+@dataclass
+class _SweepTask:
+    """One component's resilient sweep (picklable process payload).
+
+    Thread workers receive the live :class:`Deadline` so all sweeps share
+    one budget; process workers get the remaining seconds at submission
+    (clock objects do not cross process boundaries) and rebuild one.
+    """
+
+    simulator: object
+    comp: ComponentId
+    counts: list
+    policy: RetryPolicy
+    deadline: Deadline | None
+    deadline_seconds: float | None
+
+
+@dataclass
+class _SweepOutcome:
+    comp: ComponentId
+    requested: int
+    survived: dict
+    events: EventLog
+    attempts_delta: dict
+
+
+def _run_sweep_task(task: _SweepTask) -> _SweepOutcome:
+    deadline = (
+        task.deadline
+        if task.deadline is not None
+        else Deadline(task.deadline_seconds)
+    )
+    events = EventLog()
+    simulator = task.simulator
+    before = (
+        simulator.attempt_counts()
+        if hasattr(simulator, "attempt_counts")
+        else {}
+    )
+    survived = _sweep_component(
+        simulator, task.comp, task.counts, task.policy, events, deadline
+    )
+    delta = {}
+    if hasattr(simulator, "attempt_counts"):
+        after = simulator.attempt_counts()
+        delta = {
+            key: count - before.get(key, 0)
+            for key, count in after.items()
+            if count != before.get(key, 0)
+        }
+    return _SweepOutcome(
+        comp=task.comp,
+        requested=len(task.counts),
+        survived=survived,
+        events=events,
+        attempts_delta=delta,
+    )
+
+
+def _gather_resilient_parallel(
+    simulator,
+    points: int,
+    components: tuple,
+    policy: RetryPolicy,
+    events: EventLog,
+    deadline: Deadline,
+    ex,
+) -> BenchmarkData:
+    """Resilient gather with one task per component sweep.
+
+    Worker event logs and fault-attempt spend are merged back in
+    submission order; a failing component raises the same
+    :class:`~repro.exceptions.GatherError` (message and partial data) the
+    serial loop raises, with later components' events discarded exactly as
+    if they had never run.
+    """
+    case: CESMCase = simulator.case
+    share_deadline = ex.kind != "process"
+    tasks = []
+    for comp in components:
+        counts = _sweep_counts(case, comp, points)
+        tasks.append(
+            _SweepTask(
+                simulator=simulator,
+                comp=comp,
+                counts=counts,
+                policy=policy,
+                deadline=deadline if share_deadline else None,
+                deadline_seconds=(
+                    None
+                    if not deadline.is_limited
+                    else max(deadline.remaining(), 1e-3)
                 ),
-                component=comp.value,
-                requested=len(counts),
-                survived=len(survived),
             )
-        ns = sorted(survived)
-        data.add(comp, ns, [survived[n] for n in ns])
+        )
+    outcomes = ex.map_ordered(_run_sweep_task, tasks)
+    data = BenchmarkData()
+    partial = BenchmarkData()
+    merge_attempts = not share_deadline and hasattr(simulator, "merge_attempts")
+    for outcome in outcomes:
+        events.extend(outcome.events)
+        if merge_attempts:
+            simulator.merge_attempts(outcome.attempts_delta)
+        _finish_component(
+            outcome.comp, outcome.requested, outcome.survived,
+            data, partial, events,
+        )
     return data
 
 

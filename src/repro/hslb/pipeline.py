@@ -16,7 +16,7 @@ three set, every step runs the historical clean path bit-for-bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cesm.case import CESMCase
 from repro.cesm.components import OPTIMIZED_COMPONENTS
@@ -84,6 +84,8 @@ class HSLBPipeline:
         fault_profile: FaultProfile | None = None,
         retry_policy: RetryPolicy | None = None,
         deadline: float | Deadline | None = None,
+        executor=None,
+        workers: int | None = None,
     ):
         # A pipeline-level seed overrides the case's (convenience for
         # repeated runs with fresh noise).
@@ -114,6 +116,12 @@ class HSLBPipeline:
         )
         self.retry_policy = retry_policy or (RetryPolicy() if self.resilient else None)
         self.deadline_seconds = deadline
+        # Parallel execution (see repro.parallel): the gather step fans its
+        # sweeps out on `executor`, and `workers` > 1 additionally enables
+        # speculative node solves inside the MINLP step.  Results stay
+        # bit-identical to the serial defaults.
+        self.executor = executor
+        self.workers = workers
         self.events = EventLog()
         self.simulator = CoupledRunSimulator(self.case)
         if fault_profile is not None and fault_profile.active:
@@ -134,7 +142,8 @@ class HSLBPipeline:
             )
         if not self.resilient:
             return gather_benchmarks(
-                self.simulator, points=self.points, components=components
+                self.simulator, points=self.points, components=components,
+                executor=self.executor, workers=self.workers,
             )
         return gather_benchmarks(
             self.simulator,
@@ -143,6 +152,8 @@ class HSLBPipeline:
             policy=self.retry_policy,
             events=self.events,
             deadline=deadline if deadline is not None else self.deadline_seconds,
+            executor=self.executor,
+            workers=self.workers,
         )
 
     def fit(self, data: BenchmarkData) -> dict:
@@ -155,13 +166,14 @@ class HSLBPipeline:
 
     def solve(self, fits: dict, deadline: Deadline | None = None) -> SolveOutcome:
         """Step 3: MINLP for the optimal allocation."""
+        options = self._solver_options()
         if not self.resilient:
             return solve_allocation(
                 self.case,
                 fits,
                 objective=self.objective,
                 method=self.method,
-                options=self.minlp_options,
+                options=options,
                 fine_tuning=self.fine_tuning,
             )
         return solve_allocation_resilient(
@@ -169,11 +181,26 @@ class HSLBPipeline:
             fits,
             objective=self.objective,
             method=self.method,
-            options=self.minlp_options,
+            options=options,
             fine_tuning=self.fine_tuning,
             events=self.events,
             deadline=deadline if deadline is not None else self.deadline_seconds,
         )
+
+    def _solver_options(self) -> MINLPOptions | None:
+        """MINLP options with the pipeline's worker count folded in.
+
+        Explicit ``minlp_options.workers`` wins; the pipeline-level
+        ``workers`` only fills the default.
+        """
+        options = self.minlp_options
+        if self.workers is None or self.workers <= 1:
+            return options
+        if options is None:
+            return MINLPOptions(workers=self.workers)
+        if options.workers == 1:
+            return replace(options, workers=self.workers)
+        return options
 
     def execute(self, outcome: SolveOutcome) -> ComponentTimings:
         """Step 4: coupled run at the chosen allocation."""

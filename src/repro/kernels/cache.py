@@ -22,6 +22,8 @@ their solve reports.
 
 from __future__ import annotations
 
+import threading
+
 from repro.expr.simplify import simplify
 from repro.kernels.kernel import BatchKernel, SmoothCore, SmoothKernel
 from repro.util.timing import Counters
@@ -36,6 +38,20 @@ class KernelCache:
         self.counters = counters if counters is not None else Counters()
         self._smooth: dict = {}
         self._batch: dict = {}
+        # Lookups compile-and-insert on miss; the lock makes that atomic so
+        # concurrent callers (speculative MINLP node solves, parallel gather
+        # sharing default_cache()) never compile the same kernel twice and
+        # the hit/miss counters stay exact for cache operations.
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks don't pickle; process workers get a fresh one
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- keys -------------------------------------------------------------------
 
@@ -59,14 +75,15 @@ class KernelCache:
         The returned :class:`SmoothKernel` is a cheap per-``index`` binding.
         """
         key = (expr.struct_key(), evaluator)
-        core = self._smooth.get(key)
-        if core is not None:
-            self.counters.incr("kernel_hits")
-        else:
-            self.counters.incr("kernel_misses")
-            self.counters.incr("kernel_compiles")
-            core = SmoothCore(expr, evaluator)
-            self._smooth[key] = core
+        with self._lock:
+            core = self._smooth.get(key)
+            if core is not None:
+                self.counters.incr("kernel_hits")
+            else:
+                self.counters.incr("kernel_misses")
+                self.counters.incr("kernel_compiles")
+                core = SmoothCore(expr, evaluator)
+                self._smooth[key] = core
         return SmoothKernel(expr, index, evaluator=evaluator,
                             counters=self.counters, core=core)
 
@@ -81,15 +98,16 @@ class KernelCache:
             tuple(e.struct_key() for e in exprs),
             self._layout_sig(exprs, index),
         )
-        kernel = self._batch.get(key)
-        if kernel is not None:
-            self.counters.incr("kernel_hits")
+        with self._lock:
+            kernel = self._batch.get(key)
+            if kernel is not None:
+                self.counters.incr("kernel_hits")
+                return kernel
+            self.counters.incr("kernel_misses")
+            self.counters.incr("kernel_compiles")
+            kernel = BatchKernel(exprs, index, counters=self.counters)
+            self._batch[key] = kernel
             return kernel
-        self.counters.incr("kernel_misses")
-        self.counters.incr("kernel_compiles")
-        kernel = BatchKernel(exprs, index, counters=self.counters)
-        self._batch[key] = kernel
-        return kernel
 
     # -- bookkeeping --------------------------------------------------------------
 
@@ -106,8 +124,9 @@ class KernelCache:
         return self.counters.summary()
 
     def clear(self) -> None:
-        self._smooth.clear()
-        self._batch.clear()
+        with self._lock:
+            self._smooth.clear()
+            self._batch.clear()
 
 
 _DEFAULT = KernelCache()

@@ -29,11 +29,63 @@ from repro.minlp.nlpbuild import build_nlp
 from repro.minlp.options import BranchRule, MINLPOptions
 from repro.minlp.result import MINLPResult, MINLPStatus
 from repro.nlp.barrier import solve_nlp
+from repro.parallel.executor import ThreadExecutor
 from repro.util.timing import Stopwatch
 
 __all__ = ["solve_nlp_bnb"]
 
 _NL_FEAS_TOL = 1e-6
+
+
+def _warm_x0(node: Node, prob):
+    """Project the parent's solution into this node's (tighter) box,
+    nudged strictly inside; solve_nlp falls back to phase 1 if the
+    projection is not strictly feasible for the nonlinear rows."""
+    if node.warm is None:
+        return None
+    vals = np.array([node.warm.get(name, 0.0) for name in prob.names])
+    margin = 1e-6 * (1.0 + np.abs(prob.ub - prob.lb))
+    lo_s = np.where(np.isfinite(prob.lb), prob.lb + margin, vals)
+    hi_s = np.where(np.isfinite(prob.ub), prob.ub - margin, vals)
+    if np.all(lo_s <= hi_s):
+        return np.clip(vals, lo_s, hi_s)
+    return None
+
+
+class _NLPSpec:
+    """A child node's NLP, built at push time and (maybe) solved off-thread.
+
+    The build — the only part touching the shared :class:`KernelCache` —
+    runs on the main thread; the worker thread runs the pure barrier solve.
+    ``handle.result()`` at pop yields the same :class:`NLPResult` (and
+    re-raises the same error) the inline solve would, so consuming a
+    speculation is observationally identical to not speculating; discarding
+    one only wastes worker time.
+    """
+
+    __slots__ = ("built", "x0", "handle")
+
+    def __init__(self, built, x0, handle):
+        self.built = built
+        self.x0 = x0
+        self.handle = handle
+
+
+def _solve_spec_nlp(problem, x0, options):
+    return solve_nlp(problem, x0=x0, options=options)
+
+
+def _speculate_nlp(model, obj_expr, node: Node, cache, opt, ex) -> _NLPSpec:
+    built = build_nlp(
+        model, obj_expr, fixings={}, bounds=node.bounds,
+        kernel_cache=cache, evaluator=opt.evaluator,
+    )
+    x0 = None
+    handle = None
+    if built.infeasible_reason is None and not built.fully_fixed:
+        x0 = _warm_x0(node, built.problem)
+        handle = ex.submit(_solve_spec_nlp, built.problem, x0, opt.nlp_options)
+    return _NLPSpec(built, x0, handle)
 
 
 def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPResult:
@@ -64,98 +116,108 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
     status = MINLPStatus.OPTIMAL
     message = ""
 
+    # workers > 1: children's NLPs are solved speculatively on a thread
+    # pool while the main thread works the tree.  Results are consumed at
+    # pop time with identical checks and counters, so the search — node
+    # count, incumbent, bounds — is bit-identical to the serial one.
+    ex = ThreadExecutor(opt.workers) if opt.workers > 1 else None
+
+    def push_child(child: Node) -> None:
+        if ex is not None:
+            child.spec = _speculate_nlp(model, obj_expr, child, cache, opt, ex)
+        queue.push(child)
+
     def cutoff() -> float:
         if not math.isfinite(upper):
             return math.inf
         return upper - max(opt.abs_gap, opt.rel_gap * max(1.0, abs(upper)))
 
-    while len(queue):
-        if nodes >= opt.max_nodes:
-            status, message = MINLPStatus.NODE_LIMIT, f"{nodes} nodes explored"
-            break
-        if time.monotonic() - t0 > opt.time_limit:
-            status, message = MINLPStatus.TIME_LIMIT, "time limit reached"
-            break
-        if opt.check_hook is not None and opt.check_hook():
-            status, message = MINLPStatus.TIME_LIMIT, "stopped by check hook"
-            break
+    try:
+        while len(queue):
+            if nodes >= opt.max_nodes:
+                status, message = MINLPStatus.NODE_LIMIT, f"{nodes} nodes explored"
+                break
+            if time.monotonic() - t0 > opt.time_limit:
+                status, message = MINLPStatus.TIME_LIMIT, "time limit reached"
+                break
+            if opt.check_hook is not None and opt.check_hook():
+                status, message = MINLPStatus.TIME_LIMIT, "stopped by check hook"
+                break
 
-        node = queue.pop()
-        if node.bound >= cutoff():
-            continue
-        nodes += 1
-
-        built = build_nlp(
-            model, obj_expr, fixings={}, bounds=node.bounds,
-            kernel_cache=cache, evaluator=opt.evaluator,
-        )
-        if built.infeasible_reason is not None:
-            continue
-        if built.fully_fixed:
-            env = dict(built.fixed)
-            if not model.check_point(env, tol=_NL_FEAS_TOL):
-                if built.objective_value < upper:
-                    upper, incumbent = built.objective_value, env
-            continue
-
-        x0 = None
-        if node.warm is not None:
-            prob = built.problem
-            # Project the parent's solution into this node's (tighter) box,
-            # nudged strictly inside; solve_nlp falls back to phase 1 if the
-            # projection is not strictly feasible for the nonlinear rows.
-            vals = np.array(
-                [node.warm.get(name, 0.0) for name in prob.names]
-            )
-            margin = 1e-6 * (1.0 + np.abs(prob.ub - prob.lb))
-            lo_s = np.where(np.isfinite(prob.lb), prob.lb + margin, vals)
-            hi_s = np.where(np.isfinite(prob.ub), prob.ub - margin, vals)
-            if np.all(lo_s <= hi_s):
-                x0 = np.clip(vals, lo_s, hi_s)
-        with sw.phase("nlp"):
-            res = solve_nlp(built.problem, x0=x0, options=opt.nlp_options)
-        nlp_solves += 1
-        if res.x is None:
-            continue  # infeasible node
-        env = dict(built.fixed)
-        env.update(res.value_map(built.problem.names))
-        if res.is_optimal:
-            # The barrier returns an interior point slightly above the true
-            # relaxation optimum; pad by the duality-gap proxy to keep the
-            # bound valid for pruning.
-            gap_pad = res.mu_final if math.isfinite(res.mu_final) else 0.0
-            bound = res.objective - gap_pad
-            node.bound = bound
-            if bound >= cutoff():
+            node = queue.pop()
+            spec = node.spec
+            node.spec = None
+            if node.bound >= cutoff():
                 continue
-        else:
-            # Unconverged relaxation: its value is NOT a valid bound — keep
-            # the inherited one and never prune on this solve.
-            bound = node.bound
+            nodes += 1
 
-        frac_name = most_fractional_integer(model, env, opt.int_tol)
-        sos_viol = violated_sos_sets(model, env, opt.int_tol)
-        if frac_name is None and not sos_viol:
-            candidate = {
-                k: (float(round(v)) if k in model.variables and model.variables[k].is_integral else v)
-                for k, v in env.items()
-            }
-            bad = model.check_point(candidate, tol=1e-5)
-            if not bad:
-                value = float(obj_expr.evaluate(candidate))
-                if value < upper:
-                    upper, incumbent = value, candidate
-            continue
+            if spec is not None:
+                built = spec.built
+            else:
+                built = build_nlp(
+                    model, obj_expr, fixings={}, bounds=node.bounds,
+                    kernel_cache=cache, evaluator=opt.evaluator,
+                )
+            if built.infeasible_reason is not None:
+                continue
+            if built.fully_fixed:
+                env = dict(built.fixed)
+                if not model.check_point(env, tol=_NL_FEAS_TOL):
+                    if built.objective_value < upper:
+                        upper, incumbent = built.objective_value, env
+                continue
 
-        if opt.branch_rule is BranchRule.SOS_FIRST and sos_viol:
-            target = max(sos_viol, key=lambda s: len(s.active_members(env, opt.int_tol)))
-            left, right = split_sos(target, env, node.bounds)
-        else:
-            if frac_name is None:
-                raise SolverError("no branching candidate on a fractional node")
-            left, right = branch_integer(frac_name, env[frac_name], node.bounds)
-        for child_bounds in (left, right):
-            queue.push(Node(bounds=child_bounds, bound=bound, depth=node.depth + 1, warm=dict(env)))
+            with sw.phase("nlp"):
+                if spec is not None:
+                    res = spec.handle.result()
+                else:
+                    x0 = _warm_x0(node, built.problem)
+                    res = solve_nlp(built.problem, x0=x0, options=opt.nlp_options)
+            nlp_solves += 1
+            if res.x is None:
+                continue  # infeasible node
+            env = dict(built.fixed)
+            env.update(res.value_map(built.problem.names))
+            if res.is_optimal:
+                # The barrier returns an interior point slightly above the true
+                # relaxation optimum; pad by the duality-gap proxy to keep the
+                # bound valid for pruning.
+                gap_pad = res.mu_final if math.isfinite(res.mu_final) else 0.0
+                bound = res.objective - gap_pad
+                node.bound = bound
+                if bound >= cutoff():
+                    continue
+            else:
+                # Unconverged relaxation: its value is NOT a valid bound — keep
+                # the inherited one and never prune on this solve.
+                bound = node.bound
+
+            frac_name = most_fractional_integer(model, env, opt.int_tol)
+            sos_viol = violated_sos_sets(model, env, opt.int_tol)
+            if frac_name is None and not sos_viol:
+                candidate = {
+                    k: (float(round(v)) if k in model.variables and model.variables[k].is_integral else v)
+                    for k, v in env.items()
+                }
+                bad = model.check_point(candidate, tol=1e-5)
+                if not bad:
+                    value = float(obj_expr.evaluate(candidate))
+                    if value < upper:
+                        upper, incumbent = value, candidate
+                continue
+
+            if opt.branch_rule is BranchRule.SOS_FIRST and sos_viol:
+                target = max(sos_viol, key=lambda s: len(s.active_members(env, opt.int_tol)))
+                left, right = split_sos(target, env, node.bounds)
+            else:
+                if frac_name is None:
+                    raise SolverError("no branching candidate on a fractional node")
+                left, right = branch_integer(frac_name, env[frac_name], node.bounds)
+            for child_bounds in (left, right):
+                push_child(Node(bounds=child_bounds, bound=bound, depth=node.depth + 1, warm=dict(env)))
+    finally:
+        if ex is not None:
+            ex.shutdown()
 
     best_bound = min(queue.best_open_bound(), upper)
     if status is MINLPStatus.OPTIMAL and incumbent is None:

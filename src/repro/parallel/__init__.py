@@ -1,0 +1,36 @@
+"""Deterministic parallel execution layer.
+
+- :mod:`repro.parallel.executor` — pluggable ``serial``/``thread``/
+  ``process`` backends with submission-order result merging,
+- :mod:`repro.parallel.merge` — the ordered-merge rule itself,
+- :mod:`repro.parallel.latency` — a job-latency wrapper so speedups are
+  measurable against the instant synthetic simulator.
+
+The contract every consumer (gather, the MINLP solvers, grid search, the
+experiment registry) relies on: with any backend, outputs are bit-identical
+to the serial path.  ``tests/test_parallel`` holds the differential and
+property-based harness that enforces it.
+"""
+
+from repro.parallel.executor import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    executor_scope,
+    get_executor,
+)
+from repro.parallel.latency import LatencySimulator
+from repro.parallel.merge import TaskFailure, ordered_merge
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "executor_scope",
+    "LatencySimulator",
+    "TaskFailure",
+    "ordered_merge",
+]

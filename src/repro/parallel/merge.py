@@ -1,0 +1,73 @@
+"""Deterministic ordered merge of out-of-order task completions.
+
+Every parallel path in this library follows the same discipline: tasks are
+*submitted* in a deterministic order, complete in whatever order the
+machine pleases, and are *merged back in submission order* before any
+result is consumed.  That single rule is what makes the thread and process
+backends bit-identical to the serial path — downstream code never observes
+completion order.
+
+:func:`ordered_merge` is that rule as a function.  It consumes
+``(index, outcome)`` pairs (``index`` = submission position) and returns
+the outcomes as a dense list.  Failures travel as :class:`TaskFailure`
+values rather than raising inside the pool; the merge re-raises the one
+with the *smallest submission index*, mirroring a serial loop where the
+earliest failing item raises before later items matter.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TaskFailure", "ordered_merge"]
+
+
+class TaskFailure:
+    """A task's exception, carried as a value until the ordered merge.
+
+    Pools must not let worker exceptions escape as they complete — that
+    would surface whichever failure finished *first*, a race.  Wrapping
+    them lets :func:`ordered_merge` pick the failure a serial loop would
+    have hit.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskFailure({self.error!r})"
+
+
+_MISSING = object()
+
+
+def ordered_merge(pairs, count: int) -> list:
+    """Arrange ``(index, outcome)`` completion pairs into submission order.
+
+    ``count`` is the number of submitted tasks; every index in
+    ``range(count)`` must appear exactly once.  If any outcome is a
+    :class:`TaskFailure`, the failure with the smallest index is re-raised
+    — *after* all pairs are consumed, so the choice is deterministic no
+    matter the completion permutation.
+    """
+    slots = [_MISSING] * count
+    for index, outcome in pairs:
+        if not 0 <= index < count:
+            raise ConfigurationError(
+                f"ordered_merge: task index {index} outside 0..{count - 1}"
+            )
+        if slots[index] is not _MISSING:
+            raise ConfigurationError(
+                f"ordered_merge: task index {index} completed twice"
+            )
+        slots[index] = outcome
+    for index, outcome in enumerate(slots):
+        if outcome is _MISSING:
+            raise ConfigurationError(
+                f"ordered_merge: task index {index} never completed"
+            )
+        if isinstance(outcome, TaskFailure):
+            raise outcome.error
+    return slots

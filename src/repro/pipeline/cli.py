@@ -32,6 +32,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--all", action="store_true", dest="run_all",
                        help="run every registered experiment in order")
     p_exp.add_argument("--seed", type=int, default=0)
+    _add_parallel_args(p_exp)
 
     p_tune = sub.add_parser("tune", help="run the 4-step HSLB pipeline")
     p_tune.add_argument("--resolution", choices=("1deg", "8th"), required=True)
@@ -45,6 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("lpnlp", "bnb", "oracle"), default="lpnlp"
     )
     _add_resilience_args(p_tune)
+    _add_parallel_args(p_tune)
 
     p_ampl = sub.add_parser("ampl", help="print the Table I model as AMPL")
     p_ampl.add_argument("--resolution", choices=("1deg", "8th"), required=True)
@@ -62,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_gather.add_argument("--seed", type=int, default=0)
     p_gather.add_argument("--out", required=True, help="output JSON path")
     _add_resilience_args(p_gather)
+    _add_parallel_args(p_gather)
 
     p_fit = sub.add_parser(
         "fit", help="fit performance models from saved benchmarks"
@@ -116,6 +119,37 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    from repro.parallel import EXECUTOR_KINDS
+
+    group = parser.add_argument_group("parallel execution")
+    group.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="serial",
+        help="execution backend; results are bit-identical across backends "
+        "(default: serial)",
+    )
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for thread/process backends, and speculative "
+        "MINLP node solves when > 1 (default: CPU count)",
+    )
+
+
+def _parallel_kwargs(args) -> dict:
+    """``executor``/``workers`` keyword arguments from the parallel flags."""
+    kwargs: dict = {}
+    if args.executor != "serial":
+        kwargs["executor"] = args.executor
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    return kwargs
+
+
 def _resilience_kwargs(args) -> dict:
     """Pipeline/gather keyword arguments from the resilience CLI flags."""
     from repro.resilience import FaultProfile, RetryPolicy
@@ -146,12 +180,16 @@ def cmd_list() -> int:
 
 
 def cmd_exp(args) -> int:
-    from repro.experiments import EXPERIMENTS, run_experiment
+    from repro.experiments import EXPERIMENTS, run_experiment, run_experiments
 
     if args.run_all:
-        for key, (description, _) in EXPERIMENTS.items():
+        rendered = run_experiments(
+            list(EXPERIMENTS), seed=args.seed, **_parallel_kwargs(args)
+        )
+        for key, text in rendered:
+            description = EXPERIMENTS[key][0]
             print(f"{'=' * 72}\n[{key}] {description}\n")
-            print(run_experiment(key, seed=args.seed).render())
+            print(text)
             print()
         return 0
     if args.id is None:
@@ -174,7 +212,8 @@ def cmd_tune(args) -> int:
         seed=args.seed,
     )
     result = HSLBPipeline(
-        case, points=args.points, method=args.method, **_resilience_kwargs(args)
+        case, points=args.points, method=args.method,
+        **_resilience_kwargs(args), **_parallel_kwargs(args),
     ).run()
     print(result.report())  # includes the event-log summary when non-empty
     r2 = ", ".join(
@@ -222,6 +261,7 @@ def cmd_gather(args) -> int:
     if profile is not None and profile.active:
         simulator = FaultySimulator(simulator, profile)
     events = EventLog()
+    parallel = _parallel_kwargs(args)
     if profile is not None or resilience:
         data = gather_benchmarks(
             simulator,
@@ -229,9 +269,10 @@ def cmd_gather(args) -> int:
             policy=resilience.get("retry_policy"),
             events=events,
             deadline=resilience.get("deadline"),
+            **parallel,
         )
     else:
-        data = gather_benchmarks(simulator, points=args.points)
+        data = gather_benchmarks(simulator, points=args.points, **parallel)
     save_benchmarks(
         args.out,
         data,

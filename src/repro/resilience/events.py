@@ -14,7 +14,7 @@ produce *identical* logs, and wall clocks would break that.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 class EventKind(enum.Enum):
@@ -101,6 +101,17 @@ class EventLog:
         )
         self._events.append(event)
         return event
+
+    def extend(self, events) -> None:
+        """Append another log's events, renumbering their sequence numbers.
+
+        The parallel gather path records each component's events into a
+        worker-local log and merges them back in submission order; after the
+        renumber, the merged log is identical to one the serial path would
+        have recorded directly.
+        """
+        for event in events:
+            self._events.append(replace(event, seq=len(self._events)))
 
     # -- access ------------------------------------------------------------------
 

@@ -193,6 +193,23 @@ class FaultySimulator:
         """Forget attempt history so the next run replays the same faults."""
         self._attempts.clear()
 
+    def attempt_counts(self) -> dict:
+        """Snapshot of the per-configuration attempt counters.
+
+        Process-backend gather workers operate on a pickled *copy* of this
+        wrapper; their attempt spend happens in the copy.  The worker
+        returns the delta against this snapshot and the parent applies it
+        via :meth:`merge_attempts`, so post-gather state matches a serial
+        run.  (Thread workers share the instance directly — attempt keys
+        include the component, so concurrent sweeps touch disjoint keys.)
+        """
+        return dict(self._attempts)
+
+    def merge_attempts(self, delta: dict) -> None:
+        """Fold a worker copy's attempt spend back into this instance."""
+        for key, count in delta.items():
+            self._attempts[key] = self._attempts.get(key, 0) + int(count)
+
     def _next_attempt(self, key: tuple) -> int:
         count = self._attempts.get(key, 0)
         self._attempts[key] = count + 1

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError, DeadlineExceededError
 from repro.util.rng import keyed_rng
@@ -42,7 +42,10 @@ class RetryPolicy:
     outlier_threshold: float = 3.5  # MAD z-score to reject a measurement
     max_outlier_rounds: int = 5    # rejection/re-measure passes per sweep
     replacement_candidates: int = 2  # neighbor node counts to try per side
-    sleep = staticmethod(time.sleep)
+    # Injectable per-instance sleeper (was a class attribute: patching it for
+    # one test leaked to every policy in the process — exactly the kind of
+    # shared mutable state the parallel layer cannot tolerate).
+    sleep: object = field(default=time.sleep, repr=False, compare=False)
 
     def __post_init__(self):
         if self.max_attempts < 1:

@@ -1,0 +1,149 @@
+"""Regression tests for shared-state hazards the parallel layer depends on.
+
+These pin down the fixes from the concurrency audit: the kernel cache must
+be safe (and non-duplicating) under concurrent lookups, retry policies must
+not share a sleeper across instances, fault-injection state must survive a
+process round-trip, and nothing under ``src/repro`` may draw from the
+module-level numpy RNG (order-dependent randomness would break the
+submission-order determinism guarantee).
+"""
+
+import pathlib
+import pickle
+import re
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.cesm import CoupledRunSimulator, make_case
+from repro.expr.node import VarRef, const
+from repro.kernels import KernelCache
+from repro.resilience import FaultProfile, FaultySimulator, RetryPolicy
+from repro.resilience.events import EventKind, EventLog
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestKernelCacheConcurrency:
+    def test_hammered_cache_compiles_each_kernel_once(self):
+        cache = KernelCache()
+        n = VarRef("n")
+        exprs = [const(7.0) / n + const(float(k)) * n for k in range(4)]
+        index = {"n": 0}
+
+        def lookup(i):
+            return cache.smooth(exprs[i % 4], index)
+
+        with ThreadPoolExecutor(16) as pool:
+            kernels = list(pool.map(lookup, range(256)))
+
+        summary = cache.summary()
+        assert summary["kernel_compiles"] == 4, summary
+        assert summary["kernel_hits"] + summary["kernel_misses"] == 256
+        # Every kernel for the same expression shares one compiled core.
+        x = np.array([8.0])
+        for i, kernel in enumerate(kernels):
+            assert kernel.value(x) == kernels[i % 4].value(x)
+
+    def test_cache_pickles_without_its_lock(self):
+        # Compiled kernels themselves never pickle (code objects), so what
+        # must survive a process hop is an *empty* cache: the lock is
+        # dropped on the way out and rebuilt on the way in.
+        clone = pickle.loads(pickle.dumps(KernelCache()))
+        assert len(clone) == 0
+        # The restored cache must still work (fresh lock) on both paths.
+        clone.smooth(const(2.0) * VarRef("n"), {"n": 0})
+        clone.clear()
+
+
+class TestRetryPolicySleeper:
+    def test_sleep_is_per_instance_not_class_state(self):
+        naps = []
+        patched = RetryPolicy(base_delay=1.0, jitter=0.0, sleep=naps.append)
+        pristine = RetryPolicy()
+        patched.pause(0.5)
+        assert naps == [0.5]
+        assert pristine.sleep is time.sleep, (
+            "a patched sleeper must never leak to other policy instances"
+        )
+
+    def test_policies_compare_ignoring_sleeper(self):
+        assert RetryPolicy(sleep=lambda _: None) == RetryPolicy()
+
+
+class TestFaultStateMerge:
+    def test_merge_attempts_restores_serial_counters(self):
+        """The process-gather contract: a worker's copy spends attempts,
+        returns the delta, and the parent merge restores serial state."""
+        from repro.cesm.components import ComponentId
+
+        case = make_case("1deg", 128)
+        profile = FaultProfile(outlier_probability=1.0)
+        parent = FaultySimulator(CoupledRunSimulator(case), profile)
+        serial = FaultySimulator(CoupledRunSimulator(case), profile)
+
+        worker = pickle.loads(pickle.dumps(parent))
+        before = worker.attempt_counts()
+        for _ in range(3):
+            worker.benchmark(ComponentId.ATM, 64)
+            serial.benchmark(ComponentId.ATM, 64)
+        after = worker.attempt_counts()
+        delta = {
+            k: v - before.get(k, 0) for k, v in after.items()
+            if v != before.get(k, 0)
+        }
+        assert parent.attempt_counts() == {}, "parent untouched by the copy"
+        parent.merge_attempts(delta)
+        assert parent.attempt_counts() == serial.attempt_counts()
+        # The merged parent continues the fault stream exactly where the
+        # serial simulator would.
+        assert parent.benchmark(ComponentId.ATM, 64) == serial.benchmark(
+            ComponentId.ATM, 64
+        )
+
+
+class TestEventLogExtend:
+    def test_extend_renumbers_to_match_direct_recording(self):
+        direct = EventLog()
+        left, right = EventLog(), EventLog()
+        for log_pair, nodes in (((direct, left), 8), ((direct, right), 16)):
+            for log in log_pair:
+                log.record(
+                    EventKind.RETRY, stage="gather",
+                    detail=f"at {nodes} nodes", component="atm", nodes=nodes,
+                )
+        merged = EventLog()
+        merged.extend(left)
+        merged.extend(right)
+        assert merged == direct
+        assert [e.seq for e in merged] == [0, 1]
+
+
+class TestNoModuleLevelRandomness:
+    def test_src_never_uses_the_global_numpy_rng(self):
+        """Module-level RNG calls would make results depend on execution
+        order across threads; every draw must come from keyed_rng/seeded
+        generators.  (np.random.Generator annotations and default_rng are
+        fine — np.random.<draw>() calls are not.)"""
+        banned = re.compile(
+            r"np\.random\.(random|rand|randn|randint|uniform|normal|choice|"
+            r"shuffle|permutation|seed)\b"
+        )
+        offenders = []
+        for path in SRC.rglob("*.py"):
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if banned.search(line):
+                    offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+        assert not offenders, "\n".join(offenders)
+
+    def test_src_has_no_mutable_default_arguments(self):
+        """`def f(x=[])` / `def f(x={})` defaults are shared across calls —
+        exactly the latent state the audit is meant to keep out."""
+        banned = re.compile(r"def \w+\([^)]*=\s*(\[\]|\{\}|set\(\))")
+        offenders = []
+        for path in SRC.rglob("*.py"):
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if banned.search(line):
+                    offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+        assert not offenders, "\n".join(offenders)

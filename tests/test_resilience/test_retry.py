@@ -49,10 +49,11 @@ class TestRetryPolicy:
         assert 2.0 * 0.75 <= d1 <= 2.0 * 1.25
         assert d1 != policy.delay_for(2, 8, "bench", "atm", "64")
 
-    def test_pause_skips_sleep_for_zero_delay(self, monkeypatch):
+    def test_pause_skips_sleep_for_zero_delay(self):
+        # The sleeper is a per-instance field (not class state), so tests
+        # inject it at construction instead of patching the class.
         calls = []
-        monkeypatch.setattr(RetryPolicy, "sleep", staticmethod(calls.append))
-        policy = RetryPolicy()
+        policy = RetryPolicy(sleep=calls.append)
         policy.pause(0.0)
         assert calls == []
         policy.pause(0.25)

@@ -15,14 +15,17 @@ from repro.analysis.scaling import (
     parallel_efficiency,
 )
 from repro.analysis.whatif import (
+    LayoutPoint,
     NodeCountRecommendation,
     constraint_cost,
     optimal_node_count,
+    solve_layout_points,
 )
 from repro.analysis.extrapolate import (
     ExtrapolatedCurve,
     SwapEffect,
     component_swap_effect,
+    component_swap_sweep,
     extrapolate_component,
 )
 
@@ -32,11 +35,14 @@ __all__ = [
     "predicted_layout_scaling",
     "speedup",
     "parallel_efficiency",
+    "LayoutPoint",
     "NodeCountRecommendation",
     "constraint_cost",
     "optimal_node_count",
+    "solve_layout_points",
     "ExtrapolatedCurve",
     "SwapEffect",
     "component_swap_effect",
+    "component_swap_sweep",
     "extrapolate_component",
 ]

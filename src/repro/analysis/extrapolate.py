@@ -24,8 +24,8 @@ import numpy as np
 from repro.cesm.components import ComponentId
 from repro.cesm.layouts import Layout
 from repro.exceptions import ConfigurationError
-from repro.hslb.objectives import ObjectiveKind
-from repro.hslb.oracle import LayoutOracle
+from repro.analysis.whatif import _PointSpec, _check_method, _solve_layout_point, _sweep_family
+from repro.reuse import family_map
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,87 @@ class SwapEffect:
         return 1.0 - self.swapped_makespan / self.baseline_makespan
 
 
+def _swapped_perf(perf: dict, component: ComponentId, replacement) -> dict:
+    out = dict(perf)
+    out[component] = (
+        replacement.model if hasattr(replacement, "model") else replacement
+    )
+    return out
+
+
+def _solve_swap_pair(item, family) -> SwapEffect:
+    """Solve the baseline/swapped pair at one size (process-pool payload).
+
+    Both solves share the family: cut-validity tags are per-body structural
+    hashes, so the swapped component's cuts never contaminate the baseline's
+    (and every *other* component's cuts serve both sides).
+    """
+    component, base_spec, swap_spec = item
+    base = _solve_layout_point(base_spec, family)
+    swapped = _solve_layout_point(swap_spec, family)
+    return SwapEffect(
+        component=component,
+        baseline_makespan=base.makespan,
+        swapped_makespan=swapped.makespan,
+        baseline_allocation=base.allocation,
+        swapped_allocation=swapped.allocation,
+    )
+
+
+def component_swap_sweep(
+    perf: dict,
+    bounds: dict,
+    node_counts,
+    component: ComponentId,
+    replacement,
+    layout: Layout = Layout.HYBRID,
+    ocn_allowed: list | None = None,
+    atm_allowed: dict | None = None,
+    method: str = "oracle",
+    reuse=True,
+    options=None,
+    executor=None,
+    workers: int | None = None,
+) -> list:
+    """:func:`component_swap_effect` at each of ``node_counts``.
+
+    Returns one :class:`SwapEffect` per count, in the given order.  For the
+    B&B methods the whole sweep — both sides of every pair — is one reuse
+    family, fanned out over ``executor``/``workers`` with results
+    independent of backend and worker count (see
+    :func:`repro.reuse.family_map`).
+    """
+    if component not in perf:
+        raise ConfigurationError(f"unknown component {component}")
+    _check_method(method)
+    family = _sweep_family(method, reuse, node_counts)
+    swapped = _swapped_perf(perf, component, replacement)
+    ocn = tuple(ocn_allowed) if ocn_allowed is not None else None
+
+    def spec_for(p, n):
+        return _PointSpec(
+            layout=layout, total_nodes=int(n), perf=p, bounds=bounds,
+            ocn_allowed=ocn, atm_allowed=atm_allowed,
+            method=method, options=options,
+        )
+
+    items = [
+        (component, spec_for(perf, n), spec_for(swapped, n))
+        for n in node_counts
+    ]
+    # Solve largest-first for the same reason solve_layout_points does:
+    # family state transfers safely down the budget ladder, not up it.
+    order = sorted(range(len(items)), key=lambda i: -items[i][1].total_nodes)
+    solved = family_map(
+        _solve_swap_pair, [items[i] for i in order], family=family,
+        executor=executor, workers=workers,
+    )
+    results: list = [None] * len(items)
+    for position, index in enumerate(order):
+        results[index] = solved[position]
+    return results
+
+
 def component_swap_effect(
     perf: dict,
     bounds: dict,
@@ -53,30 +134,34 @@ def component_swap_effect(
     layout: Layout = Layout.HYBRID,
     ocn_allowed: list | None = None,
     atm_allowed: dict | None = None,
+    method: str = "oracle",
+    reuse=True,
+    options=None,
 ) -> SwapEffect:
     """Re-optimize the layout with ``component``'s curve replaced.
 
     Answers "how replacing one component with another will affect scaling"
     (Sec. IV-C): both configurations are solved to optimality, so the
     comparison accounts for the re-balancing the swap enables, not just the
-    component's own speedup.
+    component's own speedup.  With a B&B ``method`` the baseline and
+    swapped solves share one reuse family (see :mod:`repro.reuse`).
     """
     if component not in perf:
         raise ConfigurationError(f"unknown component {component}")
+    _check_method(method)
+    family = _sweep_family(method, reuse)
 
     def solve(p):
-        oracle = LayoutOracle(
-            layout, total_nodes, p, bounds,
-            ocn_allowed=ocn_allowed, atm_allowed=atm_allowed,
+        spec = _PointSpec(
+            layout=layout, total_nodes=int(total_nodes), perf=p,
+            bounds=bounds,
+            ocn_allowed=tuple(ocn_allowed) if ocn_allowed is not None else None,
+            atm_allowed=atm_allowed, method=method, options=options,
         )
-        return oracle.solve(ObjectiveKind.MIN_MAX)
+        return _solve_layout_point(spec, family)
 
     base = solve(perf)
-    swapped_perf = dict(perf)
-    swapped_perf[component] = (
-        replacement.model if hasattr(replacement, "model") else replacement
-    )
-    swapped = solve(swapped_perf)
+    swapped = solve(_swapped_perf(perf, component, replacement))
     return SwapEffect(
         component=component,
         baseline_makespan=base.makespan,

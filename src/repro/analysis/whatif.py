@@ -5,17 +5,177 @@ nodes to run a job.  The definition of optimal depends on the goal; it
 could be a cost-efficient goal where nodes are increased until scaling is
 reduced to a predefined limit or it could be the shortest time to
 solution."
+
+The searches here are *solve families* in the sense of
+:mod:`repro.reuse`: every candidate job size re-solves a layout MINLP that
+shares its nonlinear structure with the others.  With ``method`` set to a
+branch-and-bound backend and ``reuse`` on (the default), the sweep threads
+a :class:`~repro.reuse.SolveFamily` through the sequence — carried cuts,
+seeded incumbents, shared branching history — and fans out over a
+:mod:`repro.parallel` executor via :func:`~repro.reuse.family_map`, whose
+submission-order delta merging keeps results independent of worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.cesm.components import ComponentId
 from repro.cesm.layouts import Layout
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SolverError
+from repro.hslb.layout_models import VAR_NAMES, build_layout_model
 from repro.hslb.objectives import ObjectiveKind
 from repro.hslb.oracle import LayoutOracle
+from repro.minlp import MINLPOptions, solve_lpnlp, solve_nlp_bnb
+from repro.reuse import SolveFamily, family_map
 from repro.util.validation import check_in_range
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+_METHODS = ("oracle", "lpnlp", "bnb")
+
+
+@dataclass(frozen=True)
+class LayoutPoint:
+    """One optimally-balanced layout solve inside a what-if sweep."""
+
+    total_nodes: int
+    makespan: float
+    allocation: dict
+    solver_result: object = None  # MINLPResult for the B&B methods
+
+
+@dataclass(frozen=True)
+class _PointSpec:
+    """Picklable description of one layout solve (process-pool payload)."""
+
+    layout: Layout
+    total_nodes: int
+    perf: dict
+    bounds: dict
+    ocn_allowed: tuple | None
+    atm_allowed: dict | None
+    method: str
+    options: object | None
+
+
+def _solve_layout_point(spec: _PointSpec, family) -> LayoutPoint:
+    """Solve one balanced layout; module-level so process backends can run it."""
+    ocn = list(spec.ocn_allowed) if spec.ocn_allowed is not None else None
+    if spec.method == "oracle":
+        oracle = LayoutOracle(
+            spec.layout, spec.total_nodes, spec.perf, spec.bounds,
+            ocn_allowed=ocn, atm_allowed=spec.atm_allowed,
+        )
+        res = oracle.solve(ObjectiveKind.MIN_MAX)
+        return LayoutPoint(
+            total_nodes=spec.total_nodes,
+            makespan=float(res.makespan),
+            allocation=dict(res.allocation),
+        )
+    model = build_layout_model(
+        layout=spec.layout,
+        total_nodes=spec.total_nodes,
+        perf=spec.perf,
+        bounds=spec.bounds,
+        ocn_allowed=ocn,
+        atm_allowed=spec.atm_allowed,
+        objective=ObjectiveKind.MIN_MAX,
+        name=f"whatif_{spec.total_nodes}",
+    )
+    opts = spec.options or MINLPOptions()
+    if family is not None:
+        opts = replace(opts, reuse=family)
+    solver = solve_lpnlp if spec.method == "lpnlp" else solve_nlp_bnb
+    result = solver(model, opts)
+    if result.solution is None:
+        raise SolverError(
+            f"what-if solve at N={spec.total_nodes} failed: "
+            f"{result.status.value} {result.message}"
+        )
+    allocation = {
+        comp: int(round(result.solution[VAR_NAMES[comp]]))
+        for comp in (I, L, A, O)
+    }
+    return LayoutPoint(
+        total_nodes=spec.total_nodes,
+        makespan=float(result.objective),
+        allocation=allocation,
+        solver_result=result,
+    )
+
+
+def _check_method(method: str) -> None:
+    if method not in _METHODS:
+        raise ConfigurationError(f"unknown method {method!r}; known: {_METHODS}")
+
+
+def _sweep_family(method: str, reuse, node_counts=()) -> SolveFamily | None:
+    """The family threading a sweep, honoring an explicit SolveFamily.
+
+    When the family is auto-created (``reuse=True``), ``node_counts`` decides
+    whether pseudocost carry-over is safe — see
+    :meth:`SolveFamily.for_counts`.  An explicitly passed family is always
+    used as configured.
+    """
+    if method == "oracle" or reuse is False or reuse is None:
+        return None
+    if isinstance(reuse, SolveFamily):
+        return reuse
+    return SolveFamily.for_counts(node_counts)
+
+
+def solve_layout_points(
+    perf: dict,
+    bounds: dict,
+    node_counts,
+    layout: Layout = Layout.HYBRID,
+    ocn_allowed: list | None = None,
+    atm_allowed: dict | None = None,
+    method: str = "oracle",
+    reuse=True,
+    options: MINLPOptions | None = None,
+    executor=None,
+    workers: int | None = None,
+) -> list:
+    """Optimally balance ``layout`` at each of ``node_counts``.
+
+    Returns one :class:`LayoutPoint` per count, in the given order.  For the
+    B&B methods with ``reuse`` on, the solves form one
+    :class:`~repro.reuse.SolveFamily` (pass an existing family as ``reuse``
+    to keep feeding a longer-lived pool); ``executor``/``workers`` fan the
+    family out without changing any result.
+
+    Members are *solved* in decreasing node-count order whatever the input
+    order: state transfers safely downward (a larger member's incumbent
+    violates a smaller budget and is rejected during re-certification, its
+    cuts and bases stay valid), whereas a small member's optimum seeded
+    upward is a weak bound that misleads the branch-and-bound search.
+    """
+    _check_method(method)
+    family = _sweep_family(method, reuse, node_counts)
+    specs = [
+        _PointSpec(
+            layout=layout,
+            total_nodes=int(n),
+            perf=perf,
+            bounds=bounds,
+            ocn_allowed=tuple(ocn_allowed) if ocn_allowed is not None else None,
+            atm_allowed=atm_allowed,
+            method=method,
+            options=options,
+        )
+        for n in node_counts
+    ]
+    order = sorted(range(len(specs)), key=lambda i: -specs[i].total_nodes)
+    solved = family_map(
+        _solve_layout_point, [specs[i] for i in order], family=family,
+        executor=executor, workers=workers,
+    )
+    results: list = [None] * len(specs)
+    for position, index in enumerate(order):
+        results[index] = solved[position]
+    return results
 
 
 @dataclass(frozen=True)
@@ -38,6 +198,12 @@ def optimal_node_count(
     efficiency_floor: float = 0.5,
     ocn_allowed: list | None = None,
     atm_allowed: dict | None = None,
+    method: str = "oracle",
+    reuse=True,
+    options: MINLPOptions | None = None,
+    executor=None,
+    workers: int | None = None,
+    points: list | None = None,
 ) -> NodeCountRecommendation:
     """Pick a job size from ``candidate_nodes`` under ``criterion``.
 
@@ -46,20 +212,29 @@ def optimal_node_count(
     and keeps growing while the *marginal* parallel efficiency (speedup
     gained / node-growth factor between consecutive candidates) stays at or
     above ``efficiency_floor``.
+
+    ``method`` selects the per-size solver (``"oracle"`` enumeration or the
+    ``"lpnlp"``/``"bnb"`` branch-and-bound backends); for the B&B methods
+    the sweep runs as one reuse family unless ``reuse`` is False.  Callers
+    that already hold the solved :class:`LayoutPoint` list (e.g. to render
+    it) can pass it as ``points`` to skip the re-solve.
     """
     if criterion not in ("fastest", "cost_efficient"):
         raise ConfigurationError(f"unknown criterion {criterion!r}")
     check_in_range(efficiency_floor, "efficiency_floor", 0.0, 1.0)
-    counts = sorted({int(v) for v in candidate_nodes})
-    if not counts:
-        raise ConfigurationError("no candidate node counts given")
-
-    evaluated = []
-    for N in counts:
-        oracle = LayoutOracle(
-            layout, N, perf, bounds, ocn_allowed=ocn_allowed, atm_allowed=atm_allowed
+    if points is None:
+        counts = sorted({int(v) for v in candidate_nodes})
+        if not counts:
+            raise ConfigurationError("no candidate node counts given")
+        points = solve_layout_points(
+            perf, bounds, counts, layout=layout,
+            ocn_allowed=ocn_allowed, atm_allowed=atm_allowed,
+            method=method, reuse=reuse, options=options,
+            executor=executor, workers=workers,
         )
-        evaluated.append((N, oracle.solve(ObjectiveKind.MIN_MAX).makespan))
+    else:
+        points = sorted(points, key=lambda p: p.total_nodes)
+    evaluated = [(p.total_nodes, p.makespan) for p in points]
 
     if criterion == "fastest":
         best_n, best_t = min(evaluated, key=lambda p: p[1])
@@ -100,18 +275,28 @@ def constraint_cost(
     unconstrained_ocn: list,
     layout: Layout = Layout.HYBRID,
     atm_allowed: dict | None = None,
+    method: str = "oracle",
+    reuse=True,
+    options: MINLPOptions | None = None,
 ) -> dict:
     """Quantify what a hard-coded ocean node set costs (paper Sec. IV-B).
 
     Returns the constrained and unconstrained optimal totals and the
     relative improvement from lifting the constraint — the paper's headline
-    40% (predicted) / 25% (actual) at 32,768 nodes.
+    40% (predicted) / 25% (actual) at 32,768 nodes.  With a B&B ``method``
+    the two solves share one reuse family (the performance curves — and so
+    the cut-validity tags — are identical on both sides).
     """
+    _check_method(method)
+    family = _sweep_family(method, reuse)
+
     def solve(ocn):
-        oracle = LayoutOracle(
-            layout, total_nodes, perf, bounds, ocn_allowed=ocn, atm_allowed=atm_allowed
+        spec = _PointSpec(
+            layout=layout, total_nodes=int(total_nodes), perf=perf,
+            bounds=bounds, ocn_allowed=tuple(ocn), atm_allowed=atm_allowed,
+            method=method, options=options,
         )
-        return oracle.solve(ObjectiveKind.MIN_MAX)
+        return _solve_layout_point(spec, family)
 
     con = solve(constrained_ocn)
     unc = solve(unconstrained_ocn)

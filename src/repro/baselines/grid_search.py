@@ -28,6 +28,7 @@ class GridSearchResult:
     total_time: float
     coupled_runs: int
     evaluated: list = field(default_factory=list)  # (allocation, total)
+    reuse_hits: int = 0            # grid points served from an earlier run
 
 
 @dataclass
@@ -76,6 +77,7 @@ def grid_search_allocation(
     ice_fractions: int = 4,
     executor=None,
     workers: int | None = None,
+    reuse: bool = True,
 ) -> GridSearchResult:
     """Exhaustive coarse search over (ocean share, ice share) for layout 1.
 
@@ -83,30 +85,57 @@ def grid_search_allocation(
     evaluations concurrently; the reduction walks results in candidate
     order, so the winner — including the first-wins tie-break — is
     identical to the serial search.
+
+    ``reuse`` dedupes the coupled runs: the fraction grid snaps to allowed
+    node sets, so distinct fractions often land on the same allocation, and
+    a coupled total is a pure function of ``(case.seed, allocation)`` —
+    repeats are served from the first run's result, bit-identically.
     """
     case = simulator.case
     if case.layout is not Layout.HYBRID:
         raise ConfigurationError("grid search models layout 1")
 
     candidates = _grid_candidates(case, ocean_fractions, ice_fractions)
+
+    if reuse:
+        unique: list = []
+        index_of: dict = {}
+        order = []
+        for alloc in candidates:
+            key = tuple(sorted((c.value, int(n)) for c, n in alloc.items()))
+            if key not in index_of:
+                index_of[key] = len(unique)
+                unique.append(alloc)
+            order.append(index_of[key])
+        reuse_hits = len(candidates) - len(unique)
+    else:
+        unique = candidates
+        order = list(range(len(candidates)))
+        reuse_hits = 0
+
     with executor_scope(executor, workers) as ex:
-        totals = ex.map_ordered(
+        unique_totals = ex.map_ordered(
             _run_grid_point,
-            [_GridPoint(simulator, alloc) for alloc in candidates],
+            [_GridPoint(simulator, alloc) for alloc in unique],
         )
+    ran = [False] * len(unique)
 
     best = None
     evaluated = []
     runs = 0
-    for alloc, total in zip(candidates, totals):
+    for alloc, idx in zip(candidates, order):
+        total = unique_totals[idx]
         if total is None:
             continue
-        runs += 1
+        if not ran[idx]:
+            ran[idx] = True
+            runs += 1
         evaluated.append((alloc, total))
         if best is None or total < best[1]:
             best = (alloc, total)
     if best is None:
         raise ConfigurationError("grid search found no feasible allocation")
     return GridSearchResult(
-        allocation=best[0], total_time=best[1], coupled_runs=runs, evaluated=evaluated
+        allocation=best[0], total_time=best[1], coupled_runs=runs,
+        evaluated=evaluated, reuse_hits=reuse_hits,
     )

@@ -50,6 +50,12 @@ def _finetune(seed: int = 0):
     return run_finetune_comparison(seed=seed)
 
 
+def _reuse(seed: int = 0):
+    from repro.experiments.reuse_sweep import run_reuse_sweep
+
+    return run_reuse_sweep(seed=seed)
+
+
 #: id -> (description, runner).  Runners take ``seed`` and return an object
 #: with a ``render()`` method.
 EXPERIMENTS = {
@@ -85,6 +91,10 @@ EXPERIMENTS = {
     "a-finetune": (
         "Extension: coupler/river fine-tuning (paper Sec. II deferred step)",
         _finetune,
+    ),
+    "a-reuse": (
+        "Extension: cross-solve reuse family vs cold what-if sweep",
+        _reuse,
     ),
 }
 

@@ -1,0 +1,102 @@
+"""A-REUSE: cross-solve reuse on a what-if node-count sweep.
+
+Runs the Sec. IV-C optimal-job-size sweep twice with the LP/NLP solver —
+cold (every size solved from scratch) and as one
+:class:`~repro.reuse.SolveFamily` — and reports per-size node counts,
+total wall time and the speedup, while verifying the reuse run reproduced
+every cold makespan bit-for-bit (the engine's core guarantee).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cesm import ComponentId, make_case
+from repro.analysis.whatif import solve_layout_points
+from repro.hslb import HSLBPipeline
+from repro.util.tables import TextTable
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+@dataclass
+class ReuseSweep:
+    """Cold vs reuse sweep comparison."""
+
+    node_counts: tuple
+    cold_nodes: dict             # N -> B&B nodes explored, cold
+    warm_nodes: dict             # N -> B&B nodes explored, with reuse
+    cold_seconds: float
+    warm_seconds: float
+    bit_identical: bool
+    family_stats: dict
+
+    @property
+    def speedup(self) -> float:
+        return self.cold_seconds / max(self.warm_seconds, 1e-12)
+
+    def render(self) -> str:
+        t = TextTable(
+            ["total nodes", "B&B nodes (cold)", "B&B nodes (reuse)"],
+            title="A-REUSE: warm solve family vs cold solves (1 deg, lpnlp)",
+        )
+        for n in self.node_counts:
+            t.add_row([n, self.cold_nodes[n], self.warm_nodes[n]])
+        lines = [
+            t.render(),
+            f"wall time: cold {self.cold_seconds:.3f} s, "
+            f"reuse {self.warm_seconds:.3f} s ({self.speedup:.2f}x)",
+            f"bit-identical makespans: {self.bit_identical}",
+            "family: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.family_stats.items())
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def run_reuse_sweep(
+    seed: int = 0,
+    node_counts=(128, 120, 112),
+    resolution: str = "1deg",
+) -> ReuseSweep:
+    case = make_case(resolution, max(node_counts), seed=seed)
+    pipeline = HSLBPipeline(case)
+    fits = pipeline.fit(pipeline.gather())
+    perf = {c: f.model for c, f in fits.items()}
+    bounds = {c: case.component_bounds(c) for c in (A, O, I, L)}
+    kwargs = dict(
+        layout=case.layout,
+        ocn_allowed=case.ocean_allowed(),
+        atm_allowed=case.atm_allowed(),
+        method="lpnlp",
+    )
+
+    t0 = time.perf_counter()
+    cold = solve_layout_points(
+        perf, bounds, node_counts, reuse=False, **kwargs
+    )
+    cold_seconds = time.perf_counter() - t0
+
+    from repro.reuse import SolveFamily
+
+    family = SolveFamily()
+    t0 = time.perf_counter()
+    warm = solve_layout_points(
+        perf, bounds, node_counts, reuse=family, **kwargs
+    )
+    warm_seconds = time.perf_counter() - t0
+
+    bit_identical = all(
+        c.makespan.hex() == w.makespan.hex() and c.allocation == w.allocation
+        for c, w in zip(cold, warm)
+    )
+    return ReuseSweep(
+        node_counts=tuple(int(n) for n in node_counts),
+        cold_nodes={p.total_nodes: p.solver_result.nodes for p in cold},
+        warm_nodes={p.total_nodes: p.solver_result.nodes for p in warm},
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        bit_identical=bit_identical,
+        family_stats=family.stats(),
+    )

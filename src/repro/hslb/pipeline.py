@@ -86,6 +86,7 @@ class HSLBPipeline:
         deadline: float | Deadline | None = None,
         executor=None,
         workers: int | None = None,
+        reuse=None,
     ):
         # A pipeline-level seed overrides the case's (convenience for
         # repeated runs with fresh noise).
@@ -122,6 +123,15 @@ class HSLBPipeline:
         # bit-identical to the serial defaults.
         self.executor = executor
         self.workers = workers
+        # Cross-solve reuse (see repro.reuse): pass a SolveFamily to thread
+        # warm state through this pipeline's MINLP solve — and, by sharing
+        # one family across several pipelines, through a whole sequence of
+        # related tuning runs.  ``True`` creates a private family.
+        if reuse is True:
+            from repro.reuse import SolveFamily
+
+            reuse = SolveFamily()
+        self.reuse = reuse or None
         self.events = EventLog()
         self.simulator = CoupledRunSimulator(self.case)
         if fault_profile is not None and fault_profile.active:
@@ -175,6 +185,7 @@ class HSLBPipeline:
                 method=self.method,
                 options=options,
                 fine_tuning=self.fine_tuning,
+                reuse=self.reuse,
             )
         return solve_allocation_resilient(
             self.case,
@@ -185,6 +196,7 @@ class HSLBPipeline:
             fine_tuning=self.fine_tuning,
             events=self.events,
             deadline=deadline if deadline is not None else self.deadline_seconds,
+            reuse=self.reuse,
         )
 
     def _solver_options(self) -> MINLPOptions | None:

@@ -70,4 +70,44 @@ def format_run_result(result) -> str:
     events = getattr(result, "events", None)
     if events:
         block += "\n\n" + events.summary()
+    solver_result = getattr(result.solve, "solver_result", None)
+    reuse_line = format_reuse_counters(
+        getattr(solver_result, "reuse_counters", None)
+    )
+    if reuse_line:
+        block += "\n" + reuse_line
     return block
+
+
+#: Counter key -> human label, in display order.  Keys the solvers don't
+#: emit for a given run simply don't appear.
+_REUSE_LABELS = (
+    ("cuts_carried", "cuts carried"),
+    ("cuts_deduped", "cuts deduped"),
+    ("seed_nlp_skipped", "seed NLPs skipped"),
+    ("incumbent_seeded", "incumbents seeded"),
+    ("incumbent_rejected", "incumbents rejected"),
+    ("basis_reused", "bases reused"),
+    ("fbbt_rounds", "FBBT rounds"),
+    ("fbbt_tightenings", "FBBT tightenings"),
+    ("pseudocost_entries", "pseudocost entries carried"),
+)
+
+
+def format_reuse_counters(counters: dict | None) -> str:
+    """One-line summary of a solve's cross-solve reuse counters.
+
+    Empty string when the solve ran cold (no counters), so callers can
+    append the result unconditionally.
+    """
+    if not counters:
+        return ""
+    parts = [
+        f"{label} {counters[key]}"
+        for key, label in _REUSE_LABELS
+        if key in counters
+    ]
+    for key in sorted(counters):
+        if not any(key == k for k, _ in _REUSE_LABELS):
+            parts.append(f"{key} {counters[key]}")
+    return "reuse: " + ", ".join(parts)

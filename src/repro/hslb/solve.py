@@ -52,6 +52,7 @@ def solve_allocation(
     method: str = "lpnlp",
     options: MINLPOptions | None = None,
     fine_tuning: bool = False,
+    reuse=None,
 ) -> SolveOutcome:
     """Determine the optimal node allocation for ``case`` under ``fits``.
 
@@ -65,6 +66,10 @@ def solve_allocation(
     ``fine_tuning`` includes the coupler/river overhead in the decision
     (paper Sec. II's deferred refinement); requires a B&B method and fits
     for RTM and CPL.
+
+    ``reuse`` threads a :class:`repro.reuse.SolveFamily` through the B&B
+    solve, carrying cuts / incumbents / bases across a sequence of related
+    calls; results stay bit-identical to a cold solve (see docs/reuse.md).
     """
     perf = {c: (f.model if hasattr(f, "model") else f) for c, f in fits.items()}
 
@@ -94,6 +99,8 @@ def solve_allocation(
     model = layout_model_for_case(
         case, perf, objective=objective, tsync=tsync, fine_tuning=fine_tuning
     )
+    if reuse is not None:
+        options = replace(options or MINLPOptions(), reuse=reuse)
     solver = solve_lpnlp if method == "lpnlp" else solve_nlp_bnb
     result = solver(model, options)
     if result.solution is None:
@@ -137,6 +144,7 @@ def solve_allocation_resilient(
     fine_tuning: bool = False,
     events: EventLog | None = None,
     deadline=None,
+    reuse=None,
 ) -> SolveOutcome:
     """:func:`solve_allocation` behind a fallback chain.
 
@@ -179,6 +187,7 @@ def solve_allocation_resilient(
                 method=backend,
                 options=opts,
                 fine_tuning=fine_tuning,
+                reuse=reuse,
             )
             outcome.events = events
             return outcome

@@ -24,6 +24,7 @@ from repro.minlp.branching import (
     split_sos,
     violated_sos_sets,
 )
+from repro.minlp.lpnlp import _solve_fixed_nlp
 from repro.minlp.node import Node, NodeQueue
 from repro.minlp.nlpbuild import build_nlp
 from repro.minlp.options import BranchRule, MINLPOptions
@@ -109,10 +110,37 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
 
     incumbent: dict | None = None
     upper = math.inf
-    queue = NodeQueue(opt.node_selection)
-    queue.push(Node())
-    nodes = 0
     nlp_solves = 0
+
+    # Cross-solve reuse: only the FBBT root box and incumbent seeding apply
+    # here — cut and basis carry-over are LP-master concepts, and the root
+    # barrier start point is deliberately NOT seeded (a different interior
+    # start would perturb relaxation bits; see docs/reuse.md).
+    reuse = opt.reuse
+    plan = None
+    rz: dict = {}
+    if reuse is not None:
+        with sw.phase("reuse_plan"):
+            plan = reuse.plan(model)
+        rz = dict(plan.counters)
+        if plan.fixings is not None:
+            with sw.phase("nlp_seed"):
+                cand_env, cand_obj, solved = _solve_fixed_nlp(
+                    model, obj_expr, plan.fixings, opt, cache
+                )
+                nlp_solves += solved
+            if cand_env is not None and math.isfinite(cand_obj):
+                upper, incumbent = cand_obj, cand_env
+                rz["incumbent_seeded"] = 1
+            else:
+                rz["incumbent_rejected"] = rz.get("incumbent_rejected", 0) + 1
+
+    queue = NodeQueue(opt.node_selection)
+    root = Node()
+    if plan is not None:
+        root.bounds = dict(plan.root_bounds)
+    queue.push(root)
+    nodes = 0
     status = MINLPStatus.OPTIMAL
     message = ""
 
@@ -195,15 +223,33 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
             frac_name = most_fractional_integer(model, env, opt.int_tol)
             sos_viol = violated_sos_sets(model, env, opt.int_tol)
             if frac_name is None and not sos_viol:
-                candidate = {
-                    k: (float(round(v)) if k in model.variables and model.variables[k].is_integral else v)
-                    for k, v in env.items()
+                # Certify the point through the fixed-integer NLP: the node's
+                # own continuous values are a barrier interior point (slightly
+                # off the true optimum, and dependent on the node box), while
+                # NLP(y-hat) is a function of the integer fixings alone — so
+                # incumbents agree to the bit with the LP/NLP solver and with
+                # any reuse-seeded starting incumbent.
+                fixings = {
+                    v.name: float(round(env[v.name]))
+                    for v in model.integer_variables()
                 }
-                bad = model.check_point(candidate, tol=1e-5)
-                if not bad:
-                    value = float(obj_expr.evaluate(candidate))
-                    if value < upper:
-                        upper, incumbent = value, candidate
+                with sw.phase("nlp_fixed"):
+                    cand_env, cand_obj, solved = _solve_fixed_nlp(
+                        model, obj_expr, fixings, opt, cache
+                    )
+                    nlp_solves += solved
+                if cand_env is None:
+                    # Certification failed at the shared tolerance (rare
+                    # numerical corner): keep the node's own point.
+                    candidate = {
+                        k: (float(round(v)) if k in model.variables and model.variables[k].is_integral else v)
+                        for k, v in env.items()
+                    }
+                    if not model.check_point(candidate, tol=1e-5):
+                        cand_env = candidate
+                        cand_obj = float(obj_expr.evaluate(candidate))
+                if cand_env is not None and cand_obj < upper:
+                    upper, incumbent = cand_obj, cand_env
                 continue
 
             if opt.branch_rule is BranchRule.SOS_FIRST and sos_viol:
@@ -218,6 +264,14 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
     finally:
         if ex is not None:
             ex.shutdown()
+
+    if reuse is not None:
+        reuse.absorb(
+            channel=plan.channel,
+            incumbent_env=incumbent,
+            objective=upper,
+            counters=rz,
+        )
 
     best_bound = min(queue.best_open_bound(), upper)
     if status is MINLPStatus.OPTIMAL and incumbent is None:
@@ -242,4 +296,5 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
         message=message,
         phase_seconds={k: v[0] for k, v in sw.summary().items()},
         kernel_counters=cache.summary(),
+        reuse_counters=rz,
     )

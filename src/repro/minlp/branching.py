@@ -43,6 +43,31 @@ class PseudoCostTracker:
     def __init__(self):
         self._sum = {}    # (name, dir) -> summed degradation per unit
         self._count = {}  # (name, dir) -> observations
+        self._base_sum = {}    # carried-in history (excluded from exports)
+        self._base_count = {}
+
+    def load_state(self, sums: dict, counts: dict) -> None:
+        """Seed the tracker with history carried over from earlier solves.
+
+        The loaded values also become the export baseline, so
+        :meth:`export_state` returns only what *this* solve observed —
+        absorbing the export back into a shared pool never double-counts.
+        """
+        self._sum = dict(sums)
+        self._count = dict(counts)
+        self._base_sum = dict(sums)
+        self._base_count = dict(counts)
+
+    def export_state(self) -> tuple:
+        """``(sums, counts)`` of observations made since :meth:`load_state`."""
+        sums = {}
+        counts = {}
+        for key, n in self._count.items():
+            new_n = n - self._base_count.get(key, 0)
+            if new_n > 0:
+                counts[key] = new_n
+                sums[key] = self._sum[key] - self._base_sum.get(key, 0.0)
+        return sums, counts
 
     def update(self, name: str, direction: str, frac: float, degradation: float) -> None:
         """Record that branching ``direction`` ("down"/"up") on ``name`` with

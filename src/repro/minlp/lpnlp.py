@@ -119,6 +119,7 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
 
     obj_linear = linear_coefficients(obj_expr)
     master = MasterLP(work, obj_linear)
+    base_rows = master.base.num_rows  # row count before any cut rows land
     nl_bodies = [
         (c.name, body)
         for c in work.nonlinear_constraints()
@@ -134,16 +135,50 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
     # bodies, so compilation happens once.
     cache = KernelCache()
 
-    # Step 1: seed the cut pool from a continuous relaxation point.
-    with sw.phase("initial_nlp"):
-        seed_env, seeded_nlp = _initial_point(work, obj_expr, nl_bodies, opt, cache)
-        nlp_solves += seeded_nlp
-    for _, body in nl_bodies:
-        try:
-            if master.add_cut(linearize_at(body, seed_env)):
+    # Cross-solve reuse (a repro.reuse.SolveFamily, duck-typed through
+    # opt.reuse): plan first so carried cuts land before the seed decision.
+    reuse = opt.reuse
+    plan = None
+    harvest: list = []      # (tag, cut) discovered by this solve
+    tag_of: dict = {}       # id(body) -> cut-validity tag
+    rz: dict = {}
+    root_warm = None
+    root_cuts: list | None = None
+    if reuse is not None:
+        with sw.phase("reuse_plan"):
+            plan = reuse.plan(
+                work, columns=master.names, base_rows=base_rows,
+                bodies=nl_bodies,
+            )
+        rz = dict(plan.counters)
+        tag_of = {
+            id(body): tag for (_, body), tag in zip(nl_bodies, plan.body_tags)
+        }
+        carried = 0
+        for cut in plan.cuts:
+            if master.add_cut(cut):
+                carried += 1
+        rz["cuts_carried"] = carried
+
+    # Step 1: seed the cut pool from a continuous relaxation point — unless
+    # carried cuts already support every nonlinear body, in which case the
+    # master starts at least as tight as a cold seed would leave it and the
+    # seed NLP can be skipped outright (the big reuse win).
+    if plan is not None and plan.covered:
+        rz["seed_nlp_skipped"] = 1
+    else:
+        with sw.phase("initial_nlp"):
+            seed_env, seeded_nlp = _initial_point(work, obj_expr, nl_bodies, opt, cache)
+            nlp_solves += seeded_nlp
+        for _, body in nl_bodies:
+            try:
+                cut = linearize_at(body, seed_env)
+            except (ValueError, ExpressionError):
+                continue  # seed point outside this body's domain: cut later
+            if master.add_cut(cut):
                 cuts_added += 1
-        except (ValueError, ExpressionError):
-            continue  # seed point outside this body's domain: cut later
+                if reuse is not None:
+                    harvest.append((tag_of[id(body)], cut))
 
     incumbent: dict | None = None
     upper = math.inf
@@ -156,6 +191,35 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
         if opt.var_branch_rule is VarBranchRule.PSEUDO_COST
         else None
     )
+    if plan is not None and tracker is not None and plan.pseudo is not None:
+        tracker.load_state(*plan.pseudo)
+
+    # Incumbent seeding: re-certify the projected previous optimum through
+    # the fixed-integer NLP before trusting it as a starting upper bound —
+    # an infeasible or unprojectable point simply leaves the solve cold.
+    if plan is not None and plan.fixings is not None:
+        with sw.phase("nlp_seed"):
+            cand_env, cand_obj, solved = _solve_fixed_nlp(
+                work, obj_expr, plan.fixings, opt, cache
+            )
+            nlp_solves += solved
+        if cand_env is not None and math.isfinite(cand_obj):
+            upper, incumbent = cand_obj, cand_env
+            rz["incumbent_seeded"] = 1
+            # Refresh the pool with tangents at the certified point: carried
+            # cuts were linearized at a *different* member's points, so
+            # without this the root LP can sit on stale supports and branch
+            # where a cold solve would not.
+            for _, body in nl_bodies:
+                try:
+                    cut = linearize_at(body, cand_env)
+                except (ValueError, ExpressionError):
+                    continue
+                if master.add_cut(cut):
+                    cuts_added += 1
+                    harvest.append((tag_of[id(body)], cut))
+        else:
+            rz["incumbent_rejected"] = rz.get("incumbent_rejected", 0) + 1
 
     # workers > 1: node LPs are solved speculatively on a thread pool at
     # push time, guarded by the cut-pool version so stale snapshots are
@@ -167,7 +231,13 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
             n.spec = _speculate_lp(master, n, opt, ex)
         queue.push(n)
 
-    push_node(Node())
+    root = Node()
+    if plan is not None:
+        root.bounds = dict(plan.root_bounds)
+        if plan.warm is not None and opt.use_warm_start:
+            root.warm = plan.warm
+            rz["basis_reused"] = 1
+    push_node(root)
 
     def cutoff() -> float:
         if not math.isfinite(upper):
@@ -211,6 +281,11 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
                     )
             nodes += 1
             lp_iterations += res.iterations
+            if reuse is not None and root_warm is None and res.warm is not None:
+                # First solved LP: capture the root basis together with the
+                # cut rows it indexes, for replay by same-structure members.
+                root_warm = res.warm
+                root_cuts = list(master.cuts)
 
             if res.status is LPStatus.INFEASIBLE:
                 continue
@@ -238,15 +313,30 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
                     for name, body in nl_bodies
                     if float(body.evaluate(int_env)) > _NL_FEAS_TOL
                 ]
-                if not violated:
-                    if obj_lp < upper:
-                        upper, incumbent = obj_lp, int_env
-                    continue  # node fathomed by an improved (or equal) incumbent
-
-                # Integer point violating the nonlinearities: NLP(y-hat) + cuts.
                 fixings = {
                     v.name: int_env[v.name] for v in work.integer_variables()
                 }
+                if not violated:
+                    # The LP vertex value depends on which cuts happen to be
+                    # in the pool (t-variables sit on their tangents, slightly
+                    # below the true curves).  Certify the point through the
+                    # fixed-integer NLP instead: its value is a function of
+                    # the integer fixings alone, so incumbents stay
+                    # bit-identical no matter what the pool carried in.
+                    with sw.phase("nlp_fixed"):
+                        cand_env, cand_obj, solved = _solve_fixed_nlp(
+                            work, obj_expr, fixings, opt, cache
+                        )
+                        nlp_solves += solved
+                    if cand_env is None:
+                        # Certification failed at the shared tolerance (rare
+                        # numerical corner): keep the LP-vertex incumbent.
+                        cand_env, cand_obj = int_env, obj_lp
+                    if cand_obj < upper:
+                        upper, incumbent = cand_obj, cand_env
+                    continue  # node fathomed by an improved (or equal) incumbent
+
+                # Integer point violating the nonlinearities: NLP(y-hat) + cuts.
                 with sw.phase("nlp_fixed"):
                     cand_env, cand_obj, solved = _solve_fixed_nlp(
                         work, obj_expr, fixings, opt, cache
@@ -257,17 +347,23 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
                 new_cuts = 0
                 for name, body in violated:
                     try:
-                        if master.add_cut(linearize_at(body, int_env)):
-                            new_cuts += 1
+                        cut = linearize_at(body, int_env)
                     except (ValueError, ExpressionError):
-                        pass
+                        continue
+                    if master.add_cut(cut):
+                        new_cuts += 1
+                        if reuse is not None:
+                            harvest.append((tag_of[id(body)], cut))
                 if cand_env is not None:
                     for name, body in nl_bodies:
                         try:
-                            if master.add_cut(linearize_at(body, cand_env)):
-                                new_cuts += 1
+                            cut = linearize_at(body, cand_env)
                         except (ValueError, ExpressionError):
-                            pass
+                            continue
+                        if master.add_cut(cut):
+                            new_cuts += 1
+                            if reuse is not None:
+                                harvest.append((tag_of[id(body)], cut))
                 cuts_added += new_cuts
                 if new_cuts and node.cut_rounds < opt.max_cut_rounds:
                     node.cut_rounds += 1
@@ -310,6 +406,21 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
         if ex is not None:
             ex.shutdown()
 
+    if reuse is not None:
+        reuse.absorb(
+            channel=plan.channel,
+            columns=master.names,
+            base_rows=base_rows,
+            tags=list(dict.fromkeys(plan.body_tags)),
+            new_cuts=harvest,
+            incumbent_env=incumbent,
+            objective=upper,
+            pseudo=tracker.export_state() if tracker is not None else None,
+            root_warm=root_warm,
+            root_cuts=root_cuts,
+            counters=rz,
+        )
+
     best_bound = min(queue.best_open_bound(), upper)
     if status is MINLPStatus.OPTIMAL and incumbent is None:
         status = MINLPStatus.INFEASIBLE
@@ -339,6 +450,7 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
         message=message,
         phase_seconds={k: v[0] for k, v in sw.summary().items()},
         kernel_counters=cache.summary(),
+        reuse_counters=rz,
     )
 
 

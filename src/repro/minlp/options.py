@@ -56,5 +56,8 @@ class MINLPOptions:
                                    # on a thread pool; results stay bit-identical
                                    # to workers=1 (see docs/parallel.md)
     evaluator: str = "kernel"      # NLP evaluation back-end: kernel | scalar | tree
+    reuse: object = None           # optional repro.reuse.SolveFamily (duck-typed:
+                                   # the solvers only call .plan()/.absorb(), so
+                                   # repro.minlp never imports repro.reuse)
     lp_options: SimplexOptions = field(default_factory=SimplexOptions)
     nlp_options: BarrierOptions = field(default_factory=BarrierOptions)

@@ -39,6 +39,7 @@ class MINLPResult:
     message: str = ""
     phase_seconds: dict = field(default_factory=dict)
     kernel_counters: dict = field(default_factory=dict)
+    reuse_counters: dict = field(default_factory=dict)
 
     @property
     def is_optimal(self) -> bool:

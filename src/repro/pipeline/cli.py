@@ -45,8 +45,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument(
         "--method", choices=("lpnlp", "bnb", "oracle"), default="lpnlp"
     )
+    p_tune.add_argument(
+        "--reuse",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="thread a cross-solve reuse family (warm cut pool, root FBBT "
+        "presolve) through the MINLP solve; results are bit-identical to "
+        "a cold solve (default: off for this single-solve command)",
+    )
     _add_resilience_args(p_tune)
     _add_parallel_args(p_tune)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="what-if sweep: optimally balance a layout at several job "
+        "sizes and recommend one (paper Sec. IV-C)",
+    )
+    p_sweep.add_argument("--resolution", choices=("1deg", "8th"), required=True)
+    p_sweep.add_argument(
+        "--nodes", type=int, nargs="+", required=True,
+        help="candidate total node counts",
+    )
+    p_sweep.add_argument("--layout", type=int, default=1, choices=(1, 2, 3))
+    p_sweep.add_argument("--unconstrained-ocean", action="store_true")
+    p_sweep.add_argument("--points", type=int, default=5,
+                         help="benchmark node counts per component")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--method", choices=("lpnlp", "bnb", "oracle"), default="lpnlp"
+    )
+    p_sweep.add_argument(
+        "--criterion", choices=("cost_efficient", "fastest"),
+        default="cost_efficient",
+    )
+    p_sweep.add_argument(
+        "--reuse",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the candidate solves as one cross-solve reuse family "
+        "(default: on for this multi-solve command; results are "
+        "bit-identical either way)",
+    )
+    _add_parallel_args(p_sweep)
 
     p_ampl = sub.add_parser("ampl", help="print the Table I model as AMPL")
     p_ampl.add_argument("--resolution", choices=("1deg", "8th"), required=True)
@@ -212,7 +252,7 @@ def cmd_tune(args) -> int:
         seed=args.seed,
     )
     result = HSLBPipeline(
-        case, points=args.points, method=args.method,
+        case, points=args.points, method=args.method, reuse=args.reuse,
         **_resilience_kwargs(args), **_parallel_kwargs(args),
     ).run()
     print(result.report())  # includes the event-log summary when non-empty
@@ -226,6 +266,71 @@ def cmd_tune(args) -> int:
             f"solver: {sr.nodes} B&B nodes, {sr.cuts_added} OA cuts, "
             f"{sr.nlp_solves} NLP solves, {sr.wall_time:.2f} s"
         )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis import optimal_node_count, solve_layout_points
+    from repro.cesm import ComponentId, make_case
+    from repro.hslb import HSLBPipeline
+    from repro.hslb.report import format_reuse_counters
+    from repro.reuse import SolveFamily
+    from repro.util.tables import TextTable
+
+    comps = (ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND)
+    case = make_case(
+        args.resolution,
+        max(args.nodes),
+        layout=args.layout,
+        unconstrained_ocean=args.unconstrained_ocean,
+        seed=args.seed,
+    )
+    pipeline = HSLBPipeline(case, points=args.points)
+    fits = pipeline.fit(pipeline.gather())
+    perf = {c: f.model for c, f in fits.items()}
+    bounds = {c: case.component_bounds(c) for c in comps}
+
+    family = (
+        SolveFamily.for_counts(args.nodes)
+        if (args.reuse and args.method != "oracle")
+        else None
+    )
+    points = solve_layout_points(
+        perf,
+        bounds,
+        sorted({int(n) for n in args.nodes}),
+        layout=case.layout,
+        ocn_allowed=case.ocean_allowed(),
+        atm_allowed=case.atm_allowed(),
+        method=args.method,
+        reuse=family if family is not None else False,
+        **_parallel_kwargs(args),
+    )
+    table = TextTable(
+        ["total nodes", "best total, sec"]
+        + (["B&B nodes"] if args.method != "oracle" else []),
+        title=f"what-if sweep ({case.resolution}, layout {case.layout.value}, "
+        f"{args.method})",
+    )
+    for p in points:
+        row = [p.total_nodes, f"{p.makespan:.3f}"]
+        if args.method != "oracle":
+            row.append(p.solver_result.nodes)
+        table.add_row(row)
+    print(table.render())
+
+    rec = optimal_node_count(
+        perf, bounds, [p.total_nodes for p in points],
+        criterion=args.criterion, points=points,
+    )
+    print(
+        f"\nrecommended ({rec.criterion}): {rec.total_nodes} nodes, "
+        f"{rec.total_time:.3f} s (marginal efficiency {rec.efficiency:.3f})"
+    )
+    if family is not None:
+        reuse_line = format_reuse_counters(family.counters)
+        if reuse_line:
+            print(reuse_line)
     return 0
 
 
@@ -357,6 +462,7 @@ def main(argv=None) -> int:
         "list": lambda: cmd_list(),
         "exp": lambda: cmd_exp(args),
         "tune": lambda: cmd_tune(args),
+        "sweep": lambda: cmd_sweep(args),
         "ampl": lambda: cmd_ampl(args),
         "gather": lambda: cmd_gather(args),
         "fit": lambda: cmd_fit(args),

@@ -1,0 +1,109 @@
+"""Root-node feasibility-based bound tightening (FBBT) at the MINLP level.
+
+Generalizes the light presolve in :mod:`repro.minlp.nlpbuild` — which only
+propagates *linear* rows while constructing NLP subproblems — to the whole
+model: every constraint (linear and nonlinear, via its ``<= 0`` bodies) is
+pushed through the HC4 revise of :mod:`repro.reuse.interval`, rounds of
+propagation run to a fixpoint, and integral boxes are rounded inward.
+
+The output is a set of *root bound overrides* in exactly the shape the
+branch-and-bound :class:`~repro.minlp.node.Node` already carries, so the
+tightening composes with both solvers without touching the model.  Two
+properties keep it safe:
+
+- Narrowings are inflated by a relative safety margin (see
+  ``interval.SAFETY``) before they land, so no feasible point — in
+  particular no optimal one — is ever cut off.
+- A proven-infeasible row does **not** shortcut the solve.  The pass
+  returns empty overrides and lets the solver derive infeasibility through
+  its normal machinery, keeping reuse-on behavior a strict subset of
+  reuse-off behavior.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.model.model import Model
+from repro.reuse.interval import FULL, EmptyIntervalError, hc4_revise
+
+__all__ = ["FBBTResult", "fbbt_root_bounds"]
+
+#: A box must shrink by more than this (relative to its span) to count as
+#: progress; prevents fixpoint loops on rounding noise.
+_PROGRESS_TOL = 1e-7
+
+#: Integral rounding slack, mirroring nlpbuild's ``1e-9`` convention.
+_INT_SLACK = 1e-9
+
+
+@dataclass
+class FBBTResult:
+    """Outcome of :func:`fbbt_root_bounds`.
+
+    ``bounds`` holds ``{name: (lo, hi)}`` overrides only for variables whose
+    box actually tightened; ``infeasible_row`` names a row proven empty over
+    the boxes (informational — callers still run the solver).
+    """
+
+    bounds: dict = field(default_factory=dict)
+    rounds: int = 0
+    tightenings: int = 0
+    infeasible_row: str | None = None
+
+
+def fbbt_root_bounds(model: Model, max_rounds: int = 8) -> FBBTResult:
+    """Tighten every variable box of ``model`` through its constraints."""
+    boxes = {
+        name: (float(v.lb), float(v.ub)) for name, v in model.variables.items()
+    }
+    original = dict(boxes)
+    integral = {name for name, v in model.variables.items() if v.is_integral}
+
+    rows = []
+    for con in model.constraints.values():
+        for body in con.as_le_bodies():
+            rows.append((con.name, body))
+
+    rounds = 0
+    tightenings = 0
+    try:
+        for _ in range(max_rounds):
+            rounds += 1
+            before = dict(boxes)
+            for name, body in rows:
+                try:
+                    hc4_revise(body, boxes, (-math.inf, 0.0))
+                except EmptyIntervalError:
+                    return FBBTResult(rounds=rounds, infeasible_row=name)
+            _round_integral(boxes, integral)
+            progress = 0
+            for name, (lo, hi) in boxes.items():
+                b_lo, b_hi = before[name]
+                span = 1.0 + (b_hi - b_lo if math.isfinite(b_hi - b_lo) else abs(lo) + abs(hi))
+                if lo > b_lo + _PROGRESS_TOL * span or hi < b_hi - _PROGRESS_TOL * span:
+                    progress += 1
+            tightenings += progress
+            if not progress:
+                break
+    except EmptyIntervalError:
+        # Crossed box from integral rounding: same conservative stance.
+        return FBBTResult(rounds=rounds, infeasible_row="<integral rounding>")
+
+    out = {}
+    for name, (lo, hi) in boxes.items():
+        o_lo, o_hi = original[name]
+        if lo > o_lo or hi < o_hi:
+            out[name] = (lo, hi)
+    return FBBTResult(bounds=out, rounds=rounds, tightenings=tightenings)
+
+
+def _round_integral(boxes: dict, integral: set) -> None:
+    for name in integral:
+        lo, hi = boxes.get(name, FULL)
+        new_lo = math.ceil(lo - _INT_SLACK) if math.isfinite(lo) else lo
+        new_hi = math.floor(hi + _INT_SLACK) if math.isfinite(hi) else hi
+        if new_lo > new_hi:
+            raise EmptyIntervalError(name)
+        boxes[name] = (float(new_lo), float(new_hi))

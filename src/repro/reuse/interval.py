@@ -1,0 +1,331 @@
+"""Interval arithmetic and HC4 revise over the expression tree.
+
+The reuse engine's root presolve (:mod:`repro.reuse.fbbt`) needs two
+primitives over :mod:`repro.expr` trees:
+
+- a *forward* pass evaluating an expression over variable boxes into an
+  enclosure ``[lo, hi]`` of its range, and
+- a *backward* (HC4 revise) pass that, given a target interval for the
+  expression's value (``body <= 0`` means ``(-inf, 0]``), narrows the
+  variable boxes to values that could possibly attain it.
+
+Everything here is deliberately conservative: whenever a tight rule would
+need a case split (division by an interval containing zero, fractional
+powers of sign-changing bases, ...) the result widens to the whole line
+rather than risking an unsound narrowing.  Computed narrowings are inflated
+by a small relative margin before they touch a box, so floating-point
+rounding can never cut off a feasible point — exactly the property the
+bit-identical-optimum guarantee of :class:`repro.reuse.SolveFamily` rests
+on.
+
+Intervals are plain ``(lo, hi)`` float tuples with ``lo <= hi``; ``math.inf``
+ends are allowed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.expr.node import Add, Const, Div, Expr, Mul, Neg, Pow, VarRef
+
+__all__ = [
+    "EmptyIntervalError",
+    "FULL",
+    "forward_eval",
+    "hc4_revise",
+    "iadd",
+    "idiv",
+    "imul",
+    "ineg",
+    "ipow_const",
+    "isub",
+    "intersect",
+]
+
+INF = math.inf
+FULL = (-INF, INF)
+
+#: Relative inflation applied to every backward narrowing before it touches
+#: a variable box.  Floating-point noise in the interval ops is ~1e-16 per
+#: operation; 1e-9 leaves three orders of magnitude of headroom.
+SAFETY = 1e-9
+
+
+class EmptyIntervalError(Exception):
+    """An intersection came up empty: the row is infeasible over the boxes."""
+
+
+def _mul_bound(x: float, y: float) -> float:
+    """One corner product with the ``0 * inf = 0`` convention.
+
+    The convention is the standard one for interval bounds: a zero
+    coefficient annihilates its term no matter how wide the other factor.
+    """
+    if x == 0.0 or y == 0.0:
+        return 0.0
+    return x * y
+
+
+def iadd(a: tuple, b: tuple) -> tuple:
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def isub(a: tuple, b: tuple) -> tuple:
+    return (a[0] - b[1], a[1] - b[0])
+
+
+def ineg(a: tuple) -> tuple:
+    return (-a[1], -a[0])
+
+
+def imul(a: tuple, b: tuple) -> tuple:
+    corners = (
+        _mul_bound(a[0], b[0]),
+        _mul_bound(a[0], b[1]),
+        _mul_bound(a[1], b[0]),
+        _mul_bound(a[1], b[1]),
+    )
+    return (min(corners), max(corners))
+
+
+def idiv(a: tuple, b: tuple) -> tuple:
+    """``a / b``; widens to FULL when the divisor straddles (or touches) 0."""
+    if b[0] <= 0.0 <= b[1]:
+        return FULL
+    if math.isinf(b[0]) and math.isinf(b[1]):
+        return FULL
+    inv_lo = 0.0 if math.isinf(b[1]) else 1.0 / b[1]
+    inv_hi = 0.0 if math.isinf(b[0]) else 1.0 / b[0]
+    return imul(a, (inv_lo, inv_hi))
+
+
+def _pow_point(x: float, p: float) -> float:
+    """``x ** p`` for x >= 0 with explicit inf/zero handling."""
+    if x == 0.0:
+        if p > 0.0:
+            return 0.0
+        return INF  # 0 ** negative: the one-sided limit
+    if math.isinf(x):
+        return INF if p > 0.0 else 0.0
+    try:
+        return x ** p
+    except OverflowError:
+        return INF
+
+
+def ipow_const(a: tuple, p: float) -> tuple:
+    """``a ** p`` for a *constant* exponent ``p``.
+
+    Exact for nonnegative bases and for integer exponents of sign-changing
+    bases; conservative (FULL) whenever a fractional power would leave the
+    real line or a negative power spans a pole.
+    """
+    lo, hi = a
+    if p == 0.0:
+        return (1.0, 1.0)
+    is_int = float(p).is_integer()
+    if lo >= 0.0:
+        if p > 0.0:
+            return (_pow_point(lo, p), _pow_point(hi, p))
+        # negative exponent: decreasing on (0, inf); pole at 0
+        return (_pow_point(hi, p), _pow_point(lo, p))
+    if not is_int:
+        # Fractional power of a possibly-negative base: undefined region.
+        return FULL
+    n = int(p)
+    if n > 0:
+        if n % 2 == 1:
+            return (_signed_pow(lo, n), _signed_pow(hi, n))
+        # even: minimum at the closest-to-zero point
+        if hi <= 0.0:
+            return (_signed_pow(hi, n), _signed_pow(lo, n))
+        return (0.0, max(_signed_pow(lo, n), _signed_pow(hi, n)))
+    # negative integer exponent with lo < 0: pole inside or at the boundary
+    if hi < 0.0:
+        inner = ipow_const((-hi, -lo), float(-n))
+        rec = idiv((1.0, 1.0), inner)
+        return rec if n % 2 == 0 else ineg((rec[0], rec[1]))
+    return FULL
+
+
+def _signed_pow(x: float, n: int) -> float:
+    if math.isinf(x):
+        return x if (x > 0 or n % 2 == 1) else INF
+    try:
+        return float(x) ** n
+    except OverflowError:
+        return INF if (x > 0 or n % 2 == 0) else -INF
+
+
+def intersect(a: tuple, b: tuple, tol: float = 0.0) -> tuple:
+    lo = max(a[0], b[0])
+    hi = min(a[1], b[1])
+    if lo > hi + tol:
+        raise EmptyIntervalError(f"[{lo:g}, {hi:g}]")
+    if lo > hi:  # within tolerance: keep the (tiny) crossing band
+        return (hi, lo)
+    return (lo, hi)
+
+
+def _inflate(a: tuple) -> tuple:
+    lo, hi = a
+    if math.isfinite(lo):
+        lo -= SAFETY * (1.0 + abs(lo))
+    if math.isfinite(hi):
+        hi += SAFETY * (1.0 + abs(hi))
+    return (lo, hi)
+
+
+# -- forward pass ----------------------------------------------------------------
+
+
+def forward_eval(expr: Expr, boxes: dict, memo: dict | None = None) -> tuple:
+    """Range enclosure of ``expr`` over the variable ``boxes``.
+
+    ``memo`` (``id(node) -> interval``) is filled for every subexpression;
+    the backward pass reads it.  Missing variables count as unbounded.
+    """
+    if memo is None:
+        memo = {}
+    key = id(expr)
+    if key in memo:
+        return memo[key]
+    if isinstance(expr, Const):
+        out = (float(expr.value), float(expr.value))
+    elif isinstance(expr, VarRef):
+        out = boxes.get(expr.name, FULL)
+    elif isinstance(expr, Neg):
+        out = ineg(forward_eval(expr.operand, boxes, memo))
+    elif isinstance(expr, Add):
+        out = (0.0, 0.0)
+        for term in expr.terms:
+            out = iadd(out, forward_eval(term, boxes, memo))
+    elif isinstance(expr, Mul):
+        out = imul(
+            forward_eval(expr.left, boxes, memo),
+            forward_eval(expr.right, boxes, memo),
+        )
+    elif isinstance(expr, Div):
+        out = idiv(
+            forward_eval(expr.numerator, boxes, memo),
+            forward_eval(expr.denominator, boxes, memo),
+        )
+    elif isinstance(expr, Pow):
+        base = forward_eval(expr.base, boxes, memo)
+        expo = forward_eval(expr.exponent, boxes, memo)
+        if expo[0] == expo[1]:
+            out = ipow_const(base, expo[0])
+        elif base[0] > 0.0:
+            # b ** e = exp(e * ln b) for b > 0: corners of e x ln(b).
+            out = _pow_corners(base, expo)
+        else:
+            out = FULL
+    else:  # pragma: no cover - future node types degrade safely
+        out = FULL
+    memo[key] = out
+    return out
+
+
+def _pow_corners(base: tuple, expo: tuple) -> tuple:
+    logs = (math.log(base[0]), math.log(base[1]) if math.isfinite(base[1]) else INF)
+    prods = [_mul_bound(e, g) for e in expo for g in logs]
+    lo, hi = min(prods), max(prods)
+    return (
+        0.0 if lo == -INF else math.exp(lo) if lo < 700 else INF,
+        INF if hi == INF or hi >= 700 else math.exp(hi),
+    )
+
+
+# -- backward pass (HC4 revise) ---------------------------------------------------
+
+
+def hc4_revise(expr: Expr, boxes: dict, target: tuple) -> bool:
+    """Narrow ``boxes`` in place so ``expr``'s value can lie in ``target``.
+
+    Returns True if any box changed.  Raises :class:`EmptyIntervalError`
+    when the row is proven infeasible over the boxes (callers treat that as
+    a *signal*, never as license to skip the real solve).
+    """
+    memo: dict = {}
+    forward_eval(expr, boxes, memo)
+    changed: list = []
+    _backward(expr, target, memo, boxes, changed)
+    return bool(changed)
+
+
+def _backward(expr: Expr, target: tuple, memo: dict, boxes: dict, changed: list) -> None:
+    fwd = memo[id(expr)]
+    try:
+        t = intersect(_inflate(target), fwd)
+    except EmptyIntervalError:
+        raise
+    if t[0] <= fwd[0] and t[1] >= fwd[1] and not isinstance(expr, VarRef):
+        return  # no information to push down
+
+    if isinstance(expr, Const):
+        return
+    if isinstance(expr, VarRef):
+        box = boxes.get(expr.name, FULL)
+        lo = max(box[0], t[0])
+        hi = min(box[1], t[1])
+        if lo > hi:
+            raise EmptyIntervalError(expr.name)
+        if lo > box[0] or hi < box[1]:
+            boxes[expr.name] = (lo, hi)
+            changed.append(expr.name)
+        return
+    if isinstance(expr, Neg):
+        _backward(expr.operand, ineg(t), memo, boxes, changed)
+        return
+    if isinstance(expr, Add):
+        fwds = [memo[id(term)] for term in expr.terms]
+        for i, term in enumerate(expr.terms):
+            others = (0.0, 0.0)
+            for j, f in enumerate(fwds):
+                if j != i:
+                    others = iadd(others, f)
+            _backward(term, isub(t, others), memo, boxes, changed)
+        return
+    if isinstance(expr, Mul):
+        fl, fr = memo[id(expr.left)], memo[id(expr.right)]
+        _backward(expr.left, idiv(t, fr), memo, boxes, changed)
+        _backward(expr.right, idiv(t, fl), memo, boxes, changed)
+        return
+    if isinstance(expr, Div):
+        fn, fd = memo[id(expr.numerator)], memo[id(expr.denominator)]
+        _backward(expr.numerator, imul(t, fd), memo, boxes, changed)
+        # d = n / v; conservative when the target spans zero.
+        _backward(expr.denominator, idiv(fn, t), memo, boxes, changed)
+        return
+    if isinstance(expr, Pow):
+        fe = memo[id(expr.exponent)]
+        fb = memo[id(expr.base)]
+        if fe[0] == fe[1]:
+            inv = _invert_pow(t, fb, fe[0])
+            if inv is not None:
+                _backward(expr.base, inv, memo, boxes, changed)
+        return
+    # Unknown node: nothing sound to push down.
+
+
+def _invert_pow(t: tuple, base_fwd: tuple, p: float) -> tuple | None:
+    """Interval of bases b with ``b ** p`` in ``t``, for positive bases.
+
+    Returns None when no sound narrowing applies (sign-changing base,
+    pathological target); the caller simply skips the descent.
+    """
+    if p == 0.0 or base_fwd[0] < 0.0:
+        return None
+    if p > 0.0:
+        lo_t = max(t[0], 0.0)
+        hi_t = t[1]
+        if hi_t < 0.0:
+            raise EmptyIntervalError("power target below zero for nonneg base")
+        return (_pow_point(lo_t, 1.0 / p), _pow_point(hi_t, 1.0 / p))
+    # p < 0: v = b ** p is positive and decreasing on (0, inf).
+    if t[1] <= 0.0:
+        raise EmptyIntervalError("negative target for a negative power")
+    lo_t = max(t[0], 0.0)
+    hi_b = _pow_point(lo_t, 1.0 / p) if lo_t > 0.0 else INF
+    lo_b = _pow_point(t[1], 1.0 / p)
+    return (lo_b, hi_b)

@@ -69,8 +69,25 @@ class TestGridSearch:
         sim = CoupledRunSimulator(make_case("1deg", 128, seed=0))
         res = grid_search_allocation(sim)
         validate_allocation(sim.case.layout, res.allocation, 128)
-        assert res.coupled_runs == len(res.evaluated) >= 4
+        # coupled_runs charges unique runs only; evaluated lists every
+        # feasible grid point, duplicates served from the reuse cache.
+        assert 4 <= res.coupled_runs <= len(res.evaluated)
         assert res.total_time == min(t for _, t in res.evaluated)
+
+    def test_reuse_matches_cold_and_saves_runs(self):
+        # a fraction grid denser than the allowed ocean stride guarantees
+        # that distinct fractions snap to duplicate allocations.
+        sim = CoupledRunSimulator(make_case("1deg", 64, seed=0))
+        warm = grid_search_allocation(sim, ocean_fractions=20, ice_fractions=2)
+        cold = grid_search_allocation(
+            sim, ocean_fractions=20, ice_fractions=2, reuse=False
+        )
+        assert warm.allocation == cold.allocation
+        assert warm.total_time == cold.total_time
+        assert [t for _, t in warm.evaluated] == [t for _, t in cold.evaluated]
+        assert cold.reuse_hits == 0
+        assert warm.reuse_hits > 0
+        assert warm.coupled_runs < cold.coupled_runs
 
     def test_costs_many_runs(self):
         sim = CoupledRunSimulator(make_case("1deg", 256, seed=0))

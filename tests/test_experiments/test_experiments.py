@@ -45,9 +45,10 @@ class TestPaperData:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(EXPERIMENTS) == 18
+        assert len(EXPERIMENTS) == 19
         assert {"t3-1", "t3-6", "fig2", "fig3", "fig4", "a-obj", "a-sos",
-                "a-solve", "a-sync", "a-fit", "a-start", "a-mlice"} <= set(EXPERIMENTS)
+                "a-solve", "a-sync", "a-fit", "a-start", "a-mlice",
+                "a-reuse"} <= set(EXPERIMENTS)
 
     def test_unknown_experiment(self):
         with pytest.raises(ConfigurationError, match="unknown experiment"):

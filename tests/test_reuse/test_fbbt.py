@@ -1,0 +1,121 @@
+"""Root FBBT presolve (repro.reuse.fbbt).
+
+Safety contract: overrides only ever tighten, integral boxes round inward,
+and a proven-infeasible row returns *empty* overrides — the solver still
+runs and derives infeasibility through its own machinery.
+"""
+
+from repro.cesm import ComponentId, Layout
+from repro.expr.node import const, var
+from repro.fitting import PerfModel
+from repro.hslb import build_layout_model
+from repro.minlp.lpnlp import solve_lpnlp
+from repro.model.constraint import Sense
+from repro.model.model import Model
+from repro.model.variable import VarType
+from repro.reuse.fbbt import fbbt_root_bounds
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+PERF = {
+    I: PerfModel(a=8000.0, d=18.0),
+    L: PerfModel(a=1465.0, d=2.6),
+    A: PerfModel(a=27000.0, d=45.0),
+    O: PerfModel(a=7900.0, b=0.02, c=1.0, d=36.0),
+}
+BOUNDS = {I: (8, 2048), L: (4, 2048), A: (8, 2048), O: (8, 2048)}
+
+
+class TestSmallModels:
+    def test_linear_row_tightens_box(self):
+        m = Model("t")
+        m.add_variable("x", VarType.INTEGER, 0, 10)
+        m.add_constraint("cap", var("x"), Sense.LE, 3)
+        res = fbbt_root_bounds(m)
+        assert res.infeasible_row is None
+        assert res.bounds["x"] == (0.0, 3.0)
+        assert res.tightenings >= 1
+
+    def test_integral_rounding_floors_fractional_cap(self):
+        m = Model("t")
+        m.add_variable("x", VarType.INTEGER, 0, 10)
+        m.add_constraint("cap", const(2.0) * var("x"), Sense.LE, 5)
+        res = fbbt_root_bounds(m)
+        assert res.bounds["x"] == (0.0, 2.0)
+
+    def test_continuous_box_keeps_inflation(self):
+        m = Model("t")
+        m.add_variable("x", VarType.CONTINUOUS, 0, 10)
+        m.add_constraint("cap", var("x"), Sense.LE, 3)
+        res = fbbt_root_bounds(m)
+        lo, hi = res.bounds["x"]
+        assert lo == 0.0 and 3.0 <= hi <= 3.0 + 1e-6
+
+    def test_no_tightening_returns_empty(self):
+        m = Model("t")
+        m.add_variable("x", VarType.INTEGER, 0, 3)
+        m.add_constraint("cap", var("x"), Sense.LE, 3)
+        res = fbbt_root_bounds(m)
+        assert res.bounds == {}
+
+    def test_infeasible_row_is_informational(self):
+        m = Model("t")
+        m.add_variable("x", VarType.INTEGER, 0, 10)
+        m.add_constraint("floor", var("x"), Sense.GE, 20)
+        res = fbbt_root_bounds(m)
+        assert res.infeasible_row == "floor"
+        assert res.bounds == {}
+
+    def test_fixpoint_chains_across_rows(self):
+        # x <= 3 and y <= x must propagate into y's box too.
+        m = Model("t")
+        m.add_variable("x", VarType.INTEGER, 0, 100)
+        m.add_variable("y", VarType.INTEGER, 0, 100)
+        m.add_constraint("cap", var("x"), Sense.LE, 3)
+        m.add_constraint("link", var("y") - var("x"), Sense.LE, 0)
+        res = fbbt_root_bounds(m)
+        assert res.bounds["x"] == (0.0, 3.0)
+        assert res.bounds["y"] == (0.0, 3.0)
+
+    def test_round_limit_respected(self):
+        m = Model("t")
+        m.add_variable("x", VarType.INTEGER, 0, 100)
+        m.add_constraint("cap", var("x"), Sense.LE, 3)
+        res = fbbt_root_bounds(m, max_rounds=1)
+        assert res.rounds == 1
+
+
+class TestLayoutModels:
+    def layout_model(self, layout=Layout.HYBRID):
+        return build_layout_model(
+            layout, 64, PERF, BOUNDS, ocn_allowed=[8, 16, 24, 32]
+        )
+
+    def test_only_tightens(self):
+        model = self.layout_model()
+        res = fbbt_root_bounds(model)
+        assert res.infeasible_row is None
+        assert res.bounds  # the node-total row always bites
+        for name, (lo, hi) in res.bounds.items():
+            v = model.variables[name]
+            assert lo >= v.lb and hi <= v.ub
+            assert lo <= hi
+
+    def test_optimum_survives_tightening(self):
+        # The bit-identity guarantee reduces to: no override may cut off
+        # the optimal point a cold solve finds.
+        model = self.layout_model()
+        result = solve_lpnlp(model)
+        assert result.solution is not None
+        res = fbbt_root_bounds(self.layout_model())
+        for name, (lo, hi) in res.bounds.items():
+            val = result.solution[name]
+            assert lo - 1e-9 <= val <= hi + 1e-9, name
+
+    def test_all_three_layouts_sound(self):
+        for layout in (
+            Layout.HYBRID, Layout.SEQUENTIAL_SPLIT, Layout.FULLY_SEQUENTIAL
+        ):
+            res = fbbt_root_bounds(self.layout_model(layout))
+            assert res.infeasible_row is None
+            assert res.rounds >= 1

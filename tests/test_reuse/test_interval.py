@@ -1,0 +1,157 @@
+"""Interval arithmetic and HC4 revise (repro.reuse.interval).
+
+The FBBT presolve's soundness rests on these primitives never cutting off
+a feasible point: conservative widening on case splits, and the SAFETY
+inflation on every backward narrowing.
+"""
+
+import math
+
+import pytest
+
+from repro.expr.node import const, var
+from repro.reuse.interval import (
+    FULL,
+    EmptyIntervalError,
+    forward_eval,
+    hc4_revise,
+    iadd,
+    idiv,
+    imul,
+    ineg,
+    intersect,
+    ipow_const,
+    isub,
+)
+
+INF = math.inf
+
+
+class TestElementaryOps:
+    def test_add_sub_neg(self):
+        assert iadd((1.0, 2.0), (10.0, 20.0)) == (11.0, 22.0)
+        assert isub((1.0, 2.0), (10.0, 20.0)) == (-19.0, -8.0)
+        assert ineg((-3.0, 5.0)) == (-5.0, 3.0)
+
+    def test_mul_corners(self):
+        assert imul((-2.0, 3.0), (-1.0, 4.0)) == (-8.0, 12.0)
+        assert imul((2.0, 3.0), (4.0, 5.0)) == (8.0, 15.0)
+
+    def test_mul_zero_annihilates_infinity(self):
+        # The 0 * inf = 0 bound convention: a zero factor kills the term.
+        assert imul((0.0, 0.0), FULL) == (0.0, 0.0)
+        assert imul((0.0, 1.0), (0.0, INF)) == (0.0, INF)
+
+    def test_div_plain(self):
+        assert idiv((6.0, 12.0), (2.0, 3.0)) == (2.0, 6.0)
+        assert idiv((-6.0, 6.0), (2.0, 3.0)) == (-3.0, 3.0)
+
+    def test_div_through_zero_widens(self):
+        assert idiv((1.0, 2.0), (-1.0, 1.0)) == FULL
+        assert idiv((1.0, 2.0), (0.0, 1.0)) == FULL
+        assert idiv((1.0, 2.0), FULL) == FULL
+
+    def test_div_by_infinite_end(self):
+        lo, hi = idiv((1.0, 2.0), (1.0, INF))
+        assert lo == 0.0 and hi == 2.0
+
+
+class TestPowConst:
+    def test_zero_exponent(self):
+        assert ipow_const((-5.0, 5.0), 0.0) == (1.0, 1.0)
+
+    def test_positive_base(self):
+        assert ipow_const((2.0, 3.0), 2.0) == (4.0, 9.0)
+        # negative exponent is decreasing on (0, inf)
+        assert ipow_const((2.0, 4.0), -1.0) == (0.25, 0.5)
+
+    def test_pole_at_zero(self):
+        lo, hi = ipow_const((0.0, 4.0), -1.0)
+        assert lo == 0.25 and hi == INF
+
+    def test_even_power_of_sign_change(self):
+        assert ipow_const((-3.0, 2.0), 2.0) == (0.0, 9.0)
+
+    def test_odd_power_of_sign_change(self):
+        assert ipow_const((-2.0, 3.0), 3.0) == (-8.0, 27.0)
+
+    def test_fractional_power_of_negative_base_widens(self):
+        assert ipow_const((-1.0, 4.0), 0.5) == FULL
+
+    def test_negative_power_spanning_pole_widens(self):
+        assert ipow_const((-1.0, 1.0), -2.0) == FULL
+
+    def test_negative_base_negative_exponent(self):
+        assert ipow_const((-4.0, -2.0), -2.0) == (0.0625, 0.25)
+
+
+class TestIntersect:
+    def test_plain(self):
+        assert intersect((0.0, 10.0), (5.0, 20.0)) == (5.0, 10.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyIntervalError):
+            intersect((0.0, 1.0), (2.0, 3.0))
+
+    def test_tolerance_keeps_crossing_band(self):
+        lo, hi = intersect((0.0, 1.0), (1.0 + 1e-12, 2.0), tol=1e-9)
+        assert lo <= hi
+
+
+class TestForwardEval:
+    def test_polynomial(self):
+        expr = var("x") ** 2 + const(3.0) * var("y")
+        boxes = {"x": (-2.0, 1.0), "y": (0.0, 2.0)}
+        assert forward_eval(expr, boxes) == (0.0, 10.0)
+
+    def test_missing_variable_is_unbounded(self):
+        assert forward_eval(var("ghost"), {}) == FULL
+
+    def test_division(self):
+        expr = var("x") / var("y")
+        assert forward_eval(expr, {"x": (4.0, 8.0), "y": (2.0, 4.0)}) == (1.0, 4.0)
+
+    def test_scaling_law_shape(self):
+        # a/n + d: the paper's basic component curve is monotone in n.
+        expr = const(100.0) / var("n") + const(2.0)
+        lo, hi = forward_eval(expr, {"n": (10.0, 100.0)})
+        assert lo == pytest.approx(3.0) and hi == pytest.approx(12.0)
+
+
+class TestHC4Revise:
+    def test_linear_row_narrows(self):
+        # x + y <= 0 with y >= 2 forces x <= -2 (up to inflation).
+        expr = var("x") + var("y")
+        boxes = {"x": (-10.0, 10.0), "y": (2.0, 5.0)}
+        assert hc4_revise(expr, boxes, (-INF, 0.0))
+        lo, hi = boxes["x"]
+        assert lo == -10.0
+        assert -2.0 <= hi <= -2.0 + 1e-6
+
+    def test_narrowing_never_cuts_feasible_points(self):
+        # the true range of x under x**2 <= 4 is [-2, 2]; inflation must
+        # keep at least that.
+        expr = var("x") ** 2 - const(4.0)
+        boxes = {"x": (0.0, 10.0)}
+        hc4_revise(expr, boxes, (-INF, 0.0))
+        lo, hi = boxes["x"]
+        assert lo <= 0.0 and hi >= 2.0
+        assert hi <= 2.0 * (1.0 + 1e-6)
+
+    def test_infeasible_row_raises(self):
+        expr = var("x")
+        with pytest.raises(EmptyIntervalError):
+            hc4_revise(expr, {"x": (2.0, 3.0)}, (-INF, 0.0))
+
+    def test_no_change_returns_false(self):
+        expr = var("x")
+        boxes = {"x": (-1.0, -0.5)}
+        assert not hc4_revise(expr, boxes, (-INF, 0.0))
+        assert boxes == {"x": (-1.0, -0.5)}
+
+    def test_descends_through_product(self):
+        # 2*x <= 6 -> x <= 3 (inflated)
+        expr = const(2.0) * var("x") - const(6.0)
+        boxes = {"x": (0.0, 100.0)}
+        assert hc4_revise(expr, boxes, (-INF, 0.0))
+        assert 3.0 <= boxes["x"][1] <= 3.0 + 1e-6

@@ -18,6 +18,7 @@ from repro.analysis.whatif import (
     LayoutPoint,
     NodeCountRecommendation,
     constraint_cost,
+    layout_point_specs,
     optimal_node_count,
     solve_layout_points,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "LayoutPoint",
     "NodeCountRecommendation",
     "constraint_cost",
+    "layout_point_specs",
     "optimal_node_count",
     "solve_layout_points",
     "ExtrapolatedCurve",

@@ -24,7 +24,12 @@ import numpy as np
 from repro.cesm.components import ComponentId
 from repro.cesm.layouts import Layout
 from repro.exceptions import ConfigurationError
-from repro.analysis.whatif import _PointSpec, _check_method, _solve_layout_point, _sweep_family
+from repro.analysis.whatif import (
+    _check_method,
+    _solve_layout_point,
+    _sweep_family,
+    layout_point_specs,
+)
 from repro.reuse import family_map
 
 
@@ -99,14 +104,14 @@ def component_swap_sweep(
     _check_method(method)
     family = _sweep_family(method, reuse, node_counts)
     swapped = _swapped_perf(perf, component, replacement)
-    ocn = tuple(ocn_allowed) if ocn_allowed is not None else None
 
     def spec_for(p, n):
-        return _PointSpec(
-            layout=layout, total_nodes=int(n), perf=p, bounds=bounds,
-            ocn_allowed=ocn, atm_allowed=atm_allowed,
+        [spec] = layout_point_specs(
+            p, bounds, [int(n)], layout=layout,
+            ocn_allowed=ocn_allowed, atm_allowed=atm_allowed,
             method=method, options=options,
         )
+        return spec
 
     items = [
         (component, spec_for(perf, n), spec_for(swapped, n))
@@ -114,7 +119,7 @@ def component_swap_sweep(
     ]
     # Solve largest-first for the same reason solve_layout_points does:
     # family state transfers safely down the budget ladder, not up it.
-    order = sorted(range(len(items)), key=lambda i: -items[i][1].total_nodes)
+    order = sorted(range(len(items)), key=lambda i: -items[i][1].problem.total_nodes)
     solved = family_map(
         _solve_swap_pair, [items[i] for i in order], family=family,
         executor=executor, workers=workers,
@@ -152,11 +157,10 @@ def component_swap_effect(
     family = _sweep_family(method, reuse)
 
     def solve(p):
-        spec = _PointSpec(
-            layout=layout, total_nodes=int(total_nodes), perf=p,
-            bounds=bounds,
-            ocn_allowed=tuple(ocn_allowed) if ocn_allowed is not None else None,
-            atm_allowed=atm_allowed, method=method, options=options,
+        [spec] = layout_point_specs(
+            p, bounds, [int(total_nodes)], layout=layout,
+            ocn_allowed=ocn_allowed, atm_allowed=atm_allowed,
+            method=method, options=options,
         )
         return _solve_layout_point(spec, family)
 

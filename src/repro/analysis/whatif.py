@@ -23,11 +23,12 @@ from dataclasses import dataclass, replace
 from repro.cesm.components import ComponentId
 from repro.cesm.layouts import Layout
 from repro.exceptions import ConfigurationError, SolverError
-from repro.hslb.layout_models import VAR_NAMES, build_layout_model
+from repro.hslb.layout_models import VAR_NAMES, layout_problem_spec
 from repro.hslb.objectives import ObjectiveKind
 from repro.hslb.oracle import LayoutOracle
 from repro.minlp import MINLPOptions, solve_lpnlp, solve_nlp_bnb
 from repro.reuse import SolveFamily, family_map
+from repro.spec import SolvePointSpec, build_from_spec
 from repro.util.validation import check_in_range
 
 A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
@@ -45,52 +46,74 @@ class LayoutPoint:
     solver_result: object = None  # MINLPResult for the B&B methods
 
 
-@dataclass(frozen=True)
-class _PointSpec:
-    """Picklable description of one layout solve (process-pool payload)."""
+def layout_point_specs(
+    perf: dict,
+    bounds: dict,
+    node_counts,
+    layout: Layout = Layout.HYBRID,
+    ocn_allowed: list | None = None,
+    atm_allowed: dict | None = None,
+    method: str = "oracle",
+    options: MINLPOptions | None = None,
+) -> list:
+    """The spec ladder for a what-if sweep: one serializable
+    :class:`~repro.spec.SolvePointSpec` per candidate node count.
 
-    layout: Layout
-    total_nodes: int
-    perf: dict
-    bounds: dict
-    ocn_allowed: tuple | None
-    atm_allowed: dict | None
-    method: str
-    options: object | None
+    This is what actually crosses process boundaries in
+    :func:`solve_layout_points` — pure data, no live models or option
+    objects — and what a tuning service would persist to replay a sweep.
+    """
+    _check_method(method)
+    return [
+        SolvePointSpec.for_problem(
+            layout_problem_spec(
+                layout=layout,
+                total_nodes=int(n),
+                perf=perf,
+                bounds=bounds,
+                ocn_allowed=ocn_allowed,
+                atm_allowed=atm_allowed,
+                objective=ObjectiveKind.MIN_MAX,
+                name=f"whatif_{int(n)}",
+            ),
+            method=method,
+            options=options,
+        )
+        for n in node_counts
+    ]
 
 
-def _solve_layout_point(spec: _PointSpec, family) -> LayoutPoint:
-    """Solve one balanced layout; module-level so process backends can run it."""
-    ocn = list(spec.ocn_allowed) if spec.ocn_allowed is not None else None
+def _solve_layout_point(spec: SolvePointSpec, family) -> LayoutPoint:
+    """Solve one balanced layout; module-level so process backends can run it.
+
+    ``spec`` is pure data: the model is rebuilt here, in whatever process
+    this runs in, through the builder registry — workers never unpickle a
+    :class:`~repro.model.Model`.
+    """
+    problem = spec.problem
+    total_nodes = int(problem.total_nodes)
     if spec.method == "oracle":
         oracle = LayoutOracle(
-            spec.layout, spec.total_nodes, spec.perf, spec.bounds,
-            ocn_allowed=ocn, atm_allowed=spec.atm_allowed,
+            Layout(int(problem.layout)), total_nodes,
+            problem.perf(), problem.component_bounds(),
+            ocn_allowed=problem.ocn_allowed_list(),
+            atm_allowed=problem.atm_allowed_dict(),
         )
-        res = oracle.solve(ObjectiveKind.MIN_MAX)
+        res = oracle.solve(ObjectiveKind(problem.objective))
         return LayoutPoint(
-            total_nodes=spec.total_nodes,
+            total_nodes=total_nodes,
             makespan=float(res.makespan),
             allocation=dict(res.allocation),
         )
-    model = build_layout_model(
-        layout=spec.layout,
-        total_nodes=spec.total_nodes,
-        perf=spec.perf,
-        bounds=spec.bounds,
-        ocn_allowed=ocn,
-        atm_allowed=spec.atm_allowed,
-        objective=ObjectiveKind.MIN_MAX,
-        name=f"whatif_{spec.total_nodes}",
-    )
-    opts = spec.options or MINLPOptions()
+    model = build_from_spec(problem)
+    opts = spec.minlp_options() or MINLPOptions()
     if family is not None:
         opts = replace(opts, reuse=family)
     solver = solve_lpnlp if spec.method == "lpnlp" else solve_nlp_bnb
     result = solver(model, opts)
     if result.solution is None:
         raise SolverError(
-            f"what-if solve at N={spec.total_nodes} failed: "
+            f"what-if solve at N={total_nodes} failed: "
             f"{result.status.value} {result.message}"
         )
     allocation = {
@@ -98,7 +121,7 @@ def _solve_layout_point(spec: _PointSpec, family) -> LayoutPoint:
         for comp in (I, L, A, O)
     }
     return LayoutPoint(
-        total_nodes=spec.total_nodes,
+        total_nodes=total_nodes,
         makespan=float(result.objective),
         allocation=allocation,
         solver_result=result,
@@ -154,20 +177,12 @@ def solve_layout_points(
     """
     _check_method(method)
     family = _sweep_family(method, reuse, node_counts)
-    specs = [
-        _PointSpec(
-            layout=layout,
-            total_nodes=int(n),
-            perf=perf,
-            bounds=bounds,
-            ocn_allowed=tuple(ocn_allowed) if ocn_allowed is not None else None,
-            atm_allowed=atm_allowed,
-            method=method,
-            options=options,
-        )
-        for n in node_counts
-    ]
-    order = sorted(range(len(specs)), key=lambda i: -specs[i].total_nodes)
+    specs = layout_point_specs(
+        perf, bounds, node_counts, layout=layout,
+        ocn_allowed=ocn_allowed, atm_allowed=atm_allowed,
+        method=method, options=options,
+    )
+    order = sorted(range(len(specs)), key=lambda i: -specs[i].problem.total_nodes)
     solved = family_map(
         _solve_layout_point, [specs[i] for i in order], family=family,
         executor=executor, workers=workers,
@@ -291,9 +306,9 @@ def constraint_cost(
     family = _sweep_family(method, reuse)
 
     def solve(ocn):
-        spec = _PointSpec(
-            layout=layout, total_nodes=int(total_nodes), perf=perf,
-            bounds=bounds, ocn_allowed=tuple(ocn), atm_allowed=atm_allowed,
+        [spec] = layout_point_specs(
+            perf, bounds, [int(total_nodes)], layout=layout,
+            ocn_allowed=list(ocn), atm_allowed=atm_allowed,
             method=method, options=options,
         )
         return _solve_layout_point(spec, family)

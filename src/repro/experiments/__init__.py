@@ -16,6 +16,11 @@ point here, shared by the pytest benchmarks (``benchmarks/``) and the CLI
 - :mod:`repro.experiments.registry` — id -> runner mapping.
 """
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment, run_experiments
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentCellSpec,
+    run_experiment,
+    run_experiments,
+)
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_experiments"]
+__all__ = ["EXPERIMENTS", "ExperimentCellSpec", "run_experiment", "run_experiments"]

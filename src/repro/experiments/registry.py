@@ -1,8 +1,19 @@
-"""Experiment registry: ids -> runners (shared by CLI and benchmarks)."""
+"""Experiment registry: ids -> runners (shared by CLI and benchmarks).
+
+Each scheduled cell (one experiment id at one seed) is described by an
+:class:`ExperimentCellSpec` — serializable, structurally hashable — which
+is what crosses process boundaries and what checkpoint files are keyed by:
+``run_experiments(..., checkpoint_dir=...)`` skips cells whose spec_key
+already has a saved result and replays only the rest.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from pathlib import Path
+
 from repro.exceptions import ConfigurationError
+from repro.spec.schema import check_schema, spec_key, stamp
 
 
 def _table3(key):
@@ -110,29 +121,130 @@ def run_experiment(experiment_id: str, seed: int = 0):
     return runner(seed=seed)
 
 
-def _render_entry(job: tuple) -> tuple:
-    """Process-pool worker: run one experiment and render it to text.
+@dataclass(frozen=True)
+class ExperimentCellSpec:
+    """One schedulable experiment cell (id + seed) as serializable data.
 
-    Takes ``(experiment_id, seed)`` rather than a runner closure — closures
-    do not pickle, ids do.  Returning the rendered text (not the data
-    object) keeps the payload picklable for every experiment type.
+    This is the payload shipped to process workers and the identity key of
+    checkpoint files: :meth:`spec_key` hashes the canonical dict, so a
+    saved cell is only reused for exactly the experiment and seed that
+    produced it.
     """
-    experiment_id, seed = job
-    return experiment_id, run_experiment(experiment_id, seed=seed).render()
+
+    experiment_id: str
+    seed: int = 0
+
+    kind = "experiment_cell"
+
+    def __post_init__(self):
+        if self.experiment_id not in EXPERIMENTS:
+            raise ConfigurationError(
+                f"unknown experiment {self.experiment_id!r}; "
+                f"known: {sorted(EXPERIMENTS)}"
+            )
+
+    def to_dict(self) -> dict:
+        return stamp(
+            {
+                "kind": self.kind,
+                "experiment_id": self.experiment_id,
+                "seed": int(self.seed),
+            },
+            "spec",
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentCellSpec":
+        check_schema(payload, "spec")
+        if payload.get("kind") != cls.kind:
+            raise ConfigurationError(
+                f"expected an {cls.kind!r} spec, got kind={payload.get('kind')!r}"
+            )
+        return cls(
+            experiment_id=payload["experiment_id"], seed=int(payload.get("seed", 0))
+        )
+
+    def spec_key(self) -> str:
+        return spec_key(self.to_dict())
+
+    def run(self):
+        return run_experiment(self.experiment_id, seed=self.seed)
+
+
+def _render_cell(payload: dict) -> tuple:
+    """Process-pool worker: run one experiment cell and render it to text.
+
+    Takes the cell's *spec payload* rather than a runner closure — closures
+    do not pickle; pure data does, in any worker.  Returning the rendered
+    text (not the data object) keeps the result picklable for every
+    experiment type.
+    """
+    cell = ExperimentCellSpec.from_dict(payload)
+    return cell.experiment_id, cell.run().render()
+
+
+def _checkpoint_path(checkpoint_dir, cell: ExperimentCellSpec) -> Path:
+    digest = cell.spec_key().removeprefix("spec:")[:16]
+    return Path(checkpoint_dir) / f"{cell.experiment_id}-s{cell.seed}-{digest}.json"
 
 
 def run_experiments(
-    experiment_ids, seed: int = 0, executor=None, workers: int | None = None
+    experiment_ids,
+    seed: int = 0,
+    executor=None,
+    workers: int | None = None,
+    checkpoint_dir=None,
 ):
-    """Run several experiments, optionally concurrently.
+    """Run several experiments, optionally concurrently, with resume.
 
     Returns ``[(experiment_id, rendered_text), ...]`` in the order given,
     whatever the backend (see :mod:`repro.parallel`).  Each experiment is
     internally deterministic given ``seed``, so concurrent execution
     renders the same text serial execution would.
+
+    With ``checkpoint_dir`` set, every finished cell is saved there
+    (keyed by its :class:`ExperimentCellSpec`'s spec_key) and an
+    interrupted batch resumes by replaying only the missing cells; a saved
+    cell whose recorded hash does not match its spec is treated as absent
+    rather than trusted.
     """
     from repro.parallel.executor import executor_scope
 
-    jobs = [(experiment_id, seed) for experiment_id in experiment_ids]
-    with executor_scope(executor, workers) as ex:
-        return ex.map_ordered(_render_entry, jobs)
+    cells = [ExperimentCellSpec(experiment_id, seed) for experiment_id in experiment_ids]
+    finished: dict = {}
+    pending: list = []
+    if checkpoint_dir is not None:
+        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
+        from repro.io import load_experiment_cell
+
+        for index, cell in enumerate(cells):
+            path = _checkpoint_path(checkpoint_dir, cell)
+            if path.exists():
+                try:
+                    _, recorded_key, rendered = load_experiment_cell(path)
+                except ConfigurationError:
+                    pending.append(index)
+                    continue
+                if recorded_key == cell.spec_key():
+                    finished[index] = (cell.experiment_id, rendered)
+                    continue
+            pending.append(index)
+    else:
+        pending = list(range(len(cells)))
+
+    if pending:
+        with executor_scope(executor, workers) as ex:
+            fresh = ex.map_ordered(
+                _render_cell, [cells[i].to_dict() for i in pending]
+            )
+        for index, result in zip(pending, fresh):
+            finished[index] = result
+            if checkpoint_dir is not None:
+                from repro.io import save_experiment_cell
+
+                save_experiment_cell(
+                    _checkpoint_path(checkpoint_dir, cells[index]),
+                    cells[index],
+                    result[1],
+                )
+    return [finished[i] for i in range(len(cells))]

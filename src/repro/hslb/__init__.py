@@ -22,7 +22,13 @@ The four steps (paper Sec. III-F):
 from repro.hslb.objectives import ObjectiveKind
 from repro.hslb.gather import BenchmarkData, gather_benchmarks
 from repro.hslb.fitstep import fit_components
-from repro.hslb.layout_models import build_layout_model
+from repro.hslb.layout_models import (
+    build_layout_model,
+    build_layout_model_from_spec,
+    layout_model_for_case,
+    layout_problem_spec,
+    layout_problem_spec_for_case,
+)
 from repro.hslb.oracle import LayoutOracle, OracleResult
 from repro.hslb.solve import (
     SolveOutcome,
@@ -30,7 +36,7 @@ from repro.hslb.solve import (
     solve_allocation,
     solve_allocation_resilient,
 )
-from repro.hslb.pipeline import HSLBPipeline, HSLBRunResult
+from repro.hslb.pipeline import HSLBPipeline, HSLBRunResult, pipeline_from_spec
 from repro.hslb.report import format_table3_block
 
 __all__ = [
@@ -39,6 +45,10 @@ __all__ = [
     "gather_benchmarks",
     "fit_components",
     "build_layout_model",
+    "build_layout_model_from_spec",
+    "layout_model_for_case",
+    "layout_problem_spec",
+    "layout_problem_spec_for_case",
     "LayoutOracle",
     "OracleResult",
     "SolveOutcome",
@@ -47,5 +57,6 @@ __all__ = [
     "proportional_baseline",
     "HSLBPipeline",
     "HSLBRunResult",
+    "pipeline_from_spec",
     "format_table3_block",
 ]

@@ -187,6 +187,107 @@ def build_layout_model(
     return m
 
 
+def layout_problem_spec(
+    layout: Layout,
+    total_nodes: int,
+    perf: dict,
+    bounds: dict,
+    ocn_allowed: list | None = None,
+    atm_allowed: dict | None = None,
+    objective: ObjectiveKind = ObjectiveKind.MIN_MAX,
+    tsync: float | None = None,
+    fine_tuning: bool = False,
+    name: str = "hslb",
+) -> "LayoutProblemSpec":
+    """The serializable description of a :func:`build_layout_model` call.
+
+    Same signature as the builder; returns the
+    :class:`~repro.spec.LayoutProblemSpec` whose
+    :func:`build_layout_model_from_spec` rebuild is bit-identical to
+    calling :func:`build_layout_model` directly (it *is* that call).
+    """
+    from repro.spec import LayoutProblemSpec
+
+    return LayoutProblemSpec.from_args(
+        layout=layout,
+        total_nodes=total_nodes,
+        perf=perf,
+        bounds=bounds,
+        ocn_allowed=ocn_allowed,
+        atm_allowed=atm_allowed,
+        objective=objective,
+        tsync=tsync,
+        fine_tuning=fine_tuning,
+        name=name,
+    )
+
+
+def layout_problem_spec_for_case(
+    case,
+    fits: dict,
+    objective: ObjectiveKind = ObjectiveKind.MIN_MAX,
+    tsync: float | None = None,
+    layout: Layout | None = None,
+    fine_tuning: bool = False,
+) -> "LayoutProblemSpec":
+    """Spec for a :class:`~repro.cesm.CESMCase` plus fitted curves.
+
+    ``fits`` maps components to :class:`~repro.fitting.FitResult` or
+    directly to :class:`~repro.fitting.PerfModel`; with ``fine_tuning`` it
+    must also cover RTM and CPL.
+    """
+    perf = {
+        comp: (f.model if hasattr(f, "model") else f) for comp, f in fits.items()
+    }
+    return layout_problem_spec(
+        layout=layout or case.layout,
+        total_nodes=case.total_nodes,
+        perf=perf,
+        bounds={c: case.component_bounds(c) for c in (A, O, I, L)},
+        ocn_allowed=case.ocean_allowed(),
+        atm_allowed=case.atm_allowed(),
+        objective=objective,
+        tsync=tsync,
+        fine_tuning=fine_tuning,
+        name=f"{case.resolution}_{case.total_nodes}",
+    )
+
+
+def build_layout_model_from_spec(spec) -> Model:
+    """Registry builder for ``kind="layout_model"``: spec -> live Model.
+
+    Accepts the :class:`~repro.spec.LayoutProblemSpec` or its stamped dict
+    payload, and funnels it through :func:`build_layout_model` — the exact
+    code path a direct call takes, which is what makes rebuilt models
+    bit-identical to in-memory ones.
+    """
+    from repro.spec import LayoutProblemSpec
+
+    if isinstance(spec, dict):
+        spec = LayoutProblemSpec.from_dict(spec)
+    return build_layout_model(
+        layout=Layout(int(spec.layout)),
+        total_nodes=int(spec.total_nodes),
+        perf=spec.perf(),
+        bounds=spec.component_bounds(),
+        ocn_allowed=spec.ocn_allowed_list(),
+        atm_allowed=spec.atm_allowed_dict(),
+        objective=ObjectiveKind(spec.objective),
+        tsync=spec.tsync,
+        fine_tuning=spec.fine_tuning,
+        name=spec.name,
+    )
+
+
+def build_layout_model_from_point(spec) -> Model:
+    """Registry builder for ``kind="solve_point"``: the point's model."""
+    from repro.spec import SolvePointSpec
+
+    if isinstance(spec, dict):
+        spec = SolvePointSpec.from_dict(spec)
+    return build_layout_model_from_spec(spec.problem)
+
+
 def layout_model_for_case(
     case,
     fits: dict,
@@ -200,19 +301,17 @@ def layout_model_for_case(
     ``fits`` maps components to :class:`~repro.fitting.FitResult` or
     directly to :class:`~repro.fitting.PerfModel`; with ``fine_tuning`` it
     must also cover RTM and CPL.
+
+    Since the spec refactor this routes through
+    :func:`layout_problem_spec_for_case` + the builder registry, so the
+    standard build path and the description-driven one are the same code.
     """
-    perf = {
-        comp: (f.model if hasattr(f, "model") else f) for comp, f in fits.items()
-    }
-    return build_layout_model(
-        layout=layout or case.layout,
-        total_nodes=case.total_nodes,
-        perf=perf,
-        bounds={c: case.component_bounds(c) for c in (A, O, I, L)},
-        ocn_allowed=case.ocean_allowed(),
-        atm_allowed=case.atm_allowed(),
+    spec = layout_problem_spec_for_case(
+        case,
+        fits,
         objective=objective,
         tsync=tsync,
+        layout=layout,
         fine_tuning=fine_tuning,
-        name=f"{case.resolution}_{case.total_nodes}",
     )
+    return build_layout_model_from_spec(spec)

@@ -240,8 +240,15 @@ class HSLBPipeline:
                 policy.pause(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def run(self) -> HSLBRunResult:
-        """All four steps."""
+    def run(self, data: BenchmarkData | None = None, fits: dict | None = None) -> HSLBRunResult:
+        """All four steps.
+
+        ``data`` (pre-gathered benchmarks) skips step 1; ``fits``
+        (pre-fitted or spec-pinned curves) skips steps 1 *and* 2.  A
+        :class:`~repro.spec.TuneSpec` carrying curves or benchmark samples
+        lands here, which is what makes spec replays deterministic: nothing
+        is re-measured.
+        """
         deadline = None
         if self.resilient:
             # Fresh log + fault history per run: two runs of the same
@@ -250,8 +257,12 @@ class HSLBPipeline:
             if isinstance(self.simulator, FaultySimulator):
                 self.simulator.reset()
             deadline = Deadline.coerce(self.deadline_seconds)
-        data = self.gather(deadline=deadline)
-        fits = self.fit(data)
+        if fits is None:
+            if data is None:
+                data = self.gather(deadline=deadline)
+            fits = self.fit(data)
+        elif data is None:
+            data = BenchmarkData()
         outcome = self.solve(fits, deadline=deadline)
         actual = self.execute(outcome)
         return HSLBRunResult(
@@ -262,3 +273,121 @@ class HSLBPipeline:
             actual=actual,
             events=self.events,
         )
+
+    # -- description-driven construction (see docs/specs.md) --------------------
+
+    def to_spec(self, curves: dict | None = None, benchmarks=None):
+        """This pipeline's configuration as a :class:`~repro.spec.TuneSpec`.
+
+        ``curves`` (``{ComponentId: PerfModel | FitResult}``) pins fitted
+        curves into the spec so replays skip gather+fit; ``benchmarks`` (a
+        :class:`BenchmarkData`) pins raw samples so replays skip gather but
+        refit.  The solver worker count is folded into the serialized
+        options (:meth:`_solver_options`), so a ``workers>1`` pipeline
+        round-trips to an equivalent solve; the *executor* (serial, thread,
+        process) is deliberately not part of the spec — it is deployment,
+        not problem description, and results are bit-identical across
+        executors by the parallel layer's contract.
+        """
+        from repro.spec import (
+            BudgetSpec,
+            CaseSpec,
+            TuneSpec,
+            curves_to_dict,
+            fault_profile_to_dict,
+            fit_options_to_dict,
+        )
+        from repro.minlp.options import minlp_options_to_dict
+
+        deadline = self.deadline_seconds
+        if isinstance(deadline, Deadline):
+            deadline = deadline.seconds
+        max_retries = None
+        if self.resilient and self.retry_policy is not None:
+            max_retries = self.retry_policy.max_attempts
+        budget = None
+        if deadline is not None or max_retries is not None:
+            budget = BudgetSpec(deadline=deadline, max_retries=max_retries)
+        options = self._solver_options()
+        bench_payload = None
+        if benchmarks is not None:
+            bench_payload = {
+                comp.value: {
+                    "nodes": [int(v) for v in benchmarks.nodes(comp)],
+                    "seconds": [float(v) for v in benchmarks.times(comp)],
+                }
+                for comp in benchmarks.components()
+            }
+        return TuneSpec(
+            case=CaseSpec.from_case(self.case),
+            points=self.points,
+            objective=self.objective.value,
+            method=self.method,
+            fine_tuning=self.fine_tuning,
+            reuse=self.reuse is not None,
+            curves=None if curves is None else curves_to_dict(curves),
+            benchmarks=bench_payload,
+            options=None if options is None else minlp_options_to_dict(options),
+            fit_options=(
+                None if self.fit_options is None
+                else fit_options_to_dict(self.fit_options)
+            ),
+            budget=budget,
+            fault_profile=(
+                None if self.fault_profile is None
+                else fault_profile_to_dict(self.fault_profile)
+            ),
+        )
+
+    @classmethod
+    def from_spec(cls, spec, executor=None, workers=None, reuse=None) -> "HSLBPipeline":
+        """Rebuild the pipeline a :class:`~repro.spec.TuneSpec` describes.
+
+        ``executor``/``workers`` attach runtime resources (not part of the
+        spec); ``reuse`` overrides the spec's boolean with a live
+        :class:`~repro.reuse.SolveFamily` to share warm state across specs.
+        """
+        from repro.spec import (
+            TuneSpec,
+            fault_profile_from_dict,
+            fit_options_from_dict,
+        )
+        from repro.minlp.options import minlp_options_from_dict
+
+        if isinstance(spec, dict):
+            spec = TuneSpec.from_dict(spec)
+        budget = spec.budget
+        retry_policy = None
+        if budget is not None and budget.max_retries is not None:
+            retry_policy = RetryPolicy(max_attempts=budget.max_retries)
+        if reuse is None:
+            reuse = True if spec.reuse else None
+        return cls(
+            spec.case.to_case(),
+            points=spec.points,
+            objective=ObjectiveKind(spec.objective),
+            method=spec.method,
+            fit_options=(
+                None if spec.fit_options is None
+                else fit_options_from_dict(spec.fit_options)
+            ),
+            minlp_options=(
+                None if spec.options is None
+                else minlp_options_from_dict(spec.options)
+            ),
+            fine_tuning=spec.fine_tuning,
+            fault_profile=(
+                None if spec.fault_profile is None
+                else fault_profile_from_dict(spec.fault_profile)
+            ),
+            retry_policy=retry_policy,
+            deadline=None if budget is None else budget.deadline,
+            executor=executor,
+            workers=workers,
+            reuse=reuse,
+        )
+
+
+def pipeline_from_spec(spec, **kwargs) -> HSLBPipeline:
+    """Registry builder for ``kind="tune"`` (see :mod:`repro.spec.registry`)."""
+    return HSLBPipeline.from_spec(spec, **kwargs)

@@ -10,23 +10,35 @@ once, save, and re-run fit/solve from the file — also how a user would feed
 from repro.io.serialize import (
     benchmark_data_to_dict,
     benchmark_data_from_dict,
+    experiment_cell_from_dict,
+    experiment_cell_to_dict,
     fits_to_dict,
     fits_from_dict,
+    load_experiment_cell,
+    load_spec,
     save_benchmarks,
     load_benchmarks,
+    save_experiment_cell,
     save_fits,
     load_fits,
+    save_spec,
     run_result_to_dict,
 )
 
 __all__ = [
     "benchmark_data_to_dict",
     "benchmark_data_from_dict",
+    "experiment_cell_from_dict",
+    "experiment_cell_to_dict",
     "fits_to_dict",
     "fits_from_dict",
+    "load_experiment_cell",
+    "load_spec",
     "save_benchmarks",
     "load_benchmarks",
+    "save_experiment_cell",
     "save_fits",
     "load_fits",
+    "save_spec",
     "run_result_to_dict",
 ]

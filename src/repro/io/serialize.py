@@ -1,7 +1,10 @@
-"""JSON (de)serialization for benchmark data, fits and run results.
+"""JSON (de)serialization for benchmark data, fits, run results and specs.
 
-Formats are versioned ("repro/benchmarks@1", "repro/fits@1") so files can
-be validated on load; everything is plain JSON so the artifacts diff and
+Every payload carries a ``format`` tag plus a ``schema_version`` field
+(see :mod:`repro.spec.schema`): loaders validate both, accept the
+historical ``repro/<kind>@1`` tags as version 1, and reject files written
+by a *newer* library version with a clear error instead of a ``KeyError``
+three layers down.  Everything is plain JSON so the artifacts diff and
 archive cleanly next to a case's run scripts.
 """
 
@@ -14,9 +17,7 @@ from repro.cesm.components import ComponentId
 from repro.exceptions import ConfigurationError
 from repro.fitting.perfmodel import PerfModel
 from repro.hslb.gather import BenchmarkData
-
-_BENCH_FORMAT = "repro/benchmarks@1"
-_FITS_FORMAT = "repro/fits@1"
+from repro.spec.schema import check_schema, spec_key, stamp
 
 
 # -- benchmark data --------------------------------------------------------------
@@ -24,24 +25,23 @@ _FITS_FORMAT = "repro/fits@1"
 
 def benchmark_data_to_dict(data: BenchmarkData, meta: dict | None = None) -> dict:
     """Serializable form of a :class:`BenchmarkData`."""
-    return {
-        "format": _BENCH_FORMAT,
-        "meta": dict(meta or {}),
-        "samples": {
-            comp.value: {
-                "nodes": [int(v) for v in data.nodes(comp)],
-                "seconds": [float(v) for v in data.times(comp)],
-            }
-            for comp in data.components()
+    return stamp(
+        {
+            "meta": dict(meta or {}),
+            "samples": {
+                comp.value: {
+                    "nodes": [int(v) for v in data.nodes(comp)],
+                    "seconds": [float(v) for v in data.times(comp)],
+                }
+                for comp in data.components()
+            },
         },
-    }
+        "benchmarks",
+    )
 
 
 def benchmark_data_from_dict(payload: dict) -> BenchmarkData:
-    if payload.get("format") != _BENCH_FORMAT:
-        raise ConfigurationError(
-            f"not a benchmark file (format={payload.get('format')!r})"
-        )
+    check_schema(payload, "benchmarks")
     data = BenchmarkData()
     for key, block in payload["samples"].items():
         try:
@@ -73,7 +73,7 @@ def load_benchmarks(path) -> BenchmarkData:
 
 def fits_to_dict(fits: dict, meta: dict | None = None) -> dict:
     """Serializable form of ``{ComponentId: FitResult | PerfModel}``."""
-    out = {"format": _FITS_FORMAT, "meta": dict(meta or {}), "models": {}}
+    out = stamp({"meta": dict(meta or {}), "models": {}}, "fits")
     for comp, fit in fits.items():
         model = fit.model if hasattr(fit, "model") else fit
         entry = {"a": model.a, "b": model.b, "c": model.c, "d": model.d}
@@ -86,8 +86,7 @@ def fits_to_dict(fits: dict, meta: dict | None = None) -> dict:
 
 def fits_from_dict(payload: dict) -> dict:
     """Load ``{ComponentId: PerfModel}`` (diagnostics are not round-tripped)."""
-    if payload.get("format") != _FITS_FORMAT:
-        raise ConfigurationError(f"not a fits file (format={payload.get('format')!r})")
+    check_schema(payload, "fits")
     out = {}
     for key, entry in payload["models"].items():
         try:
@@ -118,24 +117,77 @@ def run_result_to_dict(result) -> dict:
     """Flatten an :class:`~repro.hslb.pipeline.HSLBRunResult` for archiving."""
     case = result.case
     events = getattr(result, "events", None)
-    return {
-        "format": "repro/run@1",
-        "case": {
-            "resolution": case.resolution,
-            "total_nodes": case.total_nodes,
-            "layout": case.layout.value,
-            "unconstrained_ocean": case.unconstrained_ocean,
-            "seed": case.seed,
+    return stamp(
+        {
+            "case": {
+                "resolution": case.resolution,
+                "total_nodes": case.total_nodes,
+                "layout": case.layout.value,
+                "unconstrained_ocean": case.unconstrained_ocean,
+                "seed": case.seed,
+            },
+            "allocation": {c.value: int(n) for c, n in result.allocation.items()},
+            "predicted_times": {
+                c.value: float(t) for c, t in result.solve.predicted_times.items()
+            },
+            "predicted_total": float(result.predicted_total),
+            "actual_times": {c.value: float(t) for c, t in result.actual.times.items()},
+            "actual_total": float(result.actual_total),
+            "fit_r_squared": {
+                c.value: float(v) for c, v in result.fit_r_squared().items()
+            },
+            "events": events.to_list() if events is not None else [],
         },
-        "allocation": {c.value: int(n) for c, n in result.allocation.items()},
-        "predicted_times": {
-            c.value: float(t) for c, t in result.solve.predicted_times.items()
-        },
-        "predicted_total": float(result.predicted_total),
-        "actual_times": {c.value: float(t) for c, t in result.actual.times.items()},
-        "actual_total": float(result.actual_total),
-        "fit_r_squared": {
-            c.value: float(v) for c, v in result.fit_r_squared().items()
-        },
-        "events": events.to_list() if events is not None else [],
-    }
+        "run",
+    )
+
+
+# -- problem specs -------------------------------------------------------------------
+
+
+def save_spec(path, spec) -> None:
+    """Write any :mod:`repro.spec` spec (TuneSpec, LayoutProblemSpec, ...)."""
+    Path(path).write_text(spec.to_json(indent=2))
+
+
+def load_spec(path):
+    """Read a spec file back into its dataclass (dispatches on ``kind``)."""
+    from repro.spec import spec_from_dict
+
+    return spec_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- experiment cells (checkpoint/resume) --------------------------------------------
+
+
+def experiment_cell_to_dict(cell_spec, rendered: str) -> dict:
+    """One finished experiment cell: its spec, the spec's hash, its output."""
+    payload = cell_spec.to_dict()
+    return stamp(
+        {"spec": payload, "spec_key": spec_key(payload), "rendered": str(rendered)},
+        "experiment-cell",
+    )
+
+
+def experiment_cell_from_dict(payload: dict) -> tuple:
+    """Returns ``(spec_payload, spec_key, rendered_text)``; validates the hash."""
+    check_schema(payload, "experiment-cell")
+    spec_payload = payload["spec"]
+    recorded = payload["spec_key"]
+    actual = spec_key(spec_payload)
+    if recorded != actual:
+        raise ConfigurationError(
+            f"experiment cell is corrupt: recorded spec_key {recorded} "
+            f"does not match its spec ({actual})"
+        )
+    return spec_payload, recorded, payload["rendered"]
+
+
+def save_experiment_cell(path, cell_spec, rendered: str) -> None:
+    Path(path).write_text(
+        json.dumps(experiment_cell_to_dict(cell_spec, rendered), indent=2, sort_keys=True)
+    )
+
+
+def load_experiment_cell(path) -> tuple:
+    return experiment_cell_from_dict(json.loads(Path(path).read_text()))

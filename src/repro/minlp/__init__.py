@@ -18,7 +18,14 @@ the latter is what makes the paper's atmosphere allowed-node-count sets
 tractable (Sec. III-E reports two orders of magnitude).
 """
 
-from repro.minlp.options import BranchRule, MINLPOptions, NodeSelection, VarBranchRule
+from repro.minlp.options import (
+    BranchRule,
+    MINLPOptions,
+    NodeSelection,
+    VarBranchRule,
+    minlp_options_from_dict,
+    minlp_options_to_dict,
+)
 from repro.minlp.result import MINLPResult, MINLPStatus
 from repro.minlp.lpnlp import solve_lpnlp
 from repro.minlp.bnb import solve_nlp_bnb
@@ -26,6 +33,8 @@ from repro.minlp.bnb import solve_nlp_bnb
 __all__ = [
     "BranchRule",
     "MINLPOptions",
+    "minlp_options_from_dict",
+    "minlp_options_to_dict",
     "NodeSelection",
     "VarBranchRule",
     "MINLPResult",

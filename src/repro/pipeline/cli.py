@@ -32,11 +32,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--all", action="store_true", dest="run_all",
                        help="run every registered experiment in order")
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="save each finished cell (keyed by its spec hash) and resume "
+        "an interrupted batch by replaying only the missing cells",
+    )
     _add_parallel_args(p_exp)
 
     p_tune = sub.add_parser("tune", help="run the 4-step HSLB pipeline")
-    p_tune.add_argument("--resolution", choices=("1deg", "8th"), required=True)
-    p_tune.add_argument("--nodes", type=int, required=True)
+    p_tune.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="run the tuning request described by a TuneSpec JSON file "
+        "(see 'hslb spec dump'); replaces --resolution/--nodes",
+    )
+    p_tune.add_argument("--resolution", choices=("1deg", "8th"))
+    p_tune.add_argument("--nodes", type=int)
     p_tune.add_argument("--layout", type=int, default=1, choices=(1, 2, 3))
     p_tune.add_argument("--unconstrained-ocean", action="store_true")
     p_tune.add_argument("--points", type=int, default=5,
@@ -133,6 +145,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_decomp.add_argument("--resolution", choices=("1deg", "8th"), default="1deg")
     p_decomp.add_argument("tasks", type=int, nargs="+", help="MPI task counts")
     p_decomp.add_argument("--seed", type=int, default=0)
+
+    p_spec = sub.add_parser(
+        "spec", help="dump and inspect serializable problem specs"
+    )
+    spec_sub = p_spec.add_subparsers(dest="spec_command", required=True)
+    p_dump = spec_sub.add_parser(
+        "dump",
+        help="describe a tuning request as a TuneSpec JSON file "
+        "(replayable anywhere via 'hslb tune --spec')",
+    )
+    p_dump.add_argument("--resolution", choices=("1deg", "8th"), required=True)
+    p_dump.add_argument("--nodes", type=int, required=True)
+    p_dump.add_argument("--layout", type=int, default=1, choices=(1, 2, 3))
+    p_dump.add_argument("--unconstrained-ocean", action="store_true")
+    p_dump.add_argument("--points", type=int, default=5)
+    p_dump.add_argument("--seed", type=int, default=0)
+    p_dump.add_argument(
+        "--method", choices=("lpnlp", "bnb", "oracle"), default="lpnlp"
+    )
+    p_dump.add_argument(
+        "--reuse", action=argparse.BooleanOptionalAction, default=False
+    )
+    p_dump.add_argument(
+        "--with-curves",
+        action="store_true",
+        help="gather+fit now and pin the fitted curves into the spec, so "
+        "replays skip measurement entirely (fully deterministic solves)",
+    )
+    p_dump.add_argument("--out", metavar="FILE", help="write here (default: stdout)")
+    _add_resilience_args(p_dump)
+    p_key = spec_sub.add_parser(
+        "key", help="print a spec file's structural hash (spec_key)"
+    )
+    p_key.add_argument("file", help="spec JSON path")
     return parser
 
 
@@ -224,7 +270,10 @@ def cmd_exp(args) -> int:
 
     if args.run_all:
         rendered = run_experiments(
-            list(EXPERIMENTS), seed=args.seed, **_parallel_kwargs(args)
+            list(EXPERIMENTS),
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            **_parallel_kwargs(args),
         )
         for key, text in rendered:
             description = EXPERIMENTS[key][0]
@@ -235,6 +284,15 @@ def cmd_exp(args) -> int:
     if args.id is None:
         print("error: give an experiment id or --all", file=sys.stderr)
         return 1
+    if args.checkpoint_dir is not None:
+        rendered = run_experiments(
+            [args.id],
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            **_parallel_kwargs(args),
+        )
+        print(rendered[0][1])
+        return 0
     result = run_experiment(args.id, seed=args.seed)
     print(result.render())
     return 0
@@ -244,17 +302,39 @@ def cmd_tune(args) -> int:
     from repro.cesm import make_case
     from repro.hslb import HSLBPipeline
 
-    case = make_case(
-        args.resolution,
-        args.nodes,
-        layout=args.layout,
-        unconstrained_ocean=args.unconstrained_ocean,
-        seed=args.seed,
-    )
-    result = HSLBPipeline(
-        case, points=args.points, method=args.method, reuse=args.reuse,
-        **_resilience_kwargs(args), **_parallel_kwargs(args),
-    ).run()
+    if args.spec is not None:
+        from repro.io import load_spec
+        from repro.spec import TuneSpec
+
+        spec = load_spec(args.spec)
+        if not isinstance(spec, TuneSpec):
+            print(
+                f"error: {args.spec} is a {type(spec).__name__}, not a TuneSpec",
+                file=sys.stderr,
+            )
+            return 1
+        pipeline = HSLBPipeline.from_spec(spec, **_parallel_kwargs(args))
+        result = pipeline.run(
+            data=spec.benchmark_data(), fits=spec.pinned_fits()
+        )
+    else:
+        if args.resolution is None or args.nodes is None:
+            print(
+                "error: give --spec FILE or both --resolution and --nodes",
+                file=sys.stderr,
+            )
+            return 1
+        case = make_case(
+            args.resolution,
+            args.nodes,
+            layout=args.layout,
+            unconstrained_ocean=args.unconstrained_ocean,
+            seed=args.seed,
+        )
+        result = HSLBPipeline(
+            case, points=args.points, method=args.method, reuse=args.reuse,
+            **_resilience_kwargs(args), **_parallel_kwargs(args),
+        ).run()
     print(result.report())  # includes the event-log summary when non-empty
     r2 = ", ".join(
         f"{c.value}={v:.4f}" for c, v in result.fit_r_squared().items()
@@ -456,6 +536,42 @@ def cmd_decomp(args) -> int:
     return 0
 
 
+def cmd_spec(args) -> int:
+    if args.spec_command == "key":
+        from repro.io import load_spec
+
+        print(load_spec(args.file).spec_key())
+        return 0
+
+    # dump
+    from repro.cesm import make_case
+    from repro.hslb import HSLBPipeline
+
+    case = make_case(
+        args.resolution,
+        args.nodes,
+        layout=args.layout,
+        unconstrained_ocean=args.unconstrained_ocean,
+        seed=args.seed,
+    )
+    pipeline = HSLBPipeline(
+        case, points=args.points, method=args.method, reuse=args.reuse,
+        **_resilience_kwargs(args),
+    )
+    curves = None
+    if args.with_curves:
+        curves = pipeline.fit(pipeline.gather())
+    spec = pipeline.to_spec(curves=curves)
+    if args.out:
+        from repro.io import save_spec
+
+        save_spec(args.out, spec)
+        print(f"wrote {args.out} ({spec.spec_key()})")
+    else:
+        print(spec.to_json())
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -468,6 +584,7 @@ def main(argv=None) -> int:
         "fit": lambda: cmd_fit(args),
         "solve": lambda: cmd_solve(args),
         "decomp": lambda: cmd_decomp(args),
+        "spec": lambda: cmd_spec(args),
     }
     try:
         return handlers[args.command]()

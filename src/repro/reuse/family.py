@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 from repro.parallel.executor import executor_scope
 from repro.reuse.fbbt import fbbt_root_bounds
+from repro.spec.schema import spec_key
 
 __all__ = ["SolveFamily", "ReusePlan", "FamilyDelta", "family_map"]
 
@@ -67,7 +68,7 @@ class ReusePlan:
     cuts: list = field(default_factory=list)
     covered: bool = False
     body_tags: list = field(default_factory=list)
-    channel: frozenset = frozenset()
+    channel: str = ""
     fixings: dict | None = None
     warm: object | None = None
     warm_env: dict | None = None
@@ -128,8 +129,8 @@ class SolveFamily:
         self._cuts: list = []          # (tag, key, TangentCut), append-only
         self._cut_keys: set = set()
         self._tag_counts: dict = {}
-        # Incumbents and pseudocosts are keyed by *channel* — the frozenset
-        # of the model's nonlinear-body tags plus its objective hash.  Cuts
+        # Incumbents and pseudocosts are keyed by *channel* — a spec_key
+        # hash of the model's nonlinear-body tags plus its objective.  Cuts
         # carry per-body validity tags, so they cross between models that
         # share individual curves; a seeded incumbent or a branching history,
         # by contrast, is only replayed into a model with the *same* curves
@@ -245,24 +246,31 @@ class SolveFamily:
         return plan
 
     @staticmethod
-    def _channel(model, body_tags: list) -> frozenset:
+    def _channel(model, body_tags: list) -> str:
         """Identity of a member's *curves*: nonlinear-body tags + objective.
 
         Members of a sweep over total node counts differ only in linear
         rows and bounds, so they share a channel; a model with a swapped
         performance curve or a different objective sense does not.
+
+        The channel is a :func:`repro.spec.schema.spec_key` hash over that
+        structural content — a plain string, identical in every process for
+        structurally identical models, so warm pools keyed by it survive
+        serialization boundaries (a family snapshot shipped to a worker, a
+        checkpoint reloaded tomorrow, a spec rebuilt on another machine).
         """
-        parts = set(body_tags)
+        payload: dict = {"bodies": sorted(set(body_tags))}
         if model.objective is not None:
-            parts.add(
-                ("obj", model.objective.sense, model.objective.expr.struct_key())
-            )
-        return frozenset(parts)
+            payload["objective"] = [
+                model.objective.sense.value,
+                model.objective.expr.struct_key(),
+            ]
+        return spec_key(payload)
 
     def absorb(
         self,
         *,
-        channel: frozenset = frozenset(),
+        channel: str = "",
         columns: list | None = None,
         base_rows: int | None = None,
         tags: list | None = None,

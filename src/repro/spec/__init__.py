@@ -1,0 +1,69 @@
+"""Serializable problem specs: describe a tuning problem as data.
+
+The spec layer sits between the front ends (CLI, experiments, analysis
+sweeps) and the pipeline: every problem the library can build — a Table I
+layout MINLP, a what-if solve point, a full tuning request — has a
+canonical JSON form with a structural hash (:func:`spec_key`), and a
+builder registry (:func:`build_from_spec`) that reconstructs the exact
+live object in any process.  See ``docs/specs.md``.
+"""
+
+from repro.spec.schema import (
+    SCHEMA_VERSION,
+    canonical_json,
+    check_schema,
+    spec_key,
+    stamp,
+)
+from repro.spec.specs import (
+    BudgetSpec,
+    CaseSpec,
+    CurveSpec,
+    LayoutProblemSpec,
+    MachineSpec,
+    PinnedFit,
+    SolvePointSpec,
+    TuneSpec,
+    curves_from_dict,
+    curves_to_dict,
+    fault_profile_from_dict,
+    fault_profile_to_dict,
+    fit_options_from_dict,
+    fit_options_to_dict,
+    spec_from_dict,
+    spec_from_json,
+)
+from repro.spec.registry import (
+    build_from_spec,
+    builder_for,
+    register_builder,
+    registered_kinds,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "check_schema",
+    "spec_key",
+    "stamp",
+    "BudgetSpec",
+    "CaseSpec",
+    "CurveSpec",
+    "LayoutProblemSpec",
+    "MachineSpec",
+    "PinnedFit",
+    "SolvePointSpec",
+    "TuneSpec",
+    "curves_from_dict",
+    "curves_to_dict",
+    "fault_profile_from_dict",
+    "fault_profile_to_dict",
+    "fit_options_from_dict",
+    "fit_options_to_dict",
+    "spec_from_dict",
+    "spec_from_json",
+    "build_from_spec",
+    "builder_for",
+    "register_builder",
+    "registered_kinds",
+]

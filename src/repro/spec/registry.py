@@ -1,0 +1,112 @@
+"""Builder registry: from spec payloads back to live objects, anywhere.
+
+A spec is only half the story — something must turn ``kind="layout_model"``
+back into a :class:`repro.model.Model` in whatever process the payload
+lands in.  This registry maps spec kinds to *builder* callables, resolved
+lazily from dotted paths (``"package.module:function"``) so that
+
+- importing :mod:`repro.spec` never drags in the heavy model/solver
+  modules (no import cycles: specs are leaves, builders live upstream),
+- a fresh worker process can rebuild a model knowing nothing but the spec
+  payload — the registry resolves the builder on first use.
+
+Builders accept either the spec dataclass or its stamped dict payload and
+return the live object (``Model`` for layout problems, ``HSLBPipeline``
+for tune requests, ``CESMCase`` for cases).  Registering a custom builder
+for a new kind is how downstream code plugs new problem families into the
+same shipping/caching machinery.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+
+#: Default builders, as lazy dotted paths: nothing imports until first use.
+_DEFAULT_BUILDERS = {
+    "layout_model": "repro.hslb.layout_models:build_layout_model_from_spec",
+    "solve_point": "repro.hslb.layout_models:build_layout_model_from_point",
+    "tune": "repro.hslb.pipeline:pipeline_from_spec",
+    "case": "repro.spec.specs:case_from_spec",
+}
+
+_builders: dict = dict(_DEFAULT_BUILDERS)
+_resolved: dict = {}
+
+
+def _resolve(target) -> Callable:
+    if callable(target):
+        return target
+    module_name, _, attr = str(target).partition(":")
+    if not module_name or not attr:
+        raise ConfigurationError(
+            f"builder path {target!r} must look like 'package.module:function'"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"cannot import builder module {module_name!r}: {exc}"
+        ) from exc
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise ConfigurationError(
+            f"builder module {module_name!r} has no attribute {attr!r}"
+        ) from None
+
+
+def register_builder(kind: str, target, *, replace: bool = False) -> None:
+    """Map spec ``kind`` to a builder: a callable or a dotted path string."""
+    if kind in _builders and not replace:
+        raise ConfigurationError(
+            f"a builder for kind {kind!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    _builders[kind] = target
+    _resolved.pop(kind, None)
+
+
+def builder_for(kind: str) -> Callable:
+    """The (resolved) builder callable for ``kind``."""
+    try:
+        cached = _resolved[kind]
+    except KeyError:
+        pass
+    else:
+        return cached
+    try:
+        target = _builders[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"no builder registered for spec kind {kind!r}; "
+            f"known: {sorted(_builders)}"
+        ) from None
+    resolved = _resolve(target)
+    _resolved[kind] = resolved
+    return resolved
+
+
+def registered_kinds() -> tuple:
+    return tuple(sorted(_builders))
+
+
+def build_from_spec(spec, **kwargs):
+    """Rebuild the live object a spec (or its dict payload) describes.
+
+    Dispatches on the spec's ``kind`` — dataclass attribute or payload
+    field — and calls the registered builder.  This is the single entry
+    point process workers use: a worker receives the JSON payload, calls
+    ``build_from_spec(payload)``, and gets the same object the submitting
+    process would have built.
+    """
+    kind = getattr(spec, "kind", None)
+    if kind is None and isinstance(spec, dict):
+        kind = spec.get("kind")
+    if kind is None:
+        raise ConfigurationError(
+            f"cannot infer spec kind from {type(spec).__name__}"
+        )
+    return builder_for(kind)(spec, **kwargs)

@@ -47,12 +47,26 @@ class TestBenchmarkRoundtrip:
         path = tmp_path / "bench.json"
         save_benchmarks(path, sample_data, meta={"machine": "intrepid"})
         payload = json.loads(path.read_text())
-        assert payload["format"] == "repro/benchmarks@1"
+        assert payload["format"] == "repro/benchmarks"
+        assert payload["schema_version"] == 1
         assert payload["meta"]["machine"] == "intrepid"
 
     def test_wrong_format_rejected(self):
-        with pytest.raises(ConfigurationError, match="not a benchmark"):
+        with pytest.raises(ConfigurationError, match="not a repro/benchmarks"):
             benchmark_data_from_dict({"format": "something-else"})
+
+    def test_legacy_format_tag_accepted(self, sample_data):
+        payload = benchmark_data_to_dict(sample_data)
+        payload["format"] = "repro/benchmarks@1"
+        del payload["schema_version"]
+        restored = benchmark_data_from_dict(payload)
+        assert restored.components() == sample_data.components()
+
+    def test_future_version_rejected_clearly(self, sample_data):
+        payload = benchmark_data_to_dict(sample_data)
+        payload["schema_version"] = 99
+        with pytest.raises(ConfigurationError, match="newer version"):
+            benchmark_data_from_dict(payload)
 
     def test_unknown_component_rejected(self):
         bad = {
@@ -85,7 +99,7 @@ class TestFitsRoundtrip:
         assert "r_squared" in payload["models"]["atm"]
 
     def test_wrong_format_rejected(self):
-        with pytest.raises(ConfigurationError, match="not a fits"):
+        with pytest.raises(ConfigurationError, match="not a repro/fits"):
             fits_from_dict({"format": "nope"})
 
     def test_gathered_fits_survive_roundtrip(self, tmp_path):
@@ -122,7 +136,8 @@ class TestRunResultExport:
     def test_flattened_run_result(self):
         result = HSLBPipeline(make_case("1deg", 128, seed=0)).run()
         payload = run_result_to_dict(result)
-        assert payload["format"] == "repro/run@1"
+        assert payload["format"] == "repro/run"
+        assert payload["schema_version"] == 1
         assert payload["case"]["total_nodes"] == 128
         assert set(payload["allocation"]) == {"atm", "ocn", "ice", "lnd"}
         assert payload["actual_total"] > 0

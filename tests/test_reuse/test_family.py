@@ -8,7 +8,7 @@ backend-independence of family_map.
 
 import pytest
 
-from repro.analysis.whatif import _PointSpec, _solve_layout_point
+from repro.analysis.whatif import _solve_layout_point, layout_point_specs
 from repro.cesm import ComponentId, Layout
 from repro.expr.linearize import TangentCut
 from repro.fitting import PerfModel
@@ -232,14 +232,10 @@ class TestSnapshotAndDeltas:
 
 class TestFamilyMap:
     def specs(self, sizes=(64, 56, 48)):
-        return [
-            _PointSpec(
-                layout=Layout.HYBRID, total_nodes=n, perf=PERF, bounds=BOUNDS,
-                ocn_allowed=tuple(OCN_ALLOWED), atm_allowed=None,
-                method="lpnlp", options=None,
-            )
-            for n in sizes
-        ]
+        return layout_point_specs(
+            PERF, BOUNDS, sizes, layout=Layout.HYBRID,
+            ocn_allowed=OCN_ALLOWED, method="lpnlp",
+        )
 
     @staticmethod
     def signature(points):

@@ -1,0 +1,59 @@
+"""Golden spec files: frozen requests whose hash and solve must not drift.
+
+Each file under ``golden/`` is a fully pinned :class:`~repro.spec.TuneSpec`
+(curves included, so no re-measuring) plus the expected ``spec_key``,
+optimum (as a float hex string), allocation, and branch-and-bound node
+count.  CI's ``spec-golden`` job runs exactly this module: a change that
+shifts the canonical payload bytes (hash drift) or the solver's path
+through the tree (statistics drift) fails here before it reaches users'
+persisted specs.
+
+Regenerate deliberately (and flag the compatibility break in the PR) by
+re-running the recipe in each file's ``expected`` block against the new
+code; see docs/specs.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.spec import TuneSpec, spec_from_dict, spec_key
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def _load(path):
+    payload = json.loads(path.read_text())
+    return payload["spec"], payload["expected"]
+
+
+def test_golden_suite_present():
+    assert len(GOLDEN_FILES) >= 2, "the spec-golden job needs its fixtures"
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+def test_spec_key_stable(path):
+    """Canonical payload bytes have not drifted since the file was frozen."""
+    spec_payload, expected = _load(path)
+    assert spec_key(spec_payload) == expected["spec_key"]
+    spec = spec_from_dict(spec_payload)
+    assert isinstance(spec, TuneSpec)
+    assert spec.spec_key() == expected["spec_key"]
+    # A full JSON round-trip of the rebuilt dataclass lands on the same key.
+    assert TuneSpec.from_json(spec.to_json()).spec_key() == expected["spec_key"]
+
+
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+def test_solve_statistics_stable(path):
+    """Replaying the frozen request reproduces the frozen solve, bit for bit."""
+    spec_payload, expected = _load(path)
+    result = spec_from_dict(spec_payload).run()
+    assert result.predicted_total.hex() == expected["predicted_total_hex"]
+    assert {c.value: n for c, n in result.allocation.items()} == expected[
+        "allocation"
+    ]
+    assert result.solve.solver_result.nodes == expected["bnb_nodes"]

@@ -78,6 +78,31 @@ class InjectedTimeoutError(InjectedFaultError):
         self.timeout_seconds = float(timeout_seconds)
 
 
+class WorkerLostError(ReproError):
+    """A parallel worker process was lost while it held a task.
+
+    Raised (via the ordered merge) when supervision exhausts its retry
+    budget for the task, or by the plain process backend when its pool
+    breaks.  ``attempts`` counts how many times the task was dispatched.
+    """
+
+    def __init__(self, message: str, attempts: int = 1):
+        super().__init__(message)
+        self.attempts = int(attempts)
+
+
+class WorkerCrashError(WorkerLostError):
+    """A worker process died abnormally (signal or nonzero exit)."""
+
+
+class WorkerHangError(WorkerLostError):
+    """A worker missed its task deadline or stopped heartbeating."""
+
+
+class JournalError(ReproError):
+    """A run journal is corrupt beyond the recoverable torn tail."""
+
+
 class GatherError(ReproError):
     """Benchmark gathering degraded past the point of a usable fit.
 

@@ -19,8 +19,15 @@ point here, shared by the pytest benchmarks (``benchmarks/``) and the CLI
 from repro.experiments.registry import (
     EXPERIMENTS,
     ExperimentCellSpec,
+    quarantine_text,
     run_experiment,
     run_experiments,
 )
 
-__all__ = ["EXPERIMENTS", "ExperimentCellSpec", "run_experiment", "run_experiments"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentCellSpec",
+    "quarantine_text",
+    "run_experiment",
+    "run_experiments",
+]

@@ -5,10 +5,26 @@ Each scheduled cell (one experiment id at one seed) is described by an
 is what crosses process boundaries and what checkpoint files are keyed by:
 ``run_experiments(..., checkpoint_dir=...)`` skips cells whose spec_key
 already has a saved result and replays only the rest.
+
+Two durability layers stack on top of checkpoints:
+
+- ``journal=`` appends every cell start/finish/quarantine to an fsync'd
+  :class:`~repro.io.journal.RunJournal`; a run killed at any instant
+  resumes from the journal alone, replaying only unfinished cells.
+- ``supervised=True`` (or ``executor="supervised"``) runs cells under
+  :class:`~repro.parallel.supervised.SupervisedProcessExecutor`: crashed
+  or hung workers are respawned and their cells retried; a cell that
+  exhausts its retry budget is *quarantined* — the roll-up completes with
+  a ``QUARANTINED`` line for that cell instead of dying.
+
+Corrupt checkpoint files (truncated JSON, garbage bytes, spec-key
+mismatches) are never fatal: they are renamed to ``*.corrupt``, reported
+via ``warnings`` and the event log, and the cell re-runs.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -188,12 +204,75 @@ def _checkpoint_path(checkpoint_dir, cell: ExperimentCellSpec) -> Path:
     return Path(checkpoint_dir) / f"{cell.experiment_id}-s{cell.seed}-{digest}.json"
 
 
+def quarantine_text(experiment_id: str, attempts: int, reason: str, detail: str) -> str:
+    """The roll-up line standing in for a poisoned cell's report.
+
+    A pure function of the poison record, so a journal resume reproduces
+    the exact text the original run rolled up.
+    """
+    return (
+        f"experiment {experiment_id} QUARANTINED: {reason} persisted through "
+        f"{attempts} attempt{'s' if attempts != 1 else ''}; cell skipped.\n"
+        f"  {detail}"
+    )
+
+
+def _load_checkpoint(path: Path, cell: ExperimentCellSpec, log):
+    """Load one checkpoint, quarantining damage instead of raising.
+
+    Returns the rendered text, or ``None`` when the file is absent, corrupt
+    (truncated/garbage JSON, bad schema) or keyed to a different spec — in
+    the damaged cases the file is moved aside to ``<name>.corrupt`` so the
+    fresh result can be saved in its place.
+    """
+    from repro.io import load_experiment_cell
+    from repro.resilience.events import EventKind
+
+    if not path.exists():
+        return None
+    try:
+        _, recorded_key, rendered = load_experiment_cell(path)
+        # json.JSONDecodeError is a ValueError; missing keys raise KeyError;
+        # structurally wrong payloads raise ConfigurationError or TypeError.
+    except (ConfigurationError, OSError, ValueError, KeyError, TypeError) as exc:
+        problem = f"{type(exc).__name__}: {exc}"
+    else:
+        if recorded_key == cell.spec_key():
+            return rendered
+        problem = (
+            f"spec_key mismatch: file is {recorded_key}, "
+            f"cell {cell.experiment_id} (seed {cell.seed}) is {cell.spec_key()}"
+        )
+    quarantined = path.with_name(path.name + ".corrupt")
+    try:
+        path.replace(quarantined)
+    except OSError:
+        quarantined = path  # unmovable: leave it; the save below overwrites
+    warnings.warn(
+        f"checkpoint {path} is unusable ({problem}); "
+        f"quarantined to {quarantined.name} and re-running the cell",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+    if log is not None:
+        log.record(
+            EventKind.CHECKPOINT_QUARANTINED, "fleet", f"{path.name}: {problem}"
+        )
+    return None
+
+
 def run_experiments(
     experiment_ids,
     seed: int = 0,
     executor=None,
     workers: int | None = None,
     checkpoint_dir=None,
+    journal=None,
+    supervised: bool = False,
+    retry_policy=None,
+    task_deadline: float | None = None,
+    chaos=None,
+    events=None,
 ):
     """Run several experiments, optionally concurrently, with resume.
 
@@ -204,47 +283,176 @@ def run_experiments(
 
     With ``checkpoint_dir`` set, every finished cell is saved there
     (keyed by its :class:`ExperimentCellSpec`'s spec_key) and an
-    interrupted batch resumes by replaying only the missing cells; a saved
-    cell whose recorded hash does not match its spec is treated as absent
-    rather than trusted.
+    interrupted batch resumes by replaying only the missing cells; an
+    unusable saved cell (corrupt JSON or spec-key mismatch) is quarantined
+    to ``*.corrupt`` with a warning, never trusted and never fatal.
+
+    With ``journal`` set (a path or an open
+    :class:`~repro.io.journal.RunJournal`), every cell start/finish is
+    appended to the fsync'd journal *as it happens*: after a hard kill,
+    calling this again with the same journal (what ``exp resume`` does)
+    replays finished cells from the journal and runs only the rest —
+    checkpoints are not required for recovery.  A journal that already
+    holds a plan must match ``experiment_ids``/``seed``.
+
+    With ``supervised=True`` (or ``executor="supervised"``), cells run
+    under the supervised process pool: crashed/hung workers are respawned
+    and cells retried per ``retry_policy``; a cell that exhausts its
+    budget is quarantined — its slot in the roll-up carries
+    :func:`quarantine_text` and the run still completes.  ``chaos``
+    (a :class:`~repro.resilience.chaos.ChaosProfile`) injects
+    deterministic worker faults for testing; ``events`` receives the
+    supervision/journal/checkpoint event stream.
     """
     from repro.parallel.executor import executor_scope
+    from repro.parallel.supervised import PoisonedTask, SupervisedProcessExecutor
+    from repro.resilience.events import EventKind, EventLog
 
     cells = [ExperimentCellSpec(experiment_id, seed) for experiment_id in experiment_ids]
-    finished: dict = {}
-    pending: list = []
-    if checkpoint_dir is not None:
-        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
-        from repro.io import load_experiment_cell
+    log = events if events is not None else EventLog()
 
+    book = None
+    owns_journal = False
+    if journal is not None:
+        from repro.io.journal import RunJournal
+
+        if isinstance(journal, RunJournal):
+            book = journal
+        else:
+            book = RunJournal.open(journal)
+            owns_journal = True
+        if book.state.torn_tail:
+            log.record(
+                EventKind.JOURNAL_RECOVERED,
+                "fleet",
+                f"{book.path.name}: torn tail record dropped",
+            )
+        if book.is_new:
+            book.plan([cell.experiment_id for cell in cells], seed)
+        elif book.state.plan is not None:
+            plan = book.state.plan
+            if (
+                plan["experiment_ids"] != [cell.experiment_id for cell in cells]
+                or plan["seed"] != seed
+            ):
+                if owns_journal:
+                    book.close()
+                raise ConfigurationError(
+                    f"journal {book.path} records a different run "
+                    f"(ids={plan['experiment_ids']}, seed={plan['seed']}); "
+                    "use a fresh journal file per batch"
+                )
+
+    try:
+        finished: dict = {}
+        pending: list = []
+        if checkpoint_dir is not None:
+            Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
         for index, cell in enumerate(cells):
-            path = _checkpoint_path(checkpoint_dir, cell)
-            if path.exists():
-                try:
-                    _, recorded_key, rendered = load_experiment_cell(path)
-                except ConfigurationError:
-                    pending.append(index)
-                    continue
-                if recorded_key == cell.spec_key():
+            key = cell.spec_key()
+            if book is not None and key in book.state.completed:
+                finished[index] = (
+                    cell.experiment_id,
+                    book.state.completed[key]["rendered"],
+                )
+                log.record(
+                    EventKind.JOURNAL_RECOVERED,
+                    "fleet",
+                    f"{cell.experiment_id} (seed {cell.seed}) replayed from journal",
+                )
+                continue
+            if book is not None and key in book.state.poisoned:
+                record = book.state.poisoned[key]
+                finished[index] = (
+                    cell.experiment_id,
+                    quarantine_text(
+                        cell.experiment_id,
+                        record.get("attempts", 0),
+                        record.get("reason", "loss"),
+                        record.get("detail", ""),
+                    ),
+                )
+                continue
+            if checkpoint_dir is not None:
+                rendered = _load_checkpoint(
+                    _checkpoint_path(checkpoint_dir, cell), cell, log
+                )
+                if rendered is not None:
                     finished[index] = (cell.experiment_id, rendered)
+                    if book is not None:
+                        # Make the journal self-sufficient: a cell recovered
+                        # from a checkpoint is recorded as finished too.
+                        book.start(key, cell.experiment_id)
+                        book.finish(key, cell.experiment_id, rendered)
                     continue
             pending.append(index)
-    else:
-        pending = list(range(len(cells)))
 
-    if pending:
-        with executor_scope(executor, workers) as ex:
-            fresh = ex.map_ordered(
-                _render_cell, [cells[i].to_dict() for i in pending]
+        if pending:
+
+            def on_done(position: int, outcome) -> None:
+                # Runs in the parent, in completion order: the crash-safe
+                # moment to persist each cell.
+                index = pending[position]
+                cell = cells[index]
+                if isinstance(outcome, PoisonedTask):
+                    if book is not None:
+                        book.poison(
+                            cell.spec_key(),
+                            cell.experiment_id,
+                            outcome.attempts,
+                            outcome.reason,
+                            outcome.detail,
+                        )
+                    return
+                _, rendered = outcome
+                if checkpoint_dir is not None:
+                    from repro.io import save_experiment_cell
+
+                    save_experiment_cell(
+                        _checkpoint_path(checkpoint_dir, cell), cell, rendered
+                    )
+                if book is not None:
+                    book.finish(cell.spec_key(), cell.experiment_id, rendered)
+
+            if book is not None:
+                for index in pending:
+                    book.start(cells[index].spec_key(), cells[index].experiment_id)
+
+            fleet = supervised or (
+                isinstance(executor, str) and executor == "supervised"
             )
-        for index, result in zip(pending, fresh):
-            finished[index] = result
-            if checkpoint_dir is not None:
-                from repro.io import save_experiment_cell
-
-                save_experiment_cell(
-                    _checkpoint_path(checkpoint_dir, cells[index]),
-                    cells[index],
-                    result[1],
+            if fleet and not hasattr(executor, "map_ordered"):
+                scope = SupervisedProcessExecutor(
+                    workers,
+                    retry_policy=retry_policy,
+                    task_deadline=task_deadline,
+                    chaos=chaos,
+                    seed=seed,
+                    events=log,
                 )
-    return [finished[i] for i in range(len(cells))]
+            else:
+                scope = executor
+            payloads = [cells[i].to_dict() for i in pending]
+            with executor_scope(scope, workers) as ex:
+                if hasattr(ex, "map_supervised"):
+                    fresh = ex.map_supervised(_render_cell, payloads, progress=on_done)
+                else:
+                    fresh = ex.map_ordered(_render_cell, payloads, progress=on_done)
+            for index, outcome in zip(pending, fresh):
+                if isinstance(outcome, PoisonedTask):
+                    cell = cells[index]
+                    finished[index] = (
+                        cell.experiment_id,
+                        quarantine_text(
+                            cell.experiment_id,
+                            outcome.attempts,
+                            outcome.reason,
+                            outcome.detail,
+                        ),
+                    )
+                else:
+                    finished[index] = outcome
+        return [finished[i] for i in range(len(cells))]
+    finally:
+        if owns_journal and book is not None:
+            book.close()

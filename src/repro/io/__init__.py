@@ -5,8 +5,13 @@ altogether if reliable benchmarks are already available, for example, from
 previous experiments."  These helpers make that workflow concrete: gather
 once, save, and re-run fit/solve from the file — also how a user would feed
 *real* CESM timing logs into this library instead of the simulator.
+
+:mod:`repro.io.journal` adds the durability layer on top: an fsync'd
+write-ahead run journal that lets ``exp resume`` recover a fleet run after
+a hard kill, skipping finished cells and repairing a torn tail record.
 """
 
+from repro.io.journal import JournalState, RunJournal
 from repro.io.serialize import (
     benchmark_data_to_dict,
     benchmark_data_from_dict,
@@ -26,6 +31,8 @@ from repro.io.serialize import (
 )
 
 __all__ = [
+    "JournalState",
+    "RunJournal",
     "benchmark_data_to_dict",
     "benchmark_data_from_dict",
     "experiment_cell_from_dict",

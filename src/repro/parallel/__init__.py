@@ -2,6 +2,9 @@
 
 - :mod:`repro.parallel.executor` — pluggable ``serial``/``thread``/
   ``process`` backends with submission-order result merging,
+- :mod:`repro.parallel.supervised` — the ``supervised`` backend: monitored
+  workers (heartbeats, per-task deadlines), crash/hang detection with
+  respawn, bounded retries, and :class:`PoisonedTask` quarantine,
 - :mod:`repro.parallel.merge` — the ordered-merge rule itself,
 - :mod:`repro.parallel.latency` — a job-latency wrapper so speedups are
   measurable against the instant synthetic simulator.
@@ -22,12 +25,15 @@ from repro.parallel.executor import (
 )
 from repro.parallel.latency import LatencySimulator
 from repro.parallel.merge import TaskFailure, ordered_merge
+from repro.parallel.supervised import PoisonedTask, SupervisedProcessExecutor
 
 __all__ = [
     "EXECUTOR_KINDS",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SupervisedProcessExecutor",
+    "PoisonedTask",
     "get_executor",
     "executor_scope",
     "LatencySimulator",

@@ -21,6 +21,10 @@ Backends:
   must be picklable (module-level functions, dataclass payloads); workers
   operate on *copies*, so any state a task mutates must be returned in its
   result and merged back by the caller.
+- ``"supervised"`` — :class:`~repro.parallel.supervised.SupervisedProcessExecutor`,
+  a process pool whose workers are monitored (heartbeats, per-task
+  deadlines) and respawned after crashes/hangs, with lost tasks retried
+  deterministically.  Same clean-path results, survives SIGKILL'd workers.
 
 ``submit`` offers a future-shaped escape hatch for speculative evaluation
 (the MINLP solvers use it for sibling nodes); ``SerialExecutor.submit`` is
@@ -38,7 +42,7 @@ from concurrent.futures import (
 )
 from contextlib import contextmanager
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, WorkerCrashError
 from repro.parallel.merge import TaskFailure, ordered_merge
 
 __all__ = [
@@ -50,7 +54,7 @@ __all__ = [
     "EXECUTOR_KINDS",
 ]
 
-EXECUTOR_KINDS = ("serial", "thread", "process")
+EXECUTOR_KINDS = ("serial", "thread", "process", "supervised")
 
 
 def _default_workers() -> int:
@@ -99,10 +103,18 @@ class SerialExecutor:
     def __init__(self, workers: int = 1):
         self.workers = 1
 
-    def map_ordered(self, fn, payloads) -> list:
+    def map_ordered(self, fn, payloads, progress=None) -> list:
         # A plain loop on purpose: the first failure raises immediately and
         # later payloads never run, exactly like the historical serial code.
-        return [fn(p) for p in payloads]
+        # ``progress`` (if given) sees each successful (index, result) as it
+        # lands — the crash-safe journal hooks in here.
+        results = []
+        for index, payload in enumerate(payloads):
+            result = fn(payload)
+            if progress is not None:
+                progress(index, result)
+            results.append(result)
+        return results
 
     def submit(self, fn, *args) -> _LazyResult:
         return _LazyResult(fn, args)
@@ -139,7 +151,7 @@ class _PoolExecutor:
             self._pool = self._make_pool()
         return self._pool
 
-    def map_ordered(self, fn, payloads) -> list:
+    def map_ordered(self, fn, payloads, progress=None) -> list:
         payloads = list(payloads)
         if not payloads:
             return []
@@ -148,10 +160,34 @@ class _PoolExecutor:
             for index, payload in enumerate(payloads)
         }
         pairs = []
+        broken = False
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                pairs.append((pending.pop(future), future.result()))
+                index = pending.pop(future)
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    # Task exceptions never reach here (_guarded wraps them);
+                    # this is pool-level damage — a worker SIGKILL'd mid-task
+                    # breaks every in-flight future.  Carrying it as a
+                    # TaskFailure keeps the one rule intact: the *earliest
+                    # submitted* loss raises, not whichever future the wait
+                    # happened to surface first.
+                    broken = True
+                    outcome = TaskFailure(
+                        WorkerCrashError(
+                            f"worker process lost task {index} "
+                            f"({type(exc).__name__}: {exc})"
+                        )
+                    )
+                if progress is not None and not isinstance(outcome, TaskFailure):
+                    progress(index, outcome)
+                pairs.append((index, outcome))
+        if broken:
+            # The pool is unusable after an abnormal worker exit; drop it so
+            # the next map on this executor starts a fresh one.
+            self.shutdown()
         return ordered_merge(pairs, len(payloads))
 
     def submit(self, fn, *args):
@@ -208,6 +244,12 @@ def get_executor(spec, workers: int | None = None):
         return SerialExecutor()
     if hasattr(spec, "map_ordered"):
         return spec
+    if str(spec) == "supervised":
+        # Imported lazily: repro.parallel.supervised pulls in the
+        # resilience layer, which plain executors must not depend on.
+        from repro.parallel.supervised import SupervisedProcessExecutor
+
+        return SupervisedProcessExecutor(workers)
     try:
         backend = _BACKENDS[str(spec)]
     except KeyError:

@@ -5,6 +5,9 @@ shipped AMPL models to a NEOS server; this CLI is the local equivalent:
 
     hslb list                                  # experiment catalogue
     hslb exp t3-1                              # reproduce one table/figure
+    hslb exp --all --journal run.jsonl         # crash-safe fleet run
+    hslb exp resume --journal run.jsonl        # continue after a hard kill
+    hslb exp status --journal run.jsonl        # inspect a run journal
     hslb tune --resolution 1deg --nodes 128    # run the 4-step pipeline
     hslb ampl --resolution 1deg --nodes 128    # print the layout model
 """
@@ -28,7 +31,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible experiments")
 
     p_exp = sub.add_parser("exp", help="run one experiment by id (or --all)")
-    p_exp.add_argument("id", nargs="?", help="experiment id (see 'hslb list')")
+    p_exp.add_argument(
+        "id",
+        nargs="?",
+        help="experiment id (see 'hslb list'), or the special words "
+        "'resume' / 'status' operating on --journal",
+    )
     p_exp.add_argument("--all", action="store_true", dest="run_all",
                        help="run every registered experiment in order")
     p_exp.add_argument("--seed", type=int, default=0)
@@ -37,6 +45,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="save each finished cell (keyed by its spec hash) and resume "
         "an interrupted batch by replaying only the missing cells",
+    )
+    fleet = p_exp.add_argument_group("crash-safe fleet execution")
+    fleet.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="append every cell start/finish to an fsync'd run journal; "
+        "'hslb exp resume --journal FILE' recovers a killed run from it",
+    )
+    fleet.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run cells under the supervised process pool (crashed/hung "
+        "workers respawned, lost cells retried, exhausted cells "
+        "quarantined instead of failing the run)",
+    )
+    fleet.add_argument(
+        "--task-deadline",
+        type=float,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget under --supervised; a cell past "
+        "it is treated as hung and its worker killed",
+    )
+    fleet.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="N",
+        help="dispatch attempts per lost cell under --supervised before "
+        "quarantine (default: 4)",
+    )
+    fleet.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="inject deterministic worker faults under --supervised, e.g. "
+        "'kill=0.3,hang=0.1,hang_s=5' (testing the fault path)",
     )
     _add_parallel_args(p_exp)
 
@@ -265,33 +307,115 @@ def cmd_list() -> int:
     return 0
 
 
+def _fleet_kwargs(args) -> dict:
+    """``run_experiments`` keyword arguments from the fleet CLI flags."""
+    kwargs: dict = {}
+    if args.journal:
+        kwargs["journal"] = args.journal
+    if args.supervised:
+        kwargs["supervised"] = True
+    if args.task_deadline is not None:
+        kwargs["task_deadline"] = args.task_deadline
+    if args.max_retries is not None:
+        from repro.resilience import RetryPolicy
+
+        kwargs["retry_policy"] = RetryPolicy(max_attempts=args.max_retries)
+    if args.chaos:
+        from repro.resilience import ChaosProfile
+
+        kwargs["chaos"] = ChaosProfile.parse(args.chaos)
+    return kwargs
+
+
+def _print_rollup(rendered) -> None:
+    from repro.experiments import EXPERIMENTS
+
+    for key, text in rendered:
+        description = EXPERIMENTS[key][0]
+        print(f"{'=' * 72}\n[{key}] {description}\n")
+        print(text)
+        print()
+
+
+def _exp_status(args) -> int:
+    from repro.io.journal import RunJournal
+
+    if not args.journal:
+        print("error: 'exp status' needs --journal FILE", file=sys.stderr)
+        return 1
+    print(RunJournal.read(args.journal).describe())
+    return 0
+
+
+def _exp_resume(args) -> int:
+    from repro.experiments import run_experiments
+    from repro.io.journal import RunJournal
+    from repro.resilience import EventLog
+
+    if not args.journal:
+        print("error: 'exp resume' needs --journal FILE", file=sys.stderr)
+        return 1
+    state = RunJournal.read(args.journal)
+    if state.plan is None:
+        print(
+            f"error: journal {args.journal} has no plan record "
+            "(was the run ever started?)",
+            file=sys.stderr,
+        )
+        return 1
+    events = EventLog()
+    kwargs = _fleet_kwargs(args)
+    kwargs["journal"] = args.journal
+    rendered = run_experiments(
+        state.plan["experiment_ids"],
+        seed=state.plan["seed"],
+        checkpoint_dir=args.checkpoint_dir,
+        events=events,
+        **kwargs,
+        **_parallel_kwargs(args),
+    )
+    _print_rollup(rendered)
+    _print_event_summary(events)
+    return 0
+
+
 def cmd_exp(args) -> int:
     from repro.experiments import EXPERIMENTS, run_experiment, run_experiments
+    from repro.resilience import EventLog
 
+    if args.id == "status":
+        return _exp_status(args)
+    if args.id == "resume":
+        return _exp_resume(args)
+    fleet_kwargs = _fleet_kwargs(args)
     if args.run_all:
+        events = EventLog()
         rendered = run_experiments(
             list(EXPERIMENTS),
             seed=args.seed,
             checkpoint_dir=args.checkpoint_dir,
+            events=events,
+            **fleet_kwargs,
             **_parallel_kwargs(args),
         )
-        for key, text in rendered:
-            description = EXPERIMENTS[key][0]
-            print(f"{'=' * 72}\n[{key}] {description}\n")
-            print(text)
-            print()
+        _print_rollup(rendered)
+        _print_event_summary(events)
         return 0
     if args.id is None:
         print("error: give an experiment id or --all", file=sys.stderr)
         return 1
-    if args.checkpoint_dir is not None:
+    if args.checkpoint_dir is not None or fleet_kwargs:
+        events = EventLog()
         rendered = run_experiments(
             [args.id],
             seed=args.seed,
             checkpoint_dir=args.checkpoint_dir,
+            events=events,
+            **fleet_kwargs,
             **_parallel_kwargs(args),
         )
         print(rendered[0][1])
+        _print_event_summary(events)
         return 0
     result = run_experiment(args.id, seed=args.seed)
     print(result.render())

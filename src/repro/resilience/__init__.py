@@ -14,16 +14,23 @@ the four HSLB stages survive that:
   measurements against a robust Theil-Sen trend.
 - :mod:`repro.resilience.events` — the typed :class:`EventLog` every
   retry, rejection, fallback and degradation is appended to.
+- :mod:`repro.resilience.chaos` — process-level chaos: deterministic
+  worker SIGKILLs, hangs, and checkpoint/journal corruption driving the
+  kill-matrix CI (see :mod:`repro.parallel.supervised`).
 
 See ``docs/robustness.md`` for the full fault model and semantics.
 """
 
+from repro.resilience.chaos import ChaosProfile, corrupt_file, kill_instant
 from repro.resilience.events import Event, EventKind, EventLog
 from repro.resilience.faults import FaultProfile, FaultySimulator
 from repro.resilience.outliers import mad_scores, worst_outlier
 from repro.resilience.retry import Deadline, RetryPolicy
 
 __all__ = [
+    "ChaosProfile",
+    "corrupt_file",
+    "kill_instant",
     "Event",
     "EventKind",
     "EventLog",

@@ -31,6 +31,12 @@ class EventKind(enum.Enum):
     BASELINE_FALLBACK = "baseline_fallback"  # proportional last-resort used
     DEADLINE_EXPIRED = "deadline_expired"    # wall-clock budget ran out
     EXECUTE_RETRY = "execute_retry"      # coupled verification run retried
+    WORKER_CRASH = "worker_crash"        # supervised worker died holding a task
+    WORKER_HANG = "worker_hang"          # task deadline/heartbeat expired; killed
+    WORKER_RESPAWN = "worker_respawn"    # replacement worker process started
+    TASK_POISONED = "task_poisoned"      # task quarantined after its retry budget
+    JOURNAL_RECOVERED = "journal_recovered"  # cell result replayed from the journal
+    CHECKPOINT_QUARANTINED = "checkpoint_quarantined"  # bad file moved to *.corrupt
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,188 @@
+"""Run-journal semantics: append durability, torn-tail repair, corruption.
+
+The invariant under test: after a SIGKILL at *any* byte boundary, a
+journal re-opens to exactly the records that were acknowledged, minus at
+most the one torn tail record the kill interrupted — and damage anywhere
+other than the tail is a loud :class:`~repro.exceptions.JournalError`,
+never a silently shortened history.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import JournalError
+from repro.io.journal import RunJournal
+from repro.resilience.chaos import corrupt_file
+from repro.spec.schema import SCHEMA_VERSION
+
+
+def _seed_journal(path):
+    """A journal with one plan, one finished cell, one in-flight cell."""
+    with RunJournal.open(path) as journal:
+        journal.plan(["t3-1", "fig2"], 0)
+        journal.start("spec:aaa", "t3-1")
+        journal.finish("spec:aaa", "t3-1", "rendered A")
+        journal.start("spec:bbb", "fig2")
+    return path
+
+
+class TestRoundTrip:
+    def test_missing_file_reads_empty(self, tmp_path):
+        state = RunJournal.read(tmp_path / "absent.jsonl")
+        assert state.plan is None
+        assert state.records == 0
+        assert not state.torn_tail
+
+    def test_records_round_trip(self, tmp_path):
+        path = _seed_journal(tmp_path / "run.jsonl")
+        state = RunJournal.read(path)
+        assert state.plan == {"experiment_ids": ["t3-1", "fig2"], "seed": 0}
+        assert state.completed["spec:aaa"]["rendered"] == "rendered A"
+        assert state.in_flight == ["spec:bbb"]
+        assert state.records == 4
+        assert not state.torn_tail
+
+    def test_poison_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal.open(path) as journal:
+            journal.plan(["t3-1"], 3)
+            journal.start("spec:ccc", "t3-1")
+            journal.poison("spec:ccc", "t3-1", 4, "crash", "worker died")
+        state = RunJournal.read(path)
+        record = state.poisoned["spec:ccc"]
+        assert record["attempts"] == 4
+        assert record["reason"] == "crash"
+        assert state.in_flight == []
+
+    def test_records_are_schema_stamped(self, tmp_path):
+        path = _seed_journal(tmp_path / "run.jsonl")
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["format"] == "repro/journal"
+        assert first["schema_version"] == SCHEMA_VERSION
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = _seed_journal(tmp_path / "run.jsonl")
+        with RunJournal.open(path) as journal:
+            assert not journal.is_new
+            journal.finish("spec:bbb", "fig2", "rendered B")
+        state = RunJournal.read(path)
+        assert [json.loads(line)["seq"] for line in path.read_text().splitlines()] == [
+            0, 1, 2, 3, 4,
+        ]
+        assert len(state.completed) == 2
+
+    def test_describe_mentions_the_essentials(self, tmp_path):
+        state = RunJournal.read(_seed_journal(tmp_path / "run.jsonl"))
+        text = state.describe()
+        assert "1 finished" in text
+        assert "1 in flight" in text
+        assert "seed=0" in text
+
+
+class TestTornTail:
+    def test_partial_final_line_is_dropped(self, tmp_path):
+        path = _seed_journal(tmp_path / "run.jsonl")
+        path.write_bytes(path.read_bytes() + b'{"op":"finish","spec_k')
+        state = RunJournal.read(path)
+        assert state.torn_tail
+        assert state.records == 4, "acknowledged records survive the kill"
+
+    def test_unparsable_final_line_is_dropped(self, tmp_path):
+        path = _seed_journal(tmp_path / "run.jsonl")
+        path.write_bytes(path.read_bytes() + b"\x00\xff garbage\n")
+        state = RunJournal.read(path)
+        assert state.torn_tail
+        assert state.records == 4
+
+    def test_open_truncates_the_torn_tail_and_appends(self, tmp_path):
+        path = _seed_journal(tmp_path / "run.jsonl")
+        good_bytes = path.stat().st_size
+        path.write_bytes(path.read_bytes() + b'{"op":"fin')
+        with RunJournal.open(path) as journal:
+            assert journal.state.torn_tail, "the repair is reported"
+            journal.finish("spec:bbb", "fig2", "rendered B")
+        state = RunJournal.read(path)
+        assert not state.torn_tail
+        assert state.records == 5
+        assert path.stat().st_size > good_bytes
+
+    def test_chaos_truncation_is_recoverable(self, tmp_path):
+        path = _seed_journal(tmp_path / "run.jsonl")
+        corrupt_file(path, seed=0, mode="truncate")
+        state = RunJournal.read(path)  # must not raise
+        assert state.records < 4 or state.torn_tail
+
+    def test_chaos_torn_tail_is_recoverable(self, tmp_path):
+        path = _seed_journal(tmp_path / "run.jsonl")
+        corrupt_file(path, seed=0, mode="torn-tail")
+        state = RunJournal.read(path)
+        assert state.torn_tail
+        assert state.records == 4
+
+
+class TestInteriorCorruption:
+    def test_garbage_interior_line_raises(self, tmp_path):
+        path = _seed_journal(tmp_path / "run.jsonl")
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b"\x00\xff not json\n"
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalError, match="record 1"):
+            RunJournal.read(path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = _seed_journal(tmp_path / "run.jsonl")
+        lines = path.read_text().splitlines()
+        del lines[1]  # a missing interior record is interleaving, not a crash
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="seq"):
+            RunJournal.read(path)
+
+    def test_unknown_op_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal.open(path) as journal:
+            journal.plan(["t3-1"], 0)
+            journal.start("spec:aaa", "t3-1")
+        lines = path.read_text().splitlines()
+        bad = json.loads(lines[0])
+        bad["op"] = "commit"
+        path.write_text(json.dumps(bad) + "\n" + lines[1] + "\n")
+        with pytest.raises(JournalError, match="unknown op"):
+            RunJournal.read(path)
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        payload = {"format": "repro/benchmarks", "schema_version": 1, "op": "plan",
+                   "seq": 0, "experiment_ids": [], "seed": 0}
+        path.write_text(json.dumps(payload) + "\n" + json.dumps(payload) + "\n")
+        with pytest.raises(JournalError):
+            RunJournal.read(path)
+
+
+class TestWriteDiscipline:
+    def test_plan_must_be_first(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal.open(path) as journal:
+            journal.start("spec:aaa", "t3-1")
+        with RunJournal.open(path) as journal:
+            with pytest.raises(JournalError, match="must be the first"):
+                journal.plan(["t3-1"], 0)
+
+    def test_every_append_is_on_disk_immediately(self, tmp_path):
+        # The durability contract: no close() needed before another reader
+        # (or a post-kill resume) sees the record.
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal.open(path)
+        try:
+            journal.plan(["t3-1"], 0)
+            assert RunJournal.read(path).plan is not None
+            journal.start("spec:aaa", "t3-1")
+            assert RunJournal.read(path).started
+        finally:
+            journal.close()
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = RunJournal.open(tmp_path / "run.jsonl")
+        journal.close()
+        with pytest.raises(JournalError, match="not open"):
+            journal.start("spec:aaa", "t3-1")

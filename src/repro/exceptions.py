@@ -117,3 +117,15 @@ class GatherError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or pipeline was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """Base class for tuning-service failures (see :mod:`repro.service`)."""
+
+
+class ProtocolError(ServiceError):
+    """A service message is malformed: bad JSON, missing fields, unknown kind."""
+
+
+class AdmissionError(ServiceError):
+    """A request was refused admission (queue full or service shutting down)."""

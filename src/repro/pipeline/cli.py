@@ -10,6 +10,8 @@ shipped AMPL models to a NEOS server; this CLI is the local equivalent:
     hslb exp status --journal run.jsonl        # inspect a run journal
     hslb tune --resolution 1deg --nodes 128    # run the 4-step pipeline
     hslb ampl --resolution 1deg --nodes 128    # print the layout model
+    hslb serve --port 7461                     # tuning-as-a-service daemon
+    hslb call solve --spec point.json          # ask a running service
 """
 
 from __future__ import annotations
@@ -221,6 +223,80 @@ def build_parser() -> argparse.ArgumentParser:
         "key", help="print a spec file's structural hash (spec_key)"
     )
     p_key.add_argument("file", help="spec JSON path")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the tuning service daemon (tiered cache, batching, "
+        "admission control)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7461,
+                         help="TCP port (0 binds an ephemeral one)")
+    p_serve.add_argument(
+        "--backend", choices=("serial", "supervised"), default="serial",
+        help="solve dispatch: inline on the solver thread, or a supervised "
+        "process pool with crash/hang recovery",
+    )
+    p_serve.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="worker processes under --backend supervised")
+    p_serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="admission bound on in-flight solve requests; arrivals past "
+        "it get a typed 'rejected' response (default: 64)",
+    )
+    p_serve.add_argument(
+        "--batch-window", type=float, default=0.02, metavar="SECONDS",
+        help="how long to hold a request so compatible ones can join its "
+        "batched family solve (default: 0.02)",
+    )
+    p_serve.add_argument("--max-batch", type=int, default=16, metavar="N",
+                         help="largest batched family solve (default: 16)")
+    p_serve.add_argument("--exact-capacity", type=int, default=4096,
+                         metavar="N", help="exact-tier LRU entries")
+    p_serve.add_argument("--warm-capacity", type=int, default=32, metavar="N",
+                         help="warm-tier LRU channels (one family each)")
+    p_serve.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline applied when a request names none",
+    )
+    p_serve.add_argument(
+        "--task-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-solve budget under --backend supervised; a solve past it "
+        "is treated as hung and its worker killed",
+    )
+    p_serve.add_argument(
+        "--max-retries", type=int, default=4, metavar="N",
+        help="dispatch attempts per lost solve before the request is "
+        "answered 'poisoned' (default: 4)",
+    )
+    p_serve.add_argument(
+        "--chaos", metavar="SPEC",
+        help="inject deterministic worker faults under --backend "
+        "supervised, e.g. 'kill=0.3,hang=0.1,hang_s=5'",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--allow-shutdown", action="store_true",
+        help="honor client 'shutdown' requests (off by default)",
+    )
+
+    p_call = sub.add_parser(
+        "call", help="send one request to a running tuning service"
+    )
+    p_call.add_argument(
+        "what", choices=("solve", "tune", "ping", "stats", "shutdown"),
+        help="request kind; 'solve' sends a SolvePointSpec file, 'tune' a "
+        "TuneSpec file (see 'hslb spec dump')",
+    )
+    p_call.add_argument("--spec", metavar="FILE",
+                        help="spec JSON path (for 'solve' and 'tune')")
+    p_call.add_argument("--host", default="127.0.0.1")
+    p_call.add_argument("--port", type=int, default=7461)
+    p_call.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS", help="per-request deadline")
+    p_call.add_argument("--timeout", type=float, default=300.0,
+                        metavar="SECONDS", help="client socket timeout")
+    p_call.add_argument("--client-id", default="cli", metavar="ID")
     return parser
 
 
@@ -696,6 +772,93 @@ def cmd_spec(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.resilience import ChaosProfile
+    from repro.service import ServiceConfig, TuningDaemon
+
+    config = ServiceConfig(
+        backend=args.backend,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        exact_capacity=args.exact_capacity,
+        warm_capacity=args.warm_capacity,
+        default_deadline=args.default_deadline,
+        task_deadline=args.task_deadline,
+        max_retries=args.max_retries,
+        seed=args.seed,
+        chaos=ChaosProfile.parse(args.chaos) if args.chaos else None,
+    )
+    daemon = TuningDaemon(
+        config, host=args.host, port=args.port,
+        allow_shutdown=args.allow_shutdown,
+    )
+
+    async def run():
+        serving = asyncio.create_task(daemon.serve())
+        while daemon.address is None and not serving.done():
+            await asyncio.sleep(0.01)
+        if daemon.address is not None:
+            host, port = daemon.address
+            print(
+                f"hslb service listening on {host}:{port} "
+                f"(backend: {config.backend}, max in flight: "
+                f"{config.max_queue})",
+                flush=True,
+            )
+        await serving
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\ninterrupted; service stopped")
+    return 0
+
+
+def cmd_call(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    kind_for = {"solve": "solve_point", "tune": "tune"}
+    with ServiceClient(
+        args.host, args.port, timeout=args.timeout, client_id=args.client_id
+    ) as client:
+        if args.what in kind_for:
+            if not args.spec:
+                print(f"error: 'call {args.what}' needs --spec FILE",
+                      file=sys.stderr)
+                return 1
+            from repro.io import load_spec
+            from repro.spec import SolvePointSpec, TuneSpec
+
+            spec = load_spec(args.spec)
+            expected = SolvePointSpec if args.what == "solve" else TuneSpec
+            if not isinstance(spec, expected):
+                print(
+                    f"error: {args.spec} is a {type(spec).__name__}, not a "
+                    f"{expected.__name__}",
+                    file=sys.stderr,
+                )
+                return 1
+            sender = (client.solve_point if args.what == "solve"
+                      else client.tune)
+            response = sender(spec, deadline=args.deadline)
+        elif args.what == "ping":
+            response = client.ping()
+        elif args.what == "stats":
+            response = client.call(
+                {"kind": "stats", "id": f"{args.client_id}-stats"}
+            )
+        else:
+            response = client.shutdown()
+    print(json.dumps(response.to_dict(), indent=2, sort_keys=True))
+    return 0 if response.ok else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -709,6 +872,8 @@ def main(argv=None) -> int:
         "solve": lambda: cmd_solve(args),
         "decomp": lambda: cmd_decomp(args),
         "spec": lambda: cmd_spec(args),
+        "serve": lambda: cmd_serve(args),
+        "call": lambda: cmd_call(args),
     }
     try:
         return handlers[args.command]()

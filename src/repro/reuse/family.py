@@ -385,18 +385,22 @@ class SolveFamily:
             if version > mark.inc_versions.get(channel, 0):
                 env, obj = self._incumbents[channel]
                 delta.incumbents[channel] = (dict(env), obj)
-        for channel, sums in self._pc_sum.items():
-            base = mark.pc_sum.get(channel, {})
-            diffs = {k: v - base.get(k, 0.0) for k, v in sums.items()
-                     if v - base.get(k, 0.0)}
-            if diffs:
-                delta.pc_sum[channel] = diffs
         for channel, counts in self._pc_count.items():
-            base = mark.pc_count.get(channel, {})
-            diffs = {k: c - base.get(k, 0) for k, c in counts.items()
-                     if c - base.get(k, 0)}
-            if diffs:
-                delta.pc_count[channel] = diffs
+            base_count = mark.pc_count.get(channel, {})
+            count_diffs = {k: c - base_count.get(k, 0) for k, c in counts.items()
+                           if c - base_count.get(k, 0)}
+            if not count_diffs:
+                continue
+            # Sums and counts are only ever updated together (absorb), so the
+            # count diff decides which keys were observed.  The paired sum
+            # diff is exported even when it is exactly 0.0 — dropping it
+            # would merge a count without its sum and break the mean.
+            sums = self._pc_sum.get(channel, {})
+            base_sum = mark.pc_sum.get(channel, {})
+            delta.pc_count[channel] = count_diffs
+            delta.pc_sum[channel] = {
+                k: sums.get(k, 0.0) - base_sum.get(k, 0.0) for k in count_diffs
+            }
         delta.basis = dict(self._basis)
         for name, val in self.counters.items():
             diff = val - mark.counters.get(name, 0)

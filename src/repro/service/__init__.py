@@ -1,0 +1,73 @@
+"""Tuning-as-a-service: an async daemon over the HSLB pipeline.
+
+The north-star deployment ("serve HSLB tuning to millions of users")
+needs more than a library call per request: this package wraps the
+pipeline, the :mod:`repro.reuse` warm-start engine and the supervised
+process fleet behind a small daemon with the properties a service needs —
+
+- a **tiered cache** (exact memoization -> warm
+  :class:`~repro.reuse.SolveFamily` pools -> cold solves) so repeated and
+  related requests cost a dictionary lookup or a warm-started solve
+  instead of a full branch-and-bound tree;
+- **batching** of compatible in-flight requests into one family solve,
+  in the same descending-budget order :mod:`repro.analysis.whatif` uses;
+- **admission control** and per-request deadlines, so overload produces
+  typed ``rejected``/``expired`` responses instead of hangs;
+- **fault isolation**: one client's crashing or hanging solve comes back
+  to *that* client as a typed ``poisoned`` response while everyone
+  else's requests are answered normally.
+
+Entry points: :func:`serve_in_thread` / :class:`TuningDaemon` to run the
+service, :class:`ServiceClient` to talk to it, :class:`ServiceEngine`
+for the same tiered answering without a socket, and ``hslb serve`` /
+``hslb call`` on the command line.  The serving contract — responses
+bit-identical to direct library solves on every tier and backend — is
+pinned by ``tests/test_service``.
+"""
+
+from repro.service.cache import ExactCache, WarmPools
+from repro.service.client import ServiceClient
+from repro.service.engine import (
+    ParsedRequest,
+    ServiceConfig,
+    ServiceEngine,
+    group_compatible,
+    point_result_payload,
+    reuse_channel,
+    tune_result_payload,
+)
+from repro.service.protocol import (
+    REQUEST_KINDS,
+    SOLVE_KINDS,
+    STATUSES,
+    TIERS,
+    ServiceRequest,
+    ServiceResponse,
+    decode_line,
+    encode_line,
+)
+from repro.service.server import ServiceHandle, TuningDaemon, serve_in_thread
+
+__all__ = [
+    "REQUEST_KINDS",
+    "SOLVE_KINDS",
+    "STATUSES",
+    "TIERS",
+    "ExactCache",
+    "ParsedRequest",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceEngine",
+    "ServiceHandle",
+    "ServiceRequest",
+    "ServiceResponse",
+    "TuningDaemon",
+    "WarmPools",
+    "decode_line",
+    "encode_line",
+    "group_compatible",
+    "point_result_payload",
+    "reuse_channel",
+    "serve_in_thread",
+    "tune_result_payload",
+]

@@ -1,0 +1,128 @@
+"""Synchronous client for the tuning daemon.
+
+One TCP connection, newline-delimited JSON, blocking calls: the shape a
+batch script or CLI wants.  Responses are typed
+(:class:`~repro.service.protocol.ServiceResponse`); a non-``ok`` status
+is returned, not raised — callers branch on ``response.status`` exactly
+like the daemon produced it.  :meth:`ServiceClient.result` is the
+raise-on-failure convenience for callers that only want answers.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.exceptions import (
+    AdmissionError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServiceError,
+)
+from repro.service.protocol import (
+    ServiceRequest,
+    ServiceResponse,
+    decode_line,
+    encode_line,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking request/response client over one daemon connection.
+
+    Not thread-safe: one client per thread (connections are cheap; the
+    daemon handles each on its own task).  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 300.0,
+        client_id: str = "",
+    ):
+        self.client_id = client_id
+        self._counter = 0
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- transport ---------------------------------------------------------------
+
+    def call(self, request: ServiceRequest | dict) -> ServiceResponse:
+        """Send one request and block for its response."""
+        if isinstance(request, ServiceRequest):
+            payload = request.to_dict()
+        else:
+            payload = dict(request)
+        self._file.write(encode_line(payload))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("connection closed before a response arrived")
+        return ServiceResponse.from_dict(decode_line(line))
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        prefix = self.client_id or "req"
+        return f"{prefix}-{self._counter}"
+
+    def _solve(self, kind: str, spec, deadline=None, id: str = "") -> ServiceResponse:
+        body = spec if isinstance(spec, dict) else spec.to_dict()
+        return self.call(ServiceRequest(
+            kind=kind,
+            spec=body,
+            id=id or self._next_id(),
+            client=self.client_id,
+            deadline=deadline,
+        ))
+
+    # -- request helpers ---------------------------------------------------------
+
+    def solve_point(self, spec, deadline=None, id: str = "") -> ServiceResponse:
+        """Solve one layout point (:class:`~repro.spec.SolvePointSpec` or dict)."""
+        return self._solve("solve_point", spec, deadline=deadline, id=id)
+
+    def tune(self, spec, deadline=None, id: str = "") -> ServiceResponse:
+        """Run one full tuning pipeline (:class:`~repro.spec.TuneSpec` or dict)."""
+        return self._solve("tune", spec, deadline=deadline, id=id)
+
+    def ping(self) -> ServiceResponse:
+        return self.call(ServiceRequest(kind="ping", id=self._next_id()))
+
+    def stats(self) -> dict:
+        response = self.call(ServiceRequest(kind="stats", id=self._next_id()))
+        return response.result or {}
+
+    def shutdown(self) -> ServiceResponse:
+        return self.call(ServiceRequest(kind="shutdown", id=self._next_id()))
+
+    @staticmethod
+    def result(response: ServiceResponse) -> dict:
+        """The result payload, or a typed exception for non-``ok`` statuses."""
+        if response.ok:
+            return response.result
+        detail = (response.error or {}).get("detail", "no detail")
+        if response.status == "rejected":
+            raise AdmissionError(detail)
+        if response.status == "expired":
+            raise DeadlineExceededError(detail)
+        if response.status == "poisoned":
+            raise ServiceError(f"request poisoned: {detail}")
+        if (response.error or {}).get("type") == "ProtocolError":
+            raise ProtocolError(detail)
+        raise ServiceError(detail)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

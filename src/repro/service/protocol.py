@@ -1,0 +1,215 @@
+"""Wire protocol for the tuning service: typed requests and responses.
+
+The daemon speaks newline-delimited JSON over a stream socket — one
+request object per line in, one response object per line out, matched by
+the client-chosen ``id``.  Both sides of the conversation are *typed*
+dataclasses here, so every failure mode the service can produce — queue
+rejection, deadline expiry, a poisoned worker, a malformed spec — arrives
+as a distinct ``status`` the client can branch on, never as a hang or a
+bare connection reset.
+
+Request kinds:
+
+- ``solve_point`` — one :class:`~repro.spec.SolvePointSpec` payload: a
+  Table I layout MINLP plus solver method/options.  Cacheable at every
+  tier and batchable with compatible in-flight requests.
+- ``tune`` — one :class:`~repro.spec.TuneSpec` payload: a full
+  gather/fit/solve/execute pipeline run.  Cacheable at the exact tier.
+- ``ping`` / ``stats`` — liveness and counter introspection.
+- ``shutdown`` — stop the daemon (only honored when the server was
+  started with ``allow_shutdown=True``; the CLI daemon refuses it).
+
+Response statuses:
+
+- ``ok`` — ``result`` holds the answer; ``tier`` says which cache tier
+  produced it (``exact`` | ``warm`` | ``cold``).
+- ``rejected`` — admission control refused the request (bounded queue
+  full, or the service is shutting down).  Retry later.
+- ``expired`` — the request's :class:`~repro.resilience.Deadline` ran out
+  before its solve started.
+- ``poisoned`` — the request's worker crashed/hung repeatedly and the
+  retry budget is spent; ``error`` carries the last failure.  Other
+  clients' requests are unaffected (per-client fault isolation).
+- ``error`` — the request itself is defective (malformed spec, infeasible
+  model, unknown kind); deterministic, so it is not retried.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.exceptions import ProtocolError
+
+__all__ = [
+    "REQUEST_KINDS",
+    "SOLVE_KINDS",
+    "STATUSES",
+    "TIERS",
+    "ServiceRequest",
+    "ServiceResponse",
+    "decode_line",
+    "encode_line",
+]
+
+SOLVE_KINDS = ("solve_point", "tune")
+CONTROL_KINDS = ("ping", "stats", "shutdown")
+REQUEST_KINDS = SOLVE_KINDS + CONTROL_KINDS
+
+STATUSES = ("ok", "rejected", "expired", "poisoned", "error")
+TIERS = ("exact", "warm", "cold")
+
+
+def encode_line(payload: dict) -> bytes:
+    """One protocol message as a single JSON line (newline-terminated)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one protocol line; raises :class:`ProtocolError` on bad input."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"message is not valid UTF-8: {exc}") from None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"message is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One client request, as validated data.
+
+    ``spec`` is the stamped canonical payload of a
+    :class:`~repro.spec.SolvePointSpec` (``kind="solve_point"``) or
+    :class:`~repro.spec.TuneSpec` (``kind="tune"``); control kinds carry
+    no spec.  ``deadline`` is a per-request wall-clock budget in seconds,
+    measured from admission (:class:`~repro.resilience.Deadline`).
+    """
+
+    kind: str
+    spec: dict | None = None
+    id: str = ""
+    client: str = ""
+    deadline: float | None = None
+
+    def __post_init__(self):
+        if self.kind not in REQUEST_KINDS:
+            raise ProtocolError(
+                f"unknown request kind {self.kind!r}; known: {REQUEST_KINDS}"
+            )
+        if self.kind in SOLVE_KINDS:
+            if not isinstance(self.spec, dict):
+                raise ProtocolError(f"a {self.kind!r} request needs a 'spec' object")
+        elif self.spec is not None:
+            raise ProtocolError(f"a {self.kind!r} request carries no 'spec'")
+        if self.deadline is not None and not self.deadline > 0:
+            raise ProtocolError("request 'deadline' must be a positive number")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceRequest":
+        unknown = set(payload) - {"kind", "spec", "id", "client", "deadline"}
+        if unknown:
+            raise ProtocolError(f"unknown request fields {sorted(unknown)}")
+        deadline = payload.get("deadline")
+        try:
+            deadline = None if deadline is None else float(deadline)
+        except (TypeError, ValueError):
+            raise ProtocolError("request 'deadline' must be a number") from None
+        return cls(
+            kind=str(payload.get("kind", "")),
+            spec=payload.get("spec"),
+            id=str(payload.get("id", "")),
+            client=str(payload.get("client", "")),
+            deadline=deadline,
+        )
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "id": self.id}
+        if self.client:
+            out["client"] = self.client
+        if self.spec is not None:
+            out["spec"] = self.spec
+        if self.deadline is not None:
+            out["deadline"] = self.deadline
+        return out
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One daemon answer: a status, and (when ``ok``) a tier plus result.
+
+    ``error`` is ``{"type": <exception class name>, "detail": <message>}``
+    for every non-``ok`` status, so clients always get a machine-readable
+    reason.  ``meta`` carries small extras (batch size, attempts, queue
+    depth) that never affect the result bits.
+    """
+
+    id: str
+    status: str
+    tier: str | None = None
+    result: dict | None = None
+    error: dict | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.status not in STATUSES:
+            raise ProtocolError(
+                f"unknown response status {self.status!r}; known: {STATUSES}"
+            )
+        if self.tier is not None and self.tier not in TIERS:
+            raise ProtocolError(
+                f"unknown response tier {self.tier!r}; known: {TIERS}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceResponse":
+        if not isinstance(payload, dict):
+            raise ProtocolError("response must be a JSON object")
+        return cls(
+            id=str(payload.get("id", "")),
+            status=str(payload.get("status", "")),
+            tier=payload.get("tier"),
+            result=payload.get("result"),
+            error=payload.get("error"),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def to_dict(self) -> dict:
+        out: dict = {"id": self.id, "status": self.status}
+        if self.tier is not None:
+            out["tier"] = self.tier
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        if self.meta:
+            out["meta"] = self.meta
+        return out
+
+
+def error_response(
+    request_id: str,
+    status: str,
+    error_type: str,
+    detail: str,
+    **meta,
+) -> ServiceResponse:
+    """A typed non-``ok`` response (module-internal convenience)."""
+    return ServiceResponse(
+        id=request_id,
+        status=status,
+        error={"type": error_type, "detail": detail},
+        meta=dict(meta),
+    )

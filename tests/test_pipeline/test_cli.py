@@ -1,3 +1,7 @@
+import socket
+import threading
+import time
+
 import pytest
 
 from repro.pipeline.cli import build_parser, main
@@ -136,3 +140,61 @@ class TestResilienceFlags:
         out = capsys.readouterr().out
         assert "wrote" in out
         assert "resilience events" not in out
+
+
+class TestServiceCLI:
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--backend", "supervised",
+             "--max-queue", "8", "--batch-window", "0.1"]
+        )
+        assert args.port == 0 and args.backend == "supervised"
+        assert args.max_queue == 8 and args.batch_window == 0.1
+        assert not args.allow_shutdown
+
+    def test_call_args(self):
+        args = build_parser().parse_args(["call", "ping", "--port", "7461"])
+        assert args.what == "ping" and args.port == 7461
+
+    def test_serve_call_roundtrip(self, capsys, tmp_path):
+        """The full CLI loop: serve on a thread, call it, shut it down."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", "--port", str(port), "--allow-shutdown"],),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 10
+        while True:
+            try:
+                socket.create_connection(("127.0.0.1", port), timeout=0.2).close()
+                break
+            except OSError:
+                assert time.monotonic() < deadline, "daemon never came up"
+                time.sleep(0.05)
+
+        spec_file = str(tmp_path / "tune.json")
+        assert main(["spec", "dump", "--resolution", "1deg", "--nodes", "128",
+                     "--with-curves", "--out", spec_file]) == 0
+        assert main(["call", "ping", "--port", str(port)]) == 0
+        # a TuneSpec is not a point spec: typed CLI error, daemon untouched
+        assert main(["call", "solve", "--spec", spec_file,
+                     "--port", str(port)]) == 1
+        assert main(["call", "tune", "--spec", spec_file,
+                     "--port", str(port)]) == 0
+        assert main(["call", "stats", "--port", str(port)]) == 0
+        assert main(["call", "shutdown", "--port", str(port)]) == 0
+        thread.join(10)
+        assert not thread.is_alive()
+
+        captured = capsys.readouterr()
+        assert "hslb service listening" in captured.out
+        assert '"pong": true' in captured.out
+        assert '"tier": "cold"' in captured.out
+        assert '"predicted_total"' in captured.out
+        assert "not a SolvePointSpec" in captured.err

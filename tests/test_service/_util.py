@@ -1,0 +1,43 @@
+"""Shared helpers for the service test battery."""
+
+from repro.analysis.whatif import _solve_layout_point, layout_point_specs
+from repro.cesm import ComponentId
+from repro.service.engine import point_result_payload
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+def point_specs(calibrated, sizes, method="lpnlp", case=None):
+    """The service-request spec ladder for ``sizes`` on the calibrated case."""
+    perf, bounds, default_case = calibrated
+    case = default_case if case is None else case
+    return layout_point_specs(
+        perf, bounds, sizes,
+        layout=case.layout,
+        ocn_allowed=case.ocean_allowed(),
+        atm_allowed=case.atm_allowed(),
+        method=method,
+    )
+
+
+def request_for(spec, id="", **extra):
+    return {"kind": "solve_point", "spec": spec.to_dict(), "id": id, **extra}
+
+
+def direct_payload(spec, family):
+    """What a direct library solve of ``spec`` answers, as a service payload."""
+    return point_result_payload(spec, _solve_layout_point(spec, family))
+
+
+def assert_bit_identical(got, want, nodes=True):
+    """Service payload == direct payload, down to float bits.
+
+    JSON round-trips floats exactly, so comparing payload fields compares
+    bits.  ``nodes=False`` relaxes to the reuse *answer* contract
+    (objective + allocation identical; tree size may differ).
+    """
+    assert float(got["objective"]).hex() == float(want["objective"]).hex()
+    assert got["allocation"] == want["allocation"]
+    assert got["total_nodes"] == want["total_nodes"]
+    if nodes:
+        assert got.get("solver") == want.get("solver")

@@ -1,0 +1,19 @@
+import pytest
+
+from repro.cesm import ComponentId, make_case
+from repro.hslb import HSLBPipeline
+
+A, O, I, L = ComponentId.ATM, ComponentId.OCN, ComponentId.ICE, ComponentId.LND
+
+
+@pytest.fixture(scope="package")
+def calibrated():
+    """Fitted 1-degree curves + bounds + the case (seed 0), shared by the
+    whole service battery — every test derives its request specs from the
+    same calibration, so cross-file comparisons are apples to apples."""
+    case = make_case("1deg", 128, seed=0)
+    pipeline = HSLBPipeline(case)
+    fits = pipeline.fit(pipeline.gather())
+    perf = {c: f.model for c, f in fits.items()}
+    bounds = {c: case.component_bounds(c) for c in (A, O, I, L)}
+    return perf, bounds, case

@@ -1,0 +1,157 @@
+"""Satellite 2: property tests for request batching (hypothesis).
+
+Two families of properties:
+
+1. **Grouping** — :func:`group_compatible` is a true partition: every
+   group is homogeneous in its compat key, ``None``-keyed items are never
+   co-batched with anything, arrival order is preserved within and
+   across groups.  Checked over arbitrary key sequences.
+
+2. **Batch semantics** — for any multiset of requests drawn from a
+   compatible ladder, in any arrival order: solving them as ONE batched
+   family solve answers every request with the same bits as a fresh
+   direct solve of its spec (batch members solve against clones of the
+   pre-batch snapshot, so ordering is unobservable), and the same
+   *answers* (objective + allocation) as handling them one at a time
+   (where later requests ride warm state, so only the reuse answer
+   contract binds the tree).  Requests with different solver methods are
+   never co-batched, and a batch never invokes the solver twice for the
+   same spec_key.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.reuse import SolveFamily
+from repro.service import ServiceEngine, group_compatible
+from tests.test_service._util import direct_payload, point_specs, request_for
+
+SIZES = (128, 120, 112)
+
+BATCH_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def ladder(calibrated):
+    return point_specs(calibrated, SIZES)
+
+
+@pytest.fixture(scope="module")
+def mixed(calibrated):
+    """Compatible lpnlp ladder + an incompatible bnb spec at each size."""
+    return {
+        "lpnlp": point_specs(calibrated, SIZES),
+        "bnb": point_specs(calibrated, SIZES, method="bnb"),
+    }
+
+
+_reference = {}
+
+
+def reference_payload(spec):
+    """A fresh-family direct solve of ``spec`` (memoized across examples)."""
+    key = spec.spec_key()
+    if key not in _reference:
+        _reference[key] = direct_payload(spec, SolveFamily())
+    return _reference[key]
+
+
+class TestGroupingProperties:
+    @given(keys=st.lists(
+        st.one_of(st.none(), st.sampled_from("abc")), max_size=12,
+    ))
+    def test_partition_laws(self, keys):
+        items = list(enumerate(keys))
+        groups = group_compatible(items, compat=lambda it: it[1])
+        # a true partition: nothing lost, nothing duplicated
+        flat = [item for group in groups for item in group]
+        assert sorted(flat) == sorted(items)
+        for group in groups:
+            group_keys = {key for _, key in group}
+            # homogeneous, and None-keyed items are always alone
+            assert len(group_keys) == 1
+            if group_keys == {None}:
+                assert len(group) == 1
+            # arrival order preserved within the group
+            assert [i for i, _ in group] == sorted(i for i, _ in group)
+        # groups ordered by their earliest member
+        firsts = [group[0][0] for group in groups]
+        assert firsts == sorted(firsts)
+
+
+class TestBatchSemantics:
+    @given(order=st.permutations(range(len(SIZES))))
+    @BATCH_SETTINGS
+    def test_batched_equals_one_at_a_time_any_order(self, ladder, order):
+        requests = [request_for(ladder[i], id=f"r{pos}")
+                    for pos, i in enumerate(order)]
+
+        batch_engine = ServiceEngine()
+        batched = batch_engine.solve_group(
+            [batch_engine.parse(r) for r in requests])
+
+        single_engine = ServiceEngine()
+        singles = [single_engine.handle(r) for r in requests]
+
+        for pos, i in enumerate(order):
+            want = reference_payload(ladder[i])
+            assert batched[pos].id == singles[pos].id == f"r{pos}"
+            assert batched[pos].ok and singles[pos].ok
+            # batch members see the pre-batch (empty) snapshot: full
+            # payloads are bit-identical to a fresh direct solve
+            assert batched[pos].result == want
+            # one-at-a-time rides warm state: the answer contract binds
+            got = singles[pos].result
+            assert float(got["objective"]).hex() == \
+                float(want["objective"]).hex()
+            assert got["allocation"] == want["allocation"]
+
+    @given(picks=st.lists(st.sampled_from(range(len(SIZES))),
+                          min_size=1, max_size=5))
+    @BATCH_SETTINGS
+    def test_duplicates_answered_identically_solver_run_once(self, ladder, picks):
+        engine = ServiceEngine()
+        responses = engine.solve_group(
+            [engine.parse(request_for(ladder[i], id=f"r{pos}"))
+             for pos, i in enumerate(picks)])
+        for pos, i in enumerate(picks):
+            assert responses[pos].ok
+            assert responses[pos].result == reference_payload(ladder[i])
+        counters = engine.stats()["counters"]
+        assert counters["cold_solves"] == len(set(picks))
+        assert counters["dedup_hits"] == len(picks) - len(set(picks))
+
+    @given(draw=st.lists(
+        st.tuples(st.sampled_from(("lpnlp", "bnb")),
+                  st.sampled_from(range(len(SIZES)))),
+        min_size=1, max_size=6,
+    ))
+    @BATCH_SETTINGS
+    def test_incompatible_methods_never_co_batched(self, mixed, draw):
+        engine = ServiceEngine()
+        parsed = [engine.parse(request_for(mixed[method][i], id=f"r{pos}"))
+                  for pos, (method, i) in enumerate(draw)]
+        groups = group_compatible(parsed)
+        methods_seen = []
+        for group in groups:
+            group_methods = {p.spec.method for p in group}
+            assert len(group_methods) == 1
+            methods_seen.append(group_methods.pop())
+        assert len(groups) == len({m for m, _ in draw})
+        # and solving the groups still answers every request correctly
+        responses = {}
+        for group in groups:
+            for parsed_req, response in zip(group, engine.solve_group(group)):
+                responses[parsed_req.id] = (parsed_req, response)
+        assert len(responses) == len(draw)
+        for pos, (method, i) in enumerate(draw):
+            _, response = responses[f"r{pos}"]
+            assert response.ok
+            got, want = response.result, reference_payload(mixed[method][i])
+            assert float(got["objective"]).hex() == \
+                float(want["objective"]).hex()
+            assert got["allocation"] == want["allocation"]

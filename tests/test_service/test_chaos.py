@@ -1,0 +1,193 @@
+"""Satellite 3: the service under deterministic chaos.
+
+The supervised backend's contract, exercised end to end through the
+engine (and once through a real socket):
+
+- a worker SIGKILL'd mid-request is respawned and the request is still
+  answered — bit-identical to a clean direct solve;
+- a request whose every attempt dies comes back as a typed ``poisoned``
+  response, and its batch-mates are untouched (per-request isolation);
+- a hung worker is detected by the task deadline and poisoned — the
+  service never waits out the hang;
+- the clean path (inactive chaos profile) stays bit-identical to the
+  serial backend.
+
+Kill patterns are deterministic: :meth:`ChaosProfile.ticket` is a pure
+function of ``(seed, task index, attempt)``, so tests *scan* for a seed
+matching the pattern they need instead of hoping.  ``REPRO_CHAOS_SEEDS``
+offsets the scan so the dedicated CI job replays different concrete
+kill-matrices.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.resilience.chaos import ChaosProfile
+from repro.resilience.events import EventKind, EventLog
+from repro.reuse import SolveFamily
+from repro.service import ServiceConfig, ServiceEngine, serve_in_thread
+from tests.test_service._util import (
+    assert_bit_identical,
+    direct_payload,
+    point_specs,
+    request_for,
+)
+
+pytestmark = pytest.mark.chaos
+
+SEEDS = [int(s) for s in os.environ.get("REPRO_CHAOS_SEEDS", "0").split(",")]
+
+KILL_HALF = ChaosProfile(kill_probability=0.5)
+KILL_ALWAYS = ChaosProfile(kill_probability=1.0)
+
+
+def find_seed(pattern, start=0, limit=10_000):
+    """The first seed >= ``start`` whose kill-matrix matches ``pattern``."""
+    for seed in range(start, start + limit):
+        if pattern(seed):
+            return seed
+    raise AssertionError("no chaos seed matches the requested pattern")
+
+
+def chaos_engine(events=None, **overrides):
+    kwargs = dict(backend="supervised", workers=1, max_retries=4)
+    kwargs.update(overrides)
+    return ServiceEngine(ServiceConfig(**kwargs), events=events)
+
+
+_direct = {}
+
+
+def direct_for(spec):
+    key = spec.spec_key()
+    if key not in _direct:
+        _direct[key] = direct_payload(spec, SolveFamily())
+    return _direct[key]
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("base", SEEDS)
+    def test_killed_worker_respawns_and_still_answers(self, calibrated, base):
+        """Attempt 1 is SIGKILL'd, attempt 2 is clean: the request must be
+        answered ok, bit-identical, with crash + respawn on the record."""
+        spec = point_specs(calibrated, (128,))[0]
+        seed = find_seed(
+            lambda s: (KILL_HALF.ticket(s, 0, 1) == ("kill",)
+                       and KILL_HALF.ticket(s, 0, 2) is None),
+            start=10_000 * base,
+        )
+        events = EventLog()
+        engine = chaos_engine(events, chaos=KILL_HALF, seed=seed)
+        try:
+            response = engine.handle(request_for(spec, id="r"))
+            stats = engine.stats()
+        finally:
+            engine.shutdown()
+
+        assert response.ok and response.tier == "cold"
+        assert_bit_identical(response.result, direct_for(spec))
+        assert stats["supervision"]["crashes"] >= 1
+        assert stats["supervision"]["respawns"] >= 1
+        assert stats["supervision"]["retries"] >= 1
+        assert stats["supervision"]["poisoned"] == 0
+        assert len(events.of_kind(EventKind.WORKER_CRASH)) >= 1
+        assert len(events.of_kind(EventKind.WORKER_RESPAWN)) >= 1
+
+    @pytest.mark.parametrize("base", SEEDS)
+    def test_poisoned_member_isolated_from_batch_mates(self, calibrated, base):
+        """With a one-attempt budget, the task whose dispatch is killed is
+        quarantined as a typed poison while its batch-mate answers clean."""
+        specs = point_specs(calibrated, (128, 120))
+        # task 0 is the largest budget (descending batch order) -> killed;
+        # task 1 survives its only attempt.
+        seed = find_seed(
+            lambda s: (KILL_HALF.ticket(s, 0, 1) == ("kill",)
+                       and KILL_HALF.ticket(s, 1, 1) is None),
+            start=10_000 * base,
+        )
+        events = EventLog()
+        engine = chaos_engine(events, workers=2, max_retries=1,
+                              chaos=KILL_HALF, seed=seed)
+        try:
+            group = [engine.parse(request_for(specs[0], id="big")),
+                     engine.parse(request_for(specs[1], id="small"))]
+            responses = {r.id: r for r in engine.solve_group(group)}
+            counters = engine.stats()["counters"]
+        finally:
+            engine.shutdown()
+
+        big, small = responses["big"], responses["small"]
+        assert big.status == "poisoned"
+        assert big.error["type"] == "WorkerCrashError"
+        assert big.meta == {"attempts": 1, "reason": "crash"}
+        assert small.ok
+        assert_bit_identical(small.result, direct_for(specs[1]))
+        assert counters["poisoned"] == 1
+        assert counters["cold_solves"] == 1
+        assert len(events.of_kind(EventKind.TASK_POISONED)) == 1
+
+
+class TestHangDetection:
+    def test_hung_worker_poisoned_not_waited_out(self, calibrated):
+        """A worker sleeping 30s against a 0.5s task deadline is killed and
+        the request poisoned as a typed hang — promptly."""
+        spec = point_specs(calibrated, (128,))[0]
+        events = EventLog()
+        engine = chaos_engine(
+            events, max_retries=1, task_deadline=0.5,
+            chaos=ChaosProfile(hang_probability=1.0, hang_seconds=30.0),
+        )
+        try:
+            start = time.monotonic()
+            response = engine.handle(request_for(spec, id="r"))
+            elapsed = time.monotonic() - start
+        finally:
+            engine.shutdown()
+
+        assert response.status == "poisoned"
+        assert response.error["type"] == "WorkerHangError"
+        assert response.meta["reason"] == "hang"
+        assert elapsed < 15.0      # never waits out the 30s sleep
+        assert len(events.of_kind(EventKind.WORKER_HANG)) == 1
+        assert len(events.of_kind(EventKind.TASK_POISONED)) == 1
+
+
+class TestPoisonOverTheWire:
+    def test_exhausted_retries_reach_the_client_typed(self, calibrated):
+        """Every attempt killed: the socket client receives ``poisoned``
+        with the attempt count, and the daemon keeps serving."""
+        from repro.exceptions import ServiceError
+
+        spec = point_specs(calibrated, (128,))[0]
+        config = ServiceConfig(backend="supervised", workers=1,
+                               max_retries=2, chaos=KILL_ALWAYS, seed=0)
+        with serve_in_thread(config) as handle:
+            with handle.client(client_id="t") as client:
+                response = client.solve_point(spec)
+                assert client.ping().ok            # daemon survived the chaos
+        assert response.status == "poisoned"
+        assert response.error["type"] == "WorkerCrashError"
+        assert response.meta == {"attempts": 2, "reason": "crash"}
+        with pytest.raises(ServiceError, match="poisoned"):
+            client.result(response)
+
+
+class TestCleanPath:
+    def test_inactive_profile_is_bit_identical_to_serial(self, calibrated):
+        """chaos=ChaosProfile() (all rates zero) must not perturb a bit."""
+        specs = point_specs(calibrated, (128, 120))
+        engine = chaos_engine(workers=2, chaos=ChaosProfile())
+        try:
+            supervised = [engine.handle(request_for(s, id=f"r{i}"))
+                          for i, s in enumerate(specs)]
+        finally:
+            engine.shutdown()
+        serial_engine = ServiceEngine()
+        serial = [serial_engine.handle(request_for(s, id=f"r{i}"))
+                  for i, s in enumerate(specs)]
+        for a, b in zip(supervised, serial):
+            assert a.ok and b.ok
+            assert a.tier == b.tier
+            assert a.result == b.result    # full payload, bit for bit

@@ -1,0 +1,112 @@
+"""Satellite 1: service responses are bit-identical to direct solves.
+
+The serving contract, pinned across the Table I layouts, all three cache
+tiers and both dispatch backends:
+
+- **cold** responses equal a direct :func:`_solve_layout_point` against a
+  fresh :class:`SolveFamily` — objective, allocation, and every solver
+  statistic (B&B nodes, cuts, LP iterations) to the bit;
+- **warm** responses equal the direct *sequential* comparator (one live
+  family threaded through the same solves in the same order) — the
+  engine's clone-plus-delta-merge discipline is unobservable;
+- **exact** responses are the memoized first payload, verbatim;
+- the ``serial`` and ``supervised`` backends produce identical bits;
+- warm answers also honor the reuse contract against plain no-family
+  cold solves (objective + allocation; only the tree may differ).
+"""
+
+import pytest
+
+from repro.cesm import Layout, make_case
+from repro.reuse import SolveFamily
+from repro.service import ServiceConfig, ServiceEngine
+from tests.test_service._util import (
+    assert_bit_identical,
+    direct_payload,
+    point_specs,
+    request_for,
+)
+
+SIZES = (128, 120)
+LAYOUTS = (Layout.HYBRID, Layout.SEQUENTIAL_SPLIT, Layout.FULLY_SEQUENTIAL)
+
+
+def ladder_for(calibrated, layout, method="lpnlp"):
+    case = make_case("1deg", max(SIZES), layout=layout, seed=0)
+    return point_specs(calibrated, SIZES, method=method, case=case)
+
+
+def serve_sequence(engine, specs):
+    """One request per spec in order, plus an exact-tier repeat of the first."""
+    responses = [engine.handle(request_for(s, id=f"r{i}"))
+                 for i, s in enumerate(specs)]
+    responses.append(engine.handle(request_for(specs[0], id="repeat")))
+    return responses
+
+
+def direct_sequence(specs):
+    """The equivalent direct library calls: one live family, same order."""
+    family = SolveFamily()
+    return [direct_payload(s, family) for s in specs]
+
+
+class TestTierDifferential:
+    @pytest.mark.parametrize("layout", LAYOUTS, ids=lambda l: f"layout{l.value}")
+    def test_all_tiers_bit_identical(self, calibrated, layout):
+        specs = ladder_for(calibrated, layout)
+        served = serve_sequence(ServiceEngine(), specs)
+        direct = direct_sequence(specs)
+
+        cold, warm, exact = served
+        assert [r.tier for r in served] == ["cold", "warm", "exact"]
+        assert all(r.ok for r in served)
+        assert_bit_identical(cold.result, direct[0])
+        assert_bit_identical(warm.result, direct[1])
+        assert exact.result == cold.result
+
+    def test_bnb_method(self, calibrated):
+        specs = ladder_for(calibrated, Layout.HYBRID, method="bnb")
+        served = serve_sequence(ServiceEngine(), specs)
+        direct = direct_sequence(specs)
+        for response, want in zip(served, direct):
+            assert_bit_identical(response.result, want)
+
+    def test_warm_honors_reuse_answer_contract(self, calibrated):
+        specs = ladder_for(calibrated, Layout.HYBRID)
+        warm = serve_sequence(ServiceEngine(), specs)[1]
+        plain_cold = direct_payload(specs[1], None)
+        assert_bit_identical(warm.result, plain_cold, nodes=False)
+
+
+class TestBackendDifferential:
+    @pytest.mark.parametrize("method", ("lpnlp", "bnb"))
+    def test_supervised_matches_serial(self, calibrated, method):
+        specs = ladder_for(calibrated, Layout.HYBRID, method=method)
+        serial = serve_sequence(ServiceEngine(ServiceConfig()), specs)
+        engine = ServiceEngine(ServiceConfig(backend="supervised", workers=2))
+        try:
+            supervised = serve_sequence(engine, specs)
+        finally:
+            engine.shutdown()
+        assert [r.tier for r in supervised] == [r.tier for r in serial]
+        for a, b in zip(supervised, serial):
+            assert a.result == b.result    # full payload, bit for bit
+
+    def test_supervised_batch_matches_serial_batch(self, calibrated):
+        specs = ladder_for(calibrated, Layout.SEQUENTIAL_SPLIT)
+        serial_engine = ServiceEngine()
+        serial = serial_engine.solve_group(
+            [serial_engine.parse(request_for(s, id=f"r{i}"))
+             for i, s in enumerate(specs)]
+        )
+        engine = ServiceEngine(ServiceConfig(backend="supervised", workers=2))
+        try:
+            supervised = engine.solve_group(
+                [engine.parse(request_for(s, id=f"r{i}"))
+                 for i, s in enumerate(specs)]
+            )
+        finally:
+            engine.shutdown()
+        for a, b in zip(supervised, serial):
+            assert a.ok and b.ok
+            assert a.result == b.result

@@ -1,0 +1,75 @@
+"""Concurrency smoke: many clients hammering one daemon stay consistent.
+
+Not a benchmark (that is ``benchmarks/test_bench_service.py``) — this is
+the correctness side of load: under dozens of concurrent connections
+drawing from a small spec pool, every response is ``ok``, every response
+is bit-identical to the direct solve of its spec, and the daemon's
+counters add up exactly.
+"""
+
+import threading
+
+import pytest
+
+from repro.reuse import SolveFamily
+from repro.service import ServiceConfig, serve_in_thread
+from tests.test_service._util import direct_payload, point_specs
+
+CLIENTS = 24
+REQUESTS_PER_CLIENT = 10
+
+
+@pytest.fixture(scope="module")
+def pool(calibrated):
+    return point_specs(calibrated, (128, 120, 112))
+
+
+def test_many_clients_consistent_answers(pool):
+    want = [direct_payload(s, SolveFamily()) for s in pool]
+    results: dict = {}
+    failures: list = []
+
+    with serve_in_thread(ServiceConfig(max_queue=256)) as handle:
+        def hammer(client_index):
+            try:
+                with handle.client(client_id=f"c{client_index}") as client:
+                    for n in range(REQUESTS_PER_CLIENT):
+                        spec_index = (client_index + n) % len(pool)
+                        response = client.solve_point(pool[spec_index])
+                        results[(client_index, n)] = (spec_index, response)
+            except Exception as exc:  # noqa: BLE001 - surfaced by the assert
+                failures.append((client_index, repr(exc)))
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        counters = handle.daemon.engine.stats()["counters"]
+
+    assert failures == []
+    assert len(results) == CLIENTS * REQUESTS_PER_CLIENT
+
+    tiers = {"exact": 0, "warm": 0, "cold": 0}
+    for spec_index, response in results.values():
+        assert response.ok, response.to_dict()
+        tiers[response.tier] += 1
+        # answer contract across every tier: objective + allocation match
+        # the direct solve bit for bit
+        got = response.result
+        assert float(got["objective"]).hex() == \
+            float(want[spec_index]["objective"]).hex()
+        assert got["allocation"] == want[spec_index]["allocation"]
+
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    # counters add up: every request was answered by exactly one tier
+    assert counters["requests"] == total
+    assert (counters["exact_hits"] + counters["warm_hits"]
+            + counters["cold_solves"] + counters["dedup_hits"]) == total
+    assert counters["rejected"] == counters["expired"] == 0
+    assert counters["errors"] == counters["poisoned"] == 0
+    # each unique spec is solved at most a handful of times (only racing
+    # batches may re-solve a key); virtually everything is served hot
+    assert counters["cold_solves"] + counters["warm_hits"] <= 4 * len(pool)
+    assert tiers["exact"] + counters["dedup_hits"] >= total - 4 * len(pool)

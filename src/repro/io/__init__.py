@@ -13,6 +13,7 @@ a hard kill, skipping finished cells and repairing a torn tail record.
 
 from repro.io.journal import JournalState, RunJournal
 from repro.io.serialize import (
+    append_metrics,
     benchmark_data_to_dict,
     benchmark_data_from_dict,
     experiment_cell_from_dict,
@@ -20,7 +21,10 @@ from repro.io.serialize import (
     fits_to_dict,
     fits_from_dict,
     load_experiment_cell,
+    load_metrics,
     load_spec,
+    metrics_snapshot_from_dict,
+    metrics_snapshot_to_dict,
     save_benchmarks,
     load_benchmarks,
     save_experiment_cell,
@@ -33,6 +37,7 @@ from repro.io.serialize import (
 __all__ = [
     "JournalState",
     "RunJournal",
+    "append_metrics",
     "benchmark_data_to_dict",
     "benchmark_data_from_dict",
     "experiment_cell_from_dict",
@@ -40,7 +45,10 @@ __all__ = [
     "fits_to_dict",
     "fits_from_dict",
     "load_experiment_cell",
+    "load_metrics",
     "load_spec",
+    "metrics_snapshot_from_dict",
+    "metrics_snapshot_to_dict",
     "save_benchmarks",
     "load_benchmarks",
     "save_experiment_cell",

@@ -157,6 +157,49 @@ def load_spec(path):
     return spec_from_dict(json.loads(Path(path).read_text()))
 
 
+# -- telemetry metric snapshots (JSONL) ----------------------------------------------
+
+
+def metrics_snapshot_to_dict(snapshot: dict, meta: dict | None = None) -> dict:
+    """One stamped telemetry snapshot (see ``MetricsRegistry.snapshot``)."""
+    return stamp({"meta": dict(meta or {}), "metrics": dict(snapshot)}, "metrics")
+
+
+def metrics_snapshot_from_dict(payload: dict) -> dict:
+    """The snapshot back out of a stamped record (header validated)."""
+    check_schema(payload, "metrics")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ConfigurationError("repro/metrics: 'metrics' must be an object")
+    return metrics
+
+
+def append_metrics(path, snapshot: dict, meta: dict | None = None) -> None:
+    """Append one telemetry snapshot as a JSONL record.
+
+    Snapshots accumulate one per line, so a long-running service can dump
+    its registry periodically into a single scrape-history file that
+    :func:`load_metrics` reads back as a time series.
+    """
+    record = json.dumps(
+        metrics_snapshot_to_dict(snapshot, meta),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    with Path(path).open("a") as handle:
+        handle.write(record + "\n")
+
+
+def load_metrics(path) -> list:
+    """All snapshots from a JSONL file written by :func:`append_metrics`."""
+    out = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(metrics_snapshot_from_dict(json.loads(line)))
+    return out
+
+
 # -- experiment cells (checkpoint/resume) --------------------------------------------
 
 

@@ -26,6 +26,8 @@ import threading
 
 from repro.expr.simplify import simplify
 from repro.kernels.kernel import BatchKernel, SmoothCore, SmoothKernel
+from repro import telemetry
+from repro.telemetry import names as metric
 from repro.util.timing import Counters
 
 __all__ = ["KernelCache", "default_cache"]
@@ -79,9 +81,12 @@ class KernelCache:
             core = self._smooth.get(key)
             if core is not None:
                 self.counters.incr("kernel_hits")
+                telemetry.count(metric.KERNEL_HITS)
             else:
                 self.counters.incr("kernel_misses")
                 self.counters.incr("kernel_compiles")
+                telemetry.count(metric.KERNEL_MISSES)
+                telemetry.count(metric.KERNEL_COMPILES)
                 core = SmoothCore(expr, evaluator)
                 self._smooth[key] = core
         return SmoothKernel(expr, index, evaluator=evaluator,
@@ -102,9 +107,12 @@ class KernelCache:
             kernel = self._batch.get(key)
             if kernel is not None:
                 self.counters.incr("kernel_hits")
+                telemetry.count(metric.KERNEL_HITS)
                 return kernel
             self.counters.incr("kernel_misses")
             self.counters.incr("kernel_compiles")
+            telemetry.count(metric.KERNEL_MISSES)
+            telemetry.count(metric.KERNEL_COMPILES)
             kernel = BatchKernel(exprs, index, counters=self.counters)
             self._batch[key] = kernel
             return kernel

@@ -31,6 +31,8 @@ from repro.minlp.options import BranchRule, MINLPOptions
 from repro.minlp.result import MINLPResult, MINLPStatus
 from repro.nlp.barrier import solve_nlp
 from repro.parallel.executor import ThreadExecutor
+from repro import telemetry
+from repro.telemetry import names as metric
 from repro.util.timing import Stopwatch
 
 __all__ = ["solve_nlp_bnb"]
@@ -94,6 +96,7 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
     opt = options or MINLPOptions()
     sw = Stopwatch()
     t0 = time.monotonic()
+    telemetry.count(metric.MINLP_SOLVES, solver="bnb")
     if model.objective is None:
         raise ModelError("model has no objective")
     if opt.require_convex and not model.is_certified_convex():
@@ -129,6 +132,7 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
                     model, obj_expr, plan.fixings, opt, cache
                 )
                 nlp_solves += solved
+                telemetry.count(metric.MINLP_NLP_SOLVES, solved, solver="bnb")
             if cand_env is not None and math.isfinite(cand_obj):
                 upper, incumbent = cand_obj, cand_env
                 rz["incumbent_seeded"] = 1
@@ -178,89 +182,93 @@ def solve_nlp_bnb(model: Model, options: MINLPOptions | None = None) -> MINLPRes
             if node.bound >= cutoff():
                 continue
             nodes += 1
+            telemetry.count(metric.MINLP_NODES, solver="bnb")
 
-            if spec is not None:
-                built = spec.built
-            else:
-                built = build_nlp(
-                    model, obj_expr, fixings={}, bounds=node.bounds,
-                    kernel_cache=cache, evaluator=opt.evaluator,
-                )
-            if built.infeasible_reason is not None:
-                continue
-            if built.fully_fixed:
-                env = dict(built.fixed)
-                if not model.check_point(env, tol=_NL_FEAS_TOL):
-                    if built.objective_value < upper:
-                        upper, incumbent = built.objective_value, env
-                continue
-
-            with sw.phase("nlp"):
+            with telemetry.span("bnb.node"):
                 if spec is not None:
-                    res = spec.handle.result()
+                    built = spec.built
                 else:
-                    x0 = _warm_x0(node, built.problem)
-                    res = solve_nlp(built.problem, x0=x0, options=opt.nlp_options)
-            nlp_solves += 1
-            if res.x is None:
-                continue  # infeasible node
-            env = dict(built.fixed)
-            env.update(res.value_map(built.problem.names))
-            if res.is_optimal:
-                # The barrier returns an interior point slightly above the true
-                # relaxation optimum; pad by the duality-gap proxy to keep the
-                # bound valid for pruning.
-                gap_pad = res.mu_final if math.isfinite(res.mu_final) else 0.0
-                bound = res.objective - gap_pad
-                node.bound = bound
-                if bound >= cutoff():
-                    continue
-            else:
-                # Unconverged relaxation: its value is NOT a valid bound — keep
-                # the inherited one and never prune on this solve.
-                bound = node.bound
-
-            frac_name = most_fractional_integer(model, env, opt.int_tol)
-            sos_viol = violated_sos_sets(model, env, opt.int_tol)
-            if frac_name is None and not sos_viol:
-                # Certify the point through the fixed-integer NLP: the node's
-                # own continuous values are a barrier interior point (slightly
-                # off the true optimum, and dependent on the node box), while
-                # NLP(y-hat) is a function of the integer fixings alone — so
-                # incumbents agree to the bit with the LP/NLP solver and with
-                # any reuse-seeded starting incumbent.
-                fixings = {
-                    v.name: float(round(env[v.name]))
-                    for v in model.integer_variables()
-                }
-                with sw.phase("nlp_fixed"):
-                    cand_env, cand_obj, solved = _solve_fixed_nlp(
-                        model, obj_expr, fixings, opt, cache
+                    built = build_nlp(
+                        model, obj_expr, fixings={}, bounds=node.bounds,
+                        kernel_cache=cache, evaluator=opt.evaluator,
                     )
-                    nlp_solves += solved
-                if cand_env is None:
-                    # Certification failed at the shared tolerance (rare
-                    # numerical corner): keep the node's own point.
-                    candidate = {
-                        k: (float(round(v)) if k in model.variables and model.variables[k].is_integral else v)
-                        for k, v in env.items()
-                    }
-                    if not model.check_point(candidate, tol=1e-5):
-                        cand_env = candidate
-                        cand_obj = float(obj_expr.evaluate(candidate))
-                if cand_env is not None and cand_obj < upper:
-                    upper, incumbent = cand_obj, cand_env
-                continue
+                if built.infeasible_reason is not None:
+                    continue
+                if built.fully_fixed:
+                    env = dict(built.fixed)
+                    if not model.check_point(env, tol=_NL_FEAS_TOL):
+                        if built.objective_value < upper:
+                            upper, incumbent = built.objective_value, env
+                    continue
 
-            if opt.branch_rule is BranchRule.SOS_FIRST and sos_viol:
-                target = max(sos_viol, key=lambda s: len(s.active_members(env, opt.int_tol)))
-                left, right = split_sos(target, env, node.bounds)
-            else:
-                if frac_name is None:
-                    raise SolverError("no branching candidate on a fractional node")
-                left, right = branch_integer(frac_name, env[frac_name], node.bounds)
-            for child_bounds in (left, right):
-                push_child(Node(bounds=child_bounds, bound=bound, depth=node.depth + 1, warm=dict(env)))
+                with sw.phase("nlp"), telemetry.span("bnb.nlp"):
+                    if spec is not None:
+                        res = spec.handle.result()
+                    else:
+                        x0 = _warm_x0(node, built.problem)
+                        res = solve_nlp(built.problem, x0=x0, options=opt.nlp_options)
+                nlp_solves += 1
+                telemetry.count(metric.MINLP_NLP_SOLVES, solver="bnb")
+                if res.x is None:
+                    continue  # infeasible node
+                env = dict(built.fixed)
+                env.update(res.value_map(built.problem.names))
+                if res.is_optimal:
+                    # The barrier returns an interior point slightly above the true
+                    # relaxation optimum; pad by the duality-gap proxy to keep the
+                    # bound valid for pruning.
+                    gap_pad = res.mu_final if math.isfinite(res.mu_final) else 0.0
+                    bound = res.objective - gap_pad
+                    node.bound = bound
+                    if bound >= cutoff():
+                        continue
+                else:
+                    # Unconverged relaxation: its value is NOT a valid bound — keep
+                    # the inherited one and never prune on this solve.
+                    bound = node.bound
+
+                frac_name = most_fractional_integer(model, env, opt.int_tol)
+                sos_viol = violated_sos_sets(model, env, opt.int_tol)
+                if frac_name is None and not sos_viol:
+                    # Certify the point through the fixed-integer NLP: the node's
+                    # own continuous values are a barrier interior point (slightly
+                    # off the true optimum, and dependent on the node box), while
+                    # NLP(y-hat) is a function of the integer fixings alone — so
+                    # incumbents agree to the bit with the LP/NLP solver and with
+                    # any reuse-seeded starting incumbent.
+                    fixings = {
+                        v.name: float(round(env[v.name]))
+                        for v in model.integer_variables()
+                    }
+                    with sw.phase("nlp_fixed"):
+                        cand_env, cand_obj, solved = _solve_fixed_nlp(
+                            model, obj_expr, fixings, opt, cache
+                        )
+                        nlp_solves += solved
+                        telemetry.count(metric.MINLP_NLP_SOLVES, solved, solver="bnb")
+                    if cand_env is None:
+                        # Certification failed at the shared tolerance (rare
+                        # numerical corner): keep the node's own point.
+                        candidate = {
+                            k: (float(round(v)) if k in model.variables and model.variables[k].is_integral else v)
+                            for k, v in env.items()
+                        }
+                        if not model.check_point(candidate, tol=1e-5):
+                            cand_env = candidate
+                            cand_obj = float(obj_expr.evaluate(candidate))
+                    if cand_env is not None and cand_obj < upper:
+                        upper, incumbent = cand_obj, cand_env
+                    continue
+
+                if opt.branch_rule is BranchRule.SOS_FIRST and sos_viol:
+                    target = max(sos_viol, key=lambda s: len(s.active_members(env, opt.int_tol)))
+                    left, right = split_sos(target, env, node.bounds)
+                else:
+                    if frac_name is None:
+                        raise SolverError("no branching candidate on a fractional node")
+                    left, right = branch_integer(frac_name, env[frac_name], node.bounds)
+                for child_bounds in (left, right):
+                    push_child(Node(bounds=child_bounds, bound=bound, depth=node.depth + 1, warm=dict(env)))
     finally:
         if ex is not None:
             ex.shutdown()

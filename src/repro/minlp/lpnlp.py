@@ -56,6 +56,8 @@ from repro.minlp.result import MINLPResult, MINLPStatus
 from repro.nlp.barrier import solve_nlp
 from repro.nlp.problem import NLPProblem
 from repro.parallel.executor import ThreadExecutor
+from repro import telemetry
+from repro.telemetry import names as metric
 from repro.util.timing import Stopwatch
 
 import numpy as np
@@ -108,6 +110,7 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
     opt = options or MINLPOptions()
     sw = Stopwatch()
     t0 = time.monotonic()
+    telemetry.count(metric.MINLP_SOLVES, solver="lpnlp")
 
     work, obj_expr = _prepare(model)
     if opt.require_convex and not work.is_certified_convex():
@@ -266,14 +269,14 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
             if spec is not None:
                 if spec.empty_box:
                     continue
-                with sw.phase("lp"):
+                with sw.phase("lp"), telemetry.span("lpnlp.lp"):
                     res = spec.handle.result()
             else:
                 try:
                     lp = master.lp_for_node(node.bounds)
                 except _EmptyBox:
                     continue
-                with sw.phase("lp"):
+                with sw.phase("lp"), telemetry.span("lpnlp.lp"):
                     res = solve_lp(
                         lp,
                         opt.lp_options,
@@ -281,6 +284,8 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
                     )
             nodes += 1
             lp_iterations += res.iterations
+            telemetry.count(metric.MINLP_NODES, solver="lpnlp")
+            telemetry.count(metric.MINLP_LP_ITERATIONS, res.iterations)
             if reuse is not None and root_warm is None and res.warm is not None:
                 # First solved LP: capture the root basis together with the
                 # cut rows it indexes, for replay by same-structure members.
@@ -420,6 +425,11 @@ def solve_lpnlp(model: Model, options: MINLPOptions | None = None) -> MINLPResul
             root_cuts=root_cuts,
             counters=rz,
         )
+
+    # Aggregate counts (identical to summing per-site increments) recorded
+    # once so the disabled fast path costs nothing inside the hot loop.
+    telemetry.count(metric.MINLP_NLP_SOLVES, nlp_solves, solver="lpnlp")
+    telemetry.count(metric.MINLP_CUTS_ADDED, cuts_added)
 
     best_bound = min(queue.best_open_bound(), upper)
     if status is MINLPStatus.OPTIMAL and incumbent is None:

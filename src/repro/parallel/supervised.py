@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
@@ -56,6 +55,9 @@ from repro.parallel.merge import TaskFailure, ordered_merge
 from repro.resilience.chaos import apply_ticket
 from repro.resilience.events import EventKind, EventLog
 from repro.resilience.retry import Deadline, RetryPolicy
+from repro import telemetry
+from repro.telemetry import names as metric
+from repro.util.timing import monotonic
 
 __all__ = ["PoisonedTask", "SupervisedProcessExecutor"]
 
@@ -121,14 +123,20 @@ def _worker_main(conn, heartbeat_interval: float) -> None:
         _, task_id, fn, payload, ticket = message
         current["task_id"] = task_id
         apply_ticket(ticket)  # chaos: may SIGKILL this process or sleep
+        # Telemetry: the fork-started child inherits the parent registry's
+        # counts, so attribute only what THIS task records by diffing
+        # against a pre-task mark; the delta rides home with the outcome
+        # and the supervisor merges it in submission order.
+        baseline = telemetry.mark()
         try:
             outcome = ("ok", fn(payload))
         except BaseException as exc:  # noqa: BLE001 - shipped to the merge
             outcome = ("err", exc)
+        delta = telemetry.export_delta(baseline)
         current["task_id"] = None
         try:
             with send_lock:
-                conn.send(("done", task_id, outcome))
+                conn.send(("done", task_id, outcome, delta))
         except (EOFError, OSError, BrokenPipeError):
             break
         except Exception as exc:  # unpicklable value/exception
@@ -143,6 +151,7 @@ def _worker_main(conn, heartbeat_interval: float) -> None:
                                 f"task outcome is not picklable: {exc}"
                             ),
                         ),
+                        delta,
                     )
                 )
     stop.set()
@@ -278,12 +287,14 @@ class SupervisedProcessExecutor:
 
     def _respawn(self, worker: _Worker) -> _Worker:
         """Retire ``worker`` (SIGKILL + join) and start a replacement."""
-        t0 = time.monotonic()
+        t0 = monotonic()
         worker.kill()
         replacement = self._spawn()
         self._procs[self._procs.index(worker)] = replacement
         self.stats["respawns"] += 1
-        self.stats["respawn_seconds"].append(time.monotonic() - t0)
+        self.stats["respawn_seconds"].append(monotonic() - t0)
+        telemetry.count(metric.FLEET_WORKER_RESPAWNS)
+        telemetry.observe(metric.FLEET_RESPAWN_SECONDS, monotonic() - t0)
         self.events.record(
             EventKind.WORKER_RESPAWN,
             "fleet",
@@ -358,7 +369,7 @@ class SupervisedProcessExecutor:
         worker.deadline = (
             Deadline(self.task_deadline) if self.task_deadline is not None else None
         )
-        worker.last_beat = time.monotonic()
+        worker.last_beat = monotonic()
         worker.conn.send(("task", worker.task_id, fn, payload, ticket))
 
     def _run(self, fn, payloads, *, progress, poison) -> list:
@@ -370,6 +381,11 @@ class SupervisedProcessExecutor:
         queue: deque = deque((index, 1) for index in range(len(payloads)))
         slots: list = [None] * len(payloads)
         done: list = [False] * len(payloads)
+        # Per-task telemetry deltas shipped back by workers, held in
+        # submission slots and merged in submission order after the run —
+        # the FamilyDelta discipline, so aggregated metrics are independent
+        # of completion order and worker count.
+        deltas: list = [None] * len(payloads)
         remaining = len(payloads)
 
         def finish(index: int, outcome) -> None:
@@ -384,6 +400,7 @@ class SupervisedProcessExecutor:
             """The task body raised: deterministic, no point retrying."""
             if poison:
                 self.stats["poisoned"] += 1
+                telemetry.count(metric.FLEET_TASKS_POISONED, reason="error")
                 outcome = PoisonedTask(
                     index, attempt, "error", f"{type(exc).__name__}: {exc}"
                 )
@@ -400,6 +417,10 @@ class SupervisedProcessExecutor:
             index, attempt = worker.index, worker.attempt
             kind = EventKind.WORKER_CRASH if reason == "crash" else EventKind.WORKER_HANG
             self.stats["crashes" if reason == "crash" else "hangs"] += 1
+            telemetry.count(
+                metric.FLEET_WORKER_CRASHES if reason == "crash"
+                else metric.FLEET_WORKER_HANGS
+            )
             self.events.record(
                 kind, "fleet",
                 f"task {index} (attempt {attempt}/{policy.max_attempts}): {detail}",
@@ -408,6 +429,7 @@ class SupervisedProcessExecutor:
             self._respawn(worker)
             if attempt < policy.max_attempts:
                 self.stats["retries"] += 1
+                telemetry.count(metric.FLEET_TASK_RETRIES)
                 policy.pause(policy.delay_for(attempt, self.seed, "fleet", str(index)))
                 queue.append((index, attempt + 1))
                 return
@@ -417,6 +439,7 @@ class SupervisedProcessExecutor:
             )
             if poison:
                 self.stats["poisoned"] += 1
+                telemetry.count(metric.FLEET_TASKS_POISONED, reason=reason)
                 outcome = PoisonedTask(index, attempt, reason, detail)
                 self.events.record(
                     EventKind.TASK_POISONED, "fleet", outcome.describe(),
@@ -446,7 +469,7 @@ class SupervisedProcessExecutor:
                     timeout=self.heartbeat_interval,
                 )
             )
-            now = time.monotonic()
+            now = monotonic()
             for worker in busy:
                 if worker.conn in ready:
                     try:
@@ -460,6 +483,11 @@ class SupervisedProcessExecutor:
                         continue
                     if message[0] == "hb":
                         if message[1] == worker.task_id:
+                            if worker.last_beat is not None:
+                                telemetry.observe(
+                                    metric.FLEET_HEARTBEAT_GAP_SECONDS,
+                                    now - worker.last_beat,
+                                )
                             worker.last_beat = now
                     elif message[0] == "done":
                         task_id, (tag, value) = message[1], message[2]
@@ -467,6 +495,8 @@ class SupervisedProcessExecutor:
                             continue  # stale echo from a superseded dispatch
                         index, attempt = worker.index, worker.attempt
                         worker.clear()
+                        if len(message) > 3:
+                            deltas[index] = message[3]
                         if tag == "ok":
                             finish(index, value)
                         else:
@@ -489,4 +519,8 @@ class SupervisedProcessExecutor:
                         f"no heartbeat for {now - worker.last_beat:.1f}s "
                         f"({self.heartbeat_misses} beats missed)",
                     )
+        for delta in deltas:
+            if delta is not None:
+                telemetry.merge_delta(delta)
+                telemetry.count(metric.FLEET_WORKER_DELTAS)
         return slots

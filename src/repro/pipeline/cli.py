@@ -12,6 +12,7 @@ shipped AMPL models to a NEOS server; this CLI is the local equivalent:
     hslb ampl --resolution 1deg --nodes 128    # print the layout model
     hslb serve --port 7461                     # tuning-as-a-service daemon
     hslb call solve --spec point.json          # ask a running service
+    hslb stats --port 7461                     # render a service's statistics
 """
 
 from __future__ import annotations
@@ -297,6 +298,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_call.add_argument("--timeout", type=float, default=300.0,
                         metavar="SECONDS", help="client socket timeout")
     p_call.add_argument("--client-id", default="cli", metavar="ID")
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="fetch a running service's statistics and render them "
+        "(tier hit rates, batch sizes, worker supervision, telemetry)",
+    )
+    p_stats.add_argument("--host", default="127.0.0.1")
+    p_stats.add_argument("--port", type=int, default=7461)
+    p_stats.add_argument("--timeout", type=float, default=30.0,
+                         metavar="SECONDS", help="client socket timeout")
+    p_stats.add_argument("--client-id", default="cli", metavar="ID")
+    fmt = p_stats.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="print the raw stats payload as JSON")
+    fmt.add_argument(
+        "--prometheus", action="store_true",
+        help="print the daemon's telemetry snapshot in Prometheus text "
+        "exposition format (daemon must run with REPRO_TELEMETRY=1)",
+    )
     return parser
 
 
@@ -859,6 +879,108 @@ def cmd_call(args) -> int:
     return 0 if response.ok else 1
 
 
+def _render_stats(stats: dict) -> str:
+    """Human-readable report for a ``stats`` verb payload."""
+    from repro.util.tables import TextTable
+
+    lines = []
+    service = stats.get("service") or {}
+    lines.append(
+        f"backend: {stats.get('backend', '?')}   "
+        f"in flight: {service.get('in_flight', '?')}/"
+        f"{service.get('max_queue', '?')}   "
+        f"events: {stats.get('events', 0)}"
+    )
+
+    counters = stats.get("counters") or {}
+    requests = counters.get("requests", 0)
+    answered = TextTable(["tier", "answered", "rate"], title="request tiers")
+    for label, key in (
+        ("exact", "exact_hits"),
+        ("warm", "warm_hits"),
+        ("cold", "cold_solves"),
+        ("dedup", "dedup_hits"),
+    ):
+        count = counters.get(key, 0)
+        rate = f"{count / requests:.1%}" if requests else "-"
+        answered.add_row([label, count, rate])
+    lines.append("")
+    lines.append(answered.render())
+    shed = ", ".join(
+        f"{key}: {counters.get(key, 0)}"
+        for key in ("rejected", "expired", "errors", "poisoned")
+    )
+    lines.append(f"requests: {requests}   {shed}")
+
+    batch_sizes = stats.get("batch_sizes") or {}
+    if batch_sizes:
+        table = TextTable(["batch size", "dispatches"],
+                          title="dispatch-group sizes")
+        for size in sorted(batch_sizes, key=int):
+            table.add_row([size, batch_sizes[size]])
+        lines.append("")
+        lines.append(table.render())
+
+    exact = stats.get("exact") or {}
+    warm = stats.get("warm") or {}
+    lines.append("")
+    lines.append(
+        f"exact cache: {exact.get('entries', 0)}/{exact.get('capacity', 0)} "
+        f"entries, {exact.get('evictions', 0)} evictions"
+    )
+    lines.append(
+        f"warm pools: {warm.get('channels', 0)}/{warm.get('capacity', 0)} "
+        f"channels, {warm.get('evictions', 0)} evictions, "
+        f"{warm.get('downgrades', 0)} downgrades, "
+        f"{warm.get('solves', 0)} solves absorbed"
+    )
+
+    supervision = stats.get("supervision")
+    if supervision:
+        lines.append(
+            "workers: "
+            + ", ".join(f"{k}: {v}" for k, v in sorted(supervision.items()))
+        )
+
+    if stats.get("telemetry") is not None:
+        from repro.telemetry import render_report
+
+        lines.append("")
+        lines.append(render_report(stats["telemetry"]).rstrip("\n"))
+    else:
+        lines.append("telemetry: disabled (serve with REPRO_TELEMETRY=1)")
+    return "\n".join(lines)
+
+
+def cmd_stats(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(
+        args.host, args.port, timeout=args.timeout, client_id=args.client_id
+    ) as client:
+        stats = client.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    if args.prometheus:
+        snapshot = stats.get("telemetry")
+        if snapshot is None:
+            print(
+                "error: daemon is running without telemetry; restart it "
+                "with REPRO_TELEMETRY=1 to scrape metrics",
+                file=sys.stderr,
+            )
+            return 1
+        from repro.telemetry import to_prometheus
+
+        sys.stdout.write(to_prometheus(snapshot))
+        return 0
+    print(_render_stats(stats))
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -874,6 +996,7 @@ def main(argv=None) -> int:
         "spec": lambda: cmd_spec(args),
         "serve": lambda: cmd_serve(args),
         "call": lambda: cmd_call(args),
+        "stats": lambda: cmd_stats(args),
     }
     try:
         return handlers[args.command]()

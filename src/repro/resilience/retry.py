@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError, DeadlineExceededError
 from repro.util.rng import keyed_rng
+from repro.util.timing import monotonic
 
 
 @dataclass(frozen=True)
@@ -85,10 +86,13 @@ class RetryPolicy:
 class Deadline:
     """Wall-clock budget measured from construction.
 
-    ``seconds=None`` means unlimited.  ``clock`` is injectable for tests.
+    ``seconds=None`` means unlimited.  ``clock`` is injectable for tests;
+    the default is the shared :func:`repro.util.timing.monotonic` helper,
+    the same clock telemetry spans and stopwatches read, so a span around
+    a deadline-checked stage can never disagree with the deadline.
     """
 
-    def __init__(self, seconds: float | None = None, clock=time.monotonic):
+    def __init__(self, seconds: float | None = None, clock=monotonic):
         if seconds is not None and seconds <= 0:
             raise ConfigurationError("Deadline seconds must be positive")
         self.seconds = None if seconds is None else float(seconds)

@@ -43,8 +43,22 @@ from dataclasses import dataclass, field
 from repro.parallel.executor import executor_scope
 from repro.reuse.fbbt import fbbt_root_bounds
 from repro.spec.schema import spec_key
+from repro import telemetry
+from repro.telemetry import names as metric
 
 __all__ = ["SolveFamily", "ReusePlan", "FamilyDelta", "family_map"]
+
+#: Solver-reported reuse counters that surface as telemetry series when a
+#: registry is active (recorded at absorb time, once per finished solve —
+#: merge_delta does NOT re-record them, because a worker's registry already
+#: counted its own absorbs and ships them through the telemetry delta).
+_TELEMETRY_COUNTERS = {
+    "cuts_carried": metric.REUSE_CUTS_CARRIED,
+    "incumbent_seeded": metric.REUSE_INCUMBENT_SEEDED,
+    "incumbent_rejected": metric.REUSE_INCUMBENT_REJECTED,
+    "basis_reused": metric.REUSE_BASIS_REUSED,
+    "seed_nlp_skipped": metric.REUSE_SEED_NLP_SKIPPED,
+}
 
 
 def _cut_key(cut) -> tuple:
@@ -190,6 +204,7 @@ class SolveFamily:
         validity tags.
         """
         plan = ReusePlan()
+        telemetry.count(metric.REUSE_PLANS)
         if bodies is None:
             bodies = [
                 (c.name, body)
@@ -313,6 +328,9 @@ class SolveFamily:
             self._basis[key] = (root_warm, row_keys)
         for name, val in (counters or {}).items():
             self.counters[name] = self.counters.get(name, 0) + val
+            mapped = _TELEMETRY_COUNTERS.get(name)
+            if mapped is not None and val:
+                telemetry.count(mapped, val)
 
     def _append_cut(self, tag: str, cut) -> None:
         key = _cut_key(cut)

@@ -38,6 +38,8 @@ from collections import OrderedDict
 from repro.exceptions import ConfigurationError
 from repro.resilience.events import EventKind
 from repro.reuse import SolveFamily
+from repro import telemetry
+from repro.telemetry import names as metric
 
 __all__ = ["ExactCache", "WarmPools"]
 
@@ -61,9 +63,11 @@ class ExactCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                telemetry.count(metric.EXACT_MISSES)
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            telemetry.count(metric.EXACT_HITS)
             return entry
 
     def put(self, key: str, payload: dict) -> None:
@@ -74,6 +78,7 @@ class ExactCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                telemetry.count(metric.EXACT_EVICTIONS)
 
     def __len__(self) -> int:
         with self._lock:
@@ -145,6 +150,7 @@ class WarmPools:
             while len(self._pools) > self.capacity:
                 evicted_channel, _ = self._pools.popitem(last=False)
                 self.evictions += 1
+                telemetry.count(metric.WARM_POOL_EVICTED)
                 if self.events is not None:
                     self.events.record(
                         EventKind.WARM_POOL_EVICTED,
@@ -155,6 +161,7 @@ class WarmPools:
         else:
             self._pools.move_to_end(channel)
         warm = pool.solves > 0
+        telemetry.count(metric.WARM_POOL_LEASES, tier="warm" if warm else "cold")
         if pool.widen(total_nodes) and pool.family.enable_cuts:
             # Same rationale as SolveFamily.for_counts: cuts, pseudocosts
             # and FBBT transfer well between near-identical budgets but can
@@ -165,6 +172,7 @@ class WarmPools:
             pool.family.enable_pseudocosts = False
             pool.family.enable_fbbt = False
             self.downgrades += 1
+            telemetry.count(metric.WARM_POOL_DOWNGRADED)
             if self.events is not None:
                 self.events.record(
                     EventKind.WARM_POOL_DOWNGRADED,

@@ -6,6 +6,15 @@ batch script or CLI wants.  Responses are typed
 is returned, not raised — callers branch on ``response.status`` exactly
 like the daemon produced it.  :meth:`ServiceClient.result` is the
 raise-on-failure convenience for callers that only want answers.
+
+Admission retries are **opt-in**: pass ``retry_rejected`` (a
+:class:`~repro.resilience.RetryPolicy`) and solve calls answered
+``rejected`` by admission control are re-sent after the policy's capped
+deterministic backoff, up to ``max_attempts`` total sends.  Only
+``rejected`` retries — an ``expired``/``error``/``poisoned`` answer is a
+property of the request, not of daemon load, and re-sending it would
+just repeat the failure.  The default (``None``) preserves the original
+one-shot behavior exactly.
 """
 
 from __future__ import annotations
@@ -18,12 +27,15 @@ from repro.exceptions import (
     ProtocolError,
     ServiceError,
 )
+from repro.resilience.retry import RetryPolicy
 from repro.service.protocol import (
     ServiceRequest,
     ServiceResponse,
     decode_line,
     encode_line,
 )
+from repro import telemetry
+from repro.telemetry import names as metric
 
 __all__ = ["ServiceClient"]
 
@@ -41,8 +53,12 @@ class ServiceClient:
         port: int = 0,
         timeout: float = 300.0,
         client_id: str = "",
+        retry_rejected: RetryPolicy | None = None,
+        retry_seed: int = 0,
     ):
         self.client_id = client_id
+        self.retry_rejected = retry_rejected
+        self.retry_seed = int(retry_seed)
         self._counter = 0
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
@@ -69,13 +85,30 @@ class ServiceClient:
 
     def _solve(self, kind: str, spec, deadline=None, id: str = "") -> ServiceResponse:
         body = spec if isinstance(spec, dict) else spec.to_dict()
-        return self.call(ServiceRequest(
+        request = ServiceRequest(
             kind=kind,
             spec=body,
             id=id or self._next_id(),
             client=self.client_id,
             deadline=deadline,
-        ))
+        )
+        policy = self.retry_rejected
+        if policy is None:
+            return self.call(request)
+        # Admission backoff: re-send the SAME request (same id) while the
+        # daemon sheds load.  Delays come from the policy's deterministic
+        # capped-exponential schedule keyed by (seed, request id, attempt),
+        # so a retry trace replays exactly.
+        attempt = 1
+        while True:
+            response = self.call(request)
+            if response.status != "rejected" or attempt >= policy.max_attempts:
+                return response
+            telemetry.count(metric.CLIENT_REJECTED_RETRIES)
+            policy.pause(
+                policy.delay_for(attempt, self.retry_seed, "client", request.id)
+            )
+            attempt += 1
 
     # -- request helpers ---------------------------------------------------------
 

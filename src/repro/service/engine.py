@@ -57,6 +57,8 @@ from repro.service.protocol import (
 )
 from repro.spec import SolvePointSpec, TuneSpec
 from repro.spec.schema import spec_key
+from repro import telemetry
+from repro.telemetry import names as metric
 
 __all__ = [
     "ServiceConfig",
@@ -341,6 +343,10 @@ class ServiceEngine:
         self.exact = ExactCache(self.config.exact_capacity)
         self.warm = WarmPools(self.config.warm_capacity, events=self.events)
         self.counters = dict.fromkeys(_COUNTER_NAMES, 0)
+        # Always-on dispatch-group size distribution ({size: count}), kept
+        # outside telemetry so `hslb stats` can report batching behavior
+        # against a daemon that runs with telemetry disabled.
+        self.batch_sizes: dict = {}
         self._lock = threading.Lock()
         self._executor: SupervisedProcessExecutor | None = None
 
@@ -396,6 +402,7 @@ class ServiceEngine:
             return None
         self.note("requests")
         self.note("exact_hits")
+        telemetry.count(metric.SERVICE_REQUESTS, status="ok", tier="exact")
         return ServiceResponse(
             id=parsed.id, status="ok", tier="exact", result=dict(cached)
         )
@@ -414,6 +421,9 @@ class ServiceEngine:
         if not group:
             return []
         self.note("requests", len(group))
+        with self._lock:
+            self.batch_sizes[len(group)] = self.batch_sizes.get(len(group), 0) + 1
+        telemetry.observe(metric.SERVICE_BATCH_SIZE, len(group))
         if len(group) > 1:
             self.note("batches")
             self.note("batched_requests", len(group))
@@ -432,7 +442,7 @@ class ServiceEngine:
             else:
                 todo.append(i)
         if not todo:
-            return responses
+            return self._note_responses(responses)
 
         # Dedupe by spec_key; solve order is descending budget (ties by
         # arrival), the whatif ladder discipline.
@@ -470,6 +480,16 @@ class ServiceEngine:
                         id=group[i].id, status=outcome.status,
                         error=dict(outcome.error), meta=dict(outcome.meta),
                     )
+        return self._note_responses(responses)
+
+    def _note_responses(self, responses: list) -> list:
+        """Record the per-request status/tier telemetry series; passthrough."""
+        if telemetry.enabled():
+            for resp in responses:
+                telemetry.count(
+                    metric.SERVICE_REQUESTS,
+                    status=resp.status, tier=resp.tier or "none",
+                )
         return responses
 
     def _dispatch_points(self, leaders: list) -> tuple:
@@ -584,19 +604,28 @@ class ServiceEngine:
     def stats(self) -> dict:
         with self._lock:
             counters = dict(self.counters)
+            batch_sizes = {
+                str(size): self.batch_sizes[size]
+                for size in sorted(self.batch_sizes)
+            }
         supervision = None
         if self._executor is not None:
             supervision = {
                 k: v for k, v in self._executor.stats.items()
                 if k != "respawn_seconds"
             }
+        registry = telemetry.get_registry()
         return {
             "backend": self.config.backend,
             "counters": counters,
+            "batch_sizes": batch_sizes,
             "exact": self.exact.stats(),
             "warm": self.warm.stats(),
             "supervision": supervision,
             "events": len(self.events),
+            # Full metric snapshot when the daemon runs with telemetry on;
+            # None otherwise.  JSON-safe, so it rides the stats verb as-is.
+            "telemetry": None if registry is None else registry.snapshot(),
         }
 
     def shutdown(self) -> None:

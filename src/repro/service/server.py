@@ -42,12 +42,16 @@ from repro.resilience.events import EventKind, EventLog
 from repro.resilience.retry import Deadline
 from repro.service.engine import ServiceConfig, ServiceEngine, group_compatible
 from repro.service.protocol import (
+    SOLVE_KINDS,
     ServiceRequest,
     ServiceResponse,
     decode_line,
     encode_line,
     error_response,
 )
+from repro import telemetry
+from repro.telemetry import names as metric
+from repro.util.timing import monotonic
 
 __all__ = ["TuningDaemon", "ServiceHandle", "serve_in_thread"]
 
@@ -200,6 +204,19 @@ class TuningDaemon:
             await self._send(writer, lock, response)
 
     async def _answer(self, request: ServiceRequest) -> ServiceResponse | None:
+        if telemetry.enabled() and request.kind in SOLVE_KINDS:
+            # End-to-end service latency: admission + queueing + batching
+            # window + solve, everything a client actually waits for.
+            t0 = monotonic()
+            response = await self._answer_inner(request)
+            telemetry.observe(
+                metric.SERVICE_REQUEST_SECONDS, monotonic() - t0,
+                kind=request.kind,
+            )
+            return response
+        return await self._answer_inner(request)
+
+    async def _answer_inner(self, request: ServiceRequest) -> ServiceResponse | None:
         engine = self.engine
         if request.kind == "ping":
             return ServiceResponse(id=request.id, status="ok",
@@ -238,6 +255,8 @@ class TuningDaemon:
                 if not self._stopping else
                 f"request {request.id or '<anonymous>'} refused: shutting down",
             )
+            telemetry.count(metric.SERVICE_REQUESTS, status="rejected",
+                            tier="none")
             return error_response(
                 request.id, "rejected", "AdmissionError",
                 "service is shutting down" if self._stopping
@@ -252,11 +271,13 @@ class TuningDaemon:
             future=self._loop.create_future(),
         )
         self._inflight += 1
+        telemetry.gauge(metric.SERVICE_QUEUE_DEPTH, self._inflight)
         try:
             self._queue.put_nowait(queued)
             return await queued.future
         finally:
             self._inflight -= 1
+            telemetry.gauge(metric.SERVICE_QUEUE_DEPTH, self._inflight)
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -289,6 +310,8 @@ class TuningDaemon:
                             f"expired after {queued.deadline.seconds:.3f}s "
                             "in the queue",
                         )
+                        telemetry.count(metric.SERVICE_REQUESTS,
+                                        status="expired", tier="none")
                         self._finish(queued, error_response(
                             queued.parsed.id, "expired", "DeadlineExceededError",
                             f"request deadline ({queued.deadline.seconds:.3f}s) "

@@ -1,0 +1,162 @@
+"""repro.telemetry — metrics, tracing spans, and exporters.
+
+The observability layer for the whole library: solvers, the kernel
+cache, the reuse machinery, the supervised fleet, and the tuning
+service all record into one process-local
+:class:`~repro.telemetry.registry.MetricsRegistry` through the
+module-level helpers here.
+
+**Off by default, and free when off.**  The helpers read one module
+global; when no registry is active (:data:`_ACTIVE` is ``None``),
+:func:`count`/:func:`observe`/:func:`gauge` return immediately and
+:func:`span` returns a shared no-op singleton — a global load and a
+``None`` check per call site.  Telemetry only ever *records*; no solver
+or service decision reads it, so enabled and disabled runs are
+bit-identical by construction (the differential tests assert it).
+
+Enable explicitly::
+
+    import repro.telemetry as telemetry
+    telemetry.enable()
+    ...
+    print(telemetry.render_report(telemetry.get_registry().snapshot()))
+
+or set ``REPRO_TELEMETRY=1`` in the environment before the first import
+to auto-enable (how the CI telemetry job and the daemon under
+observation turn it on without code changes).
+
+:func:`monotonic` is re-exported from :mod:`repro.util.timing`: spans,
+stopwatches, deadlines and heartbeats all read the same clock.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.telemetry import names
+from repro.telemetry.export import render_report, to_prometheus
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import NOOP_SPAN, SpanRecord, SpanRecorder
+from repro.util.timing import monotonic
+
+__all__ = [
+    "MetricsRegistry",
+    "SpanRecord",
+    "SpanRecorder",
+    "names",
+    "enable",
+    "disable",
+    "enabled",
+    "get_registry",
+    "count",
+    "gauge",
+    "observe",
+    "span",
+    "to_prometheus",
+    "render_report",
+    "monotonic",
+]
+
+#: The active registry, or ``None`` when telemetry is off.  Module-level
+#: so the disabled fast path is a single global load per call.
+_ACTIVE: MetricsRegistry | None = None
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Turn telemetry on, optionally installing a caller-owned registry.
+
+    Idempotent: enabling while already enabled keeps the current
+    registry unless a new one is passed.  Returns the active registry.
+    """
+    global _ACTIVE
+    if registry is not None:
+        _ACTIVE = registry
+    elif _ACTIVE is None:
+        _ACTIVE = MetricsRegistry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Turn telemetry off; recorded data is dropped with the registry."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def get_registry() -> MetricsRegistry | None:
+    """The active registry, or ``None`` when disabled."""
+    return _ACTIVE
+
+
+# -- fast-path recording helpers (safe to call unconditionally) ---------------------
+
+
+def count(name: str, amount: float = 1, **labels) -> None:
+    """Increment a counter on the active registry (no-op when disabled)."""
+    if _ACTIVE is not None:
+        _ACTIVE.count(name, amount, **labels)
+
+
+def gauge(name: str, value: float, **labels) -> None:
+    """Set a gauge on the active registry (no-op when disabled)."""
+    if _ACTIVE is not None:
+        _ACTIVE.gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    if _ACTIVE is not None:
+        _ACTIVE.observe(name, value, **labels)
+
+
+def span(name: str):
+    """A context manager timing one unit of work.
+
+    Disabled: returns the shared :data:`~repro.telemetry.spans.NOOP_SPAN`
+    singleton (zero allocation).  Enabled: a live span that nests on the
+    calling thread's stack and lands in the registry's ring buffer and
+    ``(name, parent)`` aggregates.
+    """
+    if _ACTIVE is None:
+        return NOOP_SPAN
+    return _ACTIVE.spans.open(name)
+
+
+# -- delta shipping (supervised workers) --------------------------------------------
+
+
+def mark() -> dict | None:
+    """A delta baseline, or ``None`` when disabled."""
+    return None if _ACTIVE is None else _ACTIVE.mark()
+
+
+def export_delta(baseline: dict | None) -> dict | None:
+    """Everything recorded since :func:`mark` (``None`` when disabled).
+
+    A ``None`` baseline (telemetry enabled after the mark, or disabled
+    at mark time) exports the full current state — with fork-started
+    workers the child inherits the parent's counts, which is why callers
+    always mark before the work they want attributed.
+    """
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.export_delta(baseline if baseline is not None else {})
+
+
+def merge_delta(delta: dict | None) -> None:
+    """Fold a worker-shipped delta into the active registry.
+
+    Tolerates ``None`` (worker had telemetry off) and being disabled
+    locally (delta dropped) so call sites need no conditionals.
+    """
+    if delta is not None and _ACTIVE is not None:
+        _ACTIVE.merge_delta(delta)
+
+
+if os.environ.get("REPRO_TELEMETRY", "").strip().lower() in (
+    "1", "true", "on", "yes",
+):
+    enable()

@@ -1,0 +1,172 @@
+"""Exporters for registry snapshots: Prometheus text format and a report table.
+
+Both exporters consume the JSON-safe dict from
+:meth:`~repro.telemetry.registry.MetricsRegistry.snapshot`, never the
+registry itself, so a snapshot loaded from disk (or shipped over the
+service protocol by the ``stats`` verb) exports identically to a live
+one.
+
+The Prometheus exposition rules applied here:
+
+- metric names rewrite ``.`` to ``_`` (dots are invalid in the format);
+- histogram bucket counts are *cumulated* at export time — internally
+  the registry keeps per-bucket counts — and emitted as
+  ``name_bucket{le="..."}`` series ending in ``le="+Inf"``, plus
+  ``name_sum`` and ``name_count``;
+- label values escape backslash, double-quote and newline;
+- every family gets one ``# TYPE`` line, and span aggregates export as a
+  pair of synthetic families ``repro_span_seconds_total`` /
+  ``repro_span_count_total`` labeled by name and parent.
+"""
+
+from __future__ import annotations
+
+from repro.util.tables import TextTable, format_seconds
+
+__all__ = ["to_prometheus", "render_report"]
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _escape(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(merged[key])}"' for key in sorted(merged)
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines = []
+    for name, series in snapshot.get("counters", {}).items():
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        for entry in series:
+            lines.append(
+                f"{prom}{_labels(entry['labels'])} "
+                f"{_format_value(entry['value'])}"
+            )
+    for name, series in snapshot.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        for entry in series:
+            lines.append(
+                f"{prom}{_labels(entry['labels'])} "
+                f"{_format_value(entry['value'])}"
+            )
+    for name, series in snapshot.get("histograms", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        for entry in series:
+            cumulative = 0
+            for bound, count in zip(entry["bounds"], entry["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{prom}_bucket{_labels(entry['labels'], {'le': _format_value(float(bound))})} "
+                    f"{cumulative}"
+                )
+            cumulative += entry["counts"][-1]
+            lines.append(
+                f"{prom}_bucket{_labels(entry['labels'], {'le': '+Inf'})} "
+                f"{cumulative}"
+            )
+            lines.append(
+                f"{prom}_sum{_labels(entry['labels'])} "
+                f"{_format_value(float(entry['sum']))}"
+            )
+            lines.append(
+                f"{prom}_count{_labels(entry['labels'])} {entry['count']}"
+            )
+    spans = snapshot.get("spans", {})
+    if spans:
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for agg in spans.values():
+            labels = {"name": agg["name"], "parent": agg["parent"] or ""}
+            lines.append(
+                f"repro_span_seconds_total{_labels(labels)} "
+                f"{_format_value(float(agg['seconds']))}"
+            )
+        lines.append("# TYPE repro_span_count_total counter")
+        for agg in spans.values():
+            labels = {"name": agg["name"], "parent": agg["parent"] or ""}
+            lines.append(
+                f"repro_span_count_total{_labels(labels)} "
+                f"{_format_value(agg['count'])}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={labels[k]}" for k in sorted(labels)) + "}"
+
+
+def render_report(snapshot: dict) -> str:
+    """A human-readable table of every series in the snapshot."""
+    sections = []
+
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if counters or gauges:
+        table = TextTable(["metric", "labels", "value"])
+        for name, series in counters.items():
+            for entry in series:
+                table.add_row([name, _labels_text(entry["labels"]) or "-",
+                               _format_value(entry["value"])])
+        for name, series in gauges.items():
+            for entry in series:
+                table.add_row([name, _labels_text(entry["labels"]) or "-",
+                               _format_value(entry["value"])])
+        sections.append("counters and gauges\n" + table.render())
+
+    hists = snapshot.get("histograms", {})
+    if hists:
+        table = TextTable(["histogram", "labels", "count", "sum", "mean"])
+        for name, series in hists.items():
+            for entry in series:
+                count = entry["count"]
+                mean = entry["sum"] / count if count else 0.0
+                table.add_row([
+                    name, _labels_text(entry["labels"]) or "-", str(count),
+                    format_seconds(entry["sum"]), format_seconds(mean),
+                ])
+        sections.append("histograms\n" + table.render())
+
+    spans = snapshot.get("spans", {})
+    if spans:
+        table = TextTable(["span", "parent", "count", "seconds", "mean"])
+        for agg in spans.values():
+            count = agg["count"]
+            mean = agg["seconds"] / count if count else 0.0
+            table.add_row([
+                agg["name"], agg["parent"] or "-", str(count),
+                format_seconds(agg["seconds"]), format_seconds(mean),
+            ])
+        sections.append("spans\n" + table.render())
+
+    if not sections:
+        return "(no telemetry recorded)\n"
+    return "\n\n".join(sections) + "\n"

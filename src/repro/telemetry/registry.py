@@ -1,0 +1,265 @@
+"""The process-local metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds every series a process records.  The
+design constraints come from the rest of the library:
+
+- **Deterministic structure.**  Metric *values* are timing-dependent,
+  but the series that exist, their label sets and their histogram bucket
+  bounds are pure functions of the code path taken — bounds come from
+  the :mod:`~repro.telemetry.names` catalog, never from observed data —
+  so two processes running the same work produce mergeable, comparable
+  snapshots.
+- **Cross-process aggregation.**  Supervised workers record into their
+  own registry and ship the *delta* accumulated during each task back
+  with the task's result (:meth:`mark` / :meth:`export_delta`); the
+  parent folds deltas in submission order with :meth:`merge_delta` —
+  the same discipline :class:`~repro.reuse.FamilyDelta` uses.  Counter
+  and histogram merges are additive, gauges are last-write-wins, so the
+  merged registry equals what one process doing all the work would hold.
+- **Thread safety.**  The service daemon touches one registry from the
+  event loop, the solver thread and the supervisor; every mutation takes
+  the registry lock.  (The fast *disabled* path never reaches here — see
+  :func:`repro.telemetry.count`.)
+
+Snapshots are plain JSON-safe dicts (sorted, canonical label encoding),
+ready for the exporters in :mod:`repro.telemetry.export` and for
+:mod:`repro.io` persistence.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.names import buckets_for
+from repro.telemetry.spans import SpanRecorder
+
+__all__ = ["MetricsRegistry", "labels_key"]
+
+
+def labels_key(labels: dict) -> tuple:
+    """Canonical hashable identity of one label set (sorted pairs)."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Hist:
+    """One histogram series: per-bucket counts plus sum/count."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple):
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms with labeled series.
+
+    ``span_capacity`` bounds the tracing ring buffer (see
+    :class:`~repro.telemetry.spans.SpanRecorder`).
+    """
+
+    def __init__(self, span_capacity: int = 4096):
+        self._lock = threading.Lock()
+        self._counters: dict = {}   # name -> {labels_key: value}
+        self._gauges: dict = {}     # name -> {labels_key: value}
+        self._hists: dict = {}      # name -> {labels_key: _Hist}
+        self.spans = SpanRecorder(span_capacity)
+
+    # -- recording ---------------------------------------------------------------
+
+    def count(self, name: str, amount: float = 1, **labels) -> None:
+        """Add ``amount`` to counter ``name`` for this label set."""
+        key = labels_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0) + amount
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        key = labels_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        Bucket bounds are fixed by the :mod:`~repro.telemetry.names`
+        catalog at first use — never derived from the data — so the same
+        metric buckets identically in every process.
+        """
+        key = labels_key(labels)
+        with self._lock:
+            series = self._hists.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = _Hist(buckets_for(name))
+            hist.observe(float(value))
+
+    # -- reading (tests and reports) ---------------------------------------------
+
+    def get_count(self, name: str, **labels):
+        """Current counter value (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, {}).get(labels_key(labels), 0)
+
+    def get_gauge(self, name: str, **labels):
+        with self._lock:
+            return self._gauges.get(name, {}).get(labels_key(labels))
+
+    def counter_total(self, name: str):
+        """Sum of counter ``name`` across all label sets."""
+        with self._lock:
+            return sum(self._counters.get(name, {}).values())
+
+    # -- snapshots ---------------------------------------------------------------
+
+    @staticmethod
+    def _series_list(series: dict, render) -> list:
+        return [
+            {"labels": dict(key), **render(value)}
+            for key, value in sorted(series.items())
+        ]
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of every series, sorted for stable output."""
+        with self._lock:
+            counters = {
+                name: self._series_list(series, lambda v: {"value": v})
+                for name, series in sorted(self._counters.items())
+            }
+            gauges = {
+                name: self._series_list(series, lambda v: {"value": v})
+                for name, series in sorted(self._gauges.items())
+            }
+            hists = {
+                name: self._series_list(
+                    series,
+                    lambda h: {
+                        "bounds": list(h.bounds),
+                        "counts": list(h.counts),
+                        "sum": h.sum,
+                        "count": h.count,
+                    },
+                )
+                for name, series in sorted(self._hists.items())
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+            "spans": self.spans.aggregates(),
+        }
+
+    # -- cross-process deltas (the FamilyDelta discipline) -------------------------
+
+    def mark(self) -> dict:
+        """A baseline for :meth:`export_delta` (a plain snapshot)."""
+        return self.snapshot()
+
+    def export_delta(self, mark: dict) -> dict:
+        """Everything recorded since ``mark``, as a mergeable JSON-safe dict.
+
+        Counters and histogram counts/sums are subtracted; gauges carry
+        their current value (merge is last-write-wins); span aggregates
+        subtract like counters.  Empty diffs are dropped, so an idle
+        interval exports ``{}``-shaped sections.
+        """
+        now = self.snapshot()
+        delta = {"counters": {}, "gauges": now["gauges"], "histograms": {},
+                 "spans": {}}
+        for name, series in now["counters"].items():
+            base = _by_labels(mark.get("counters", {}).get(name, []))
+            diffs = []
+            for entry in series:
+                prev = base.get(labels_key(entry["labels"]), {"value": 0})
+                d = entry["value"] - prev["value"]
+                if d:
+                    diffs.append({"labels": entry["labels"], "value": d})
+            if diffs:
+                delta["counters"][name] = diffs
+        for name, series in now["histograms"].items():
+            base = _by_labels(mark.get("histograms", {}).get(name, []))
+            diffs = []
+            for entry in series:
+                prev = base.get(labels_key(entry["labels"]))
+                if prev is None:
+                    d_counts = list(entry["counts"])
+                    d_sum, d_count = entry["sum"], entry["count"]
+                else:
+                    if list(prev["bounds"]) != list(entry["bounds"]):
+                        raise ConfigurationError(
+                            f"histogram {name!r} changed bucket bounds between "
+                            "mark and delta export"
+                        )
+                    d_counts = [a - b for a, b in zip(entry["counts"], prev["counts"])]
+                    d_sum = entry["sum"] - prev["sum"]
+                    d_count = entry["count"] - prev["count"]
+                if d_count:
+                    diffs.append({
+                        "labels": entry["labels"], "bounds": list(entry["bounds"]),
+                        "counts": d_counts, "sum": d_sum, "count": d_count,
+                    })
+            if diffs:
+                delta["histograms"][name] = diffs
+        for key, agg in now["spans"].items():
+            prev = mark.get("spans", {}).get(key, {"count": 0, "seconds": 0.0})
+            d_count = agg["count"] - prev["count"]
+            if d_count:
+                delta["spans"][key] = {
+                    "name": agg["name"], "parent": agg["parent"],
+                    "count": d_count, "seconds": agg["seconds"] - prev["seconds"],
+                }
+        return delta
+
+    def merge_delta(self, delta: dict) -> None:
+        """Fold a worker's :meth:`export_delta` in (submission order)."""
+        for name, series in delta.get("counters", {}).items():
+            for entry in series:
+                self.count(name, entry["value"], **entry["labels"])
+        for name, series in delta.get("gauges", {}).items():
+            for entry in series:
+                self.gauge(name, entry["value"], **entry["labels"])
+        for name, series in delta.get("histograms", {}).items():
+            key_of = labels_key
+            with self._lock:
+                slot = self._hists.setdefault(name, {})
+                for entry in series:
+                    hist = slot.get(key_of(entry["labels"]))
+                    if hist is None:
+                        hist = slot[key_of(entry["labels"])] = _Hist(
+                            tuple(entry["bounds"])
+                        )
+                    if list(hist.bounds) != list(entry["bounds"]):
+                        raise ConfigurationError(
+                            f"histogram {name!r} delta has mismatched bucket "
+                            "bounds"
+                        )
+                    hist.counts = [
+                        a + b for a, b in zip(hist.counts, entry["counts"])
+                    ]
+                    hist.sum += entry["sum"]
+                    hist.count += entry["count"]
+        for key, agg in delta.get("spans", {}).items():
+            self.spans.merge_aggregate(
+                agg["name"], agg["parent"], agg["count"], agg["seconds"]
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+        self.spans.clear()
+
+
+def _by_labels(series: list) -> dict:
+    return {labels_key(entry["labels"]): entry for entry in series}

@@ -1,0 +1,165 @@
+"""Lightweight tracing spans: nested, monotonic-timed, bounded.
+
+A span brackets one unit of work — ``with span("bnb.node"):`` around the
+branch-and-bound node loop body, ``with span("service.request"):`` around
+a daemon request.  Spans nest: each thread keeps its own stack, so a
+``"nlp.solve"`` opened inside ``"bnb.node"`` records ``parent="bnb.node"``
+and ``depth=1``, and concurrent daemon threads never see each other's
+stacks.
+
+Two views of the recorded data:
+
+- a **ring buffer** of the most recent :class:`SpanRecord` objects
+  (bounded ``deque`` — tracing a million-node tree costs a fixed amount
+  of memory, keeping only the tail for inspection), and
+- **aggregates** keyed by ``(name, parent)`` — total count and seconds —
+  which never drop data, survive the ring buffer's eviction, and merge
+  across processes like counters (see
+  :meth:`~repro.telemetry.registry.MetricsRegistry.export_delta`).
+
+Timing reads :func:`repro.util.timing.monotonic`, the same clock as
+stopwatches and deadlines.  The *disabled* fast path never allocates:
+:data:`NOOP_SPAN` is a shared singleton context manager returned by
+:func:`repro.telemetry.span` when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.util.timing import monotonic
+
+__all__ = ["SpanRecord", "SpanRecorder", "NOOP_SPAN"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as kept in the ring buffer."""
+
+    name: str
+    parent: str | None
+    depth: int
+    start: float        # monotonic seconds (comparable within one process)
+    duration: float
+
+
+class _NoopSpan:
+    """The shared do-nothing context manager for disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+#: Singleton returned by :func:`repro.telemetry.span` when disabled —
+#: entering it is a constant-time no-op with zero allocation.
+NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    """An open span; created by :meth:`SpanRecorder.open`."""
+
+    __slots__ = ("_recorder", "name", "parent", "depth", "_t0")
+
+    def __init__(self, recorder: "SpanRecorder", name: str):
+        self._recorder = recorder
+        self.name = name
+
+    def __enter__(self):
+        stack = self._recorder._stack()
+        self.parent = stack[-1] if stack else None
+        self.depth = len(stack)
+        stack.append(self.name)
+        self._t0 = monotonic()
+        return self
+
+    def __exit__(self, *exc):
+        duration = monotonic() - self._t0
+        stack = self._recorder._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self._recorder._finish(
+            SpanRecord(self.name, self.parent, self.depth, self._t0, duration)
+        )
+        return False
+
+
+class SpanRecorder:
+    """Per-registry span storage: ring buffer plus (name, parent) aggregates."""
+
+    def __init__(self, capacity: int = 4096):
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self._agg: dict = {}  # (name, parent) -> [count, seconds]
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def open(self, name: str) -> _LiveSpan:
+        """A context manager that records one span under ``name``."""
+        return _LiveSpan(self, name)
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._ring.append(record)
+            slot = self._agg.get((record.name, record.parent))
+            if slot is None:
+                self._agg[(record.name, record.parent)] = [1, record.duration]
+            else:
+                slot[0] += 1
+                slot[1] += record.duration
+
+    def merge_aggregate(
+        self, name: str, parent: str | None, count: int, seconds: float
+    ) -> None:
+        """Fold a shipped aggregate in (ring entries do not cross processes)."""
+        with self._lock:
+            slot = self._agg.get((name, parent))
+            if slot is None:
+                self._agg[(name, parent)] = [count, seconds]
+            else:
+                slot[0] += count
+                slot[1] += seconds
+
+    def recent(self) -> list:
+        """The ring buffer's current contents, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def aggregates(self) -> dict:
+        """JSON-safe ``{"name|parent": {...}}`` totals, sorted for stability.
+
+        The key joins name and parent with ``"|"`` (parent ``None``
+        renders as the empty string) so the dict survives JSON, where
+        tuple keys cannot.
+        """
+        with self._lock:
+            items = sorted(
+                ((name, parent, count, seconds)
+                 for (name, parent), (count, seconds) in self._agg.items()),
+                key=lambda item: (item[0], item[1] or ""),
+            )
+        return {
+            f"{name}|{parent or ''}": {
+                "name": name,
+                "parent": parent,
+                "count": count,
+                "seconds": seconds,
+            }
+            for name, parent, count, seconds in items
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._agg.clear()

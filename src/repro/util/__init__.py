@@ -9,7 +9,7 @@ from repro.util.validation import (
 )
 from repro.util.rng import as_rng, spawn_child
 from repro.util.tables import TextTable, format_seconds
-from repro.util.timing import Counters, Stopwatch
+from repro.util.timing import Counters, Stopwatch, monotonic
 
 __all__ = [
     "check_positive",
@@ -23,4 +23,5 @@ __all__ = [
     "format_seconds",
     "Stopwatch",
     "Counters",
+    "monotonic",
 ]

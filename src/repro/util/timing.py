@@ -6,6 +6,12 @@ that bookkeeping out of the algorithm code.  :class:`Counters` does the
 same for *event counts* — kernel compiles, cache hits, batched evaluation
 points — which the kernel layer accumulates and the MINLP solvers surface
 in their solve reports.
+
+:func:`monotonic` is the one clock every timing layer reads —
+:class:`Stopwatch` phases, :class:`~repro.resilience.retry.Deadline`
+budgets, supervised-worker heartbeats, and :mod:`repro.telemetry` spans.
+A single helper means a span opened around a deadline-checked stage can
+never disagree with the deadline about how much time passed.
 """
 
 from __future__ import annotations
@@ -13,6 +19,16 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from contextlib import contextmanager
+
+
+def monotonic() -> float:
+    """Seconds on the shared monotonic clock (never goes backwards).
+
+    All repro timing — stopwatches, deadlines, heartbeats, telemetry
+    spans — measures durations as differences of this value, so the
+    layers can be compared against each other without clock skew.
+    """
+    return time.monotonic()
 
 
 class Stopwatch:
@@ -31,11 +47,11 @@ class Stopwatch:
 
     @contextmanager
     def phase(self, name: str):
-        start = time.perf_counter()
+        start = monotonic()
         try:
             yield
         finally:
-            self._elapsed[name] += time.perf_counter() - start
+            self._elapsed[name] += monotonic() - start
             self._counts[name] += 1
 
     def elapsed(self, name: str) -> float:

@@ -1,0 +1,75 @@
+"""Telemetry snapshot persistence: stamped JSONL records via repro.io."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.io import (
+    append_metrics,
+    load_metrics,
+    metrics_snapshot_from_dict,
+    metrics_snapshot_to_dict,
+)
+from repro.telemetry import MetricsRegistry, names, to_prometheus
+
+
+def sample_snapshot() -> dict:
+    reg = MetricsRegistry()
+    reg.count(names.SERVICE_REQUESTS, 3, status="ok", tier="exact")
+    reg.gauge(names.SERVICE_QUEUE_DEPTH, 2)
+    reg.observe(names.SERVICE_BATCH_SIZE, 4)
+    with reg.spans.open("unit"):
+        pass
+    return reg.snapshot()
+
+
+class TestStampedRecord:
+    def test_round_trip(self):
+        snap = sample_snapshot()
+        record = metrics_snapshot_to_dict(snap, meta={"source": "test"})
+        assert record["format"] == "repro/metrics"
+        assert record["meta"] == {"source": "test"}
+        assert metrics_snapshot_from_dict(record) == snap
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            metrics_snapshot_from_dict({"format": "repro/fits", "metrics": {}})
+
+    def test_missing_metrics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            metrics_snapshot_from_dict({"format": "repro/metrics",
+                                        "schema_version": 1})
+
+
+class TestJSONLFile:
+    def test_append_accumulates_a_time_series(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        first, second = sample_snapshot(), sample_snapshot()
+        append_metrics(path, first)
+        append_metrics(path, second, meta={"tick": 2})
+        loaded = load_metrics(path)
+        assert loaded == [first, second]
+
+    def test_records_are_one_line_each(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        append_metrics(path, sample_snapshot())
+        append_metrics(path, sample_snapshot())
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)    # each line is standalone JSON
+
+    def test_loaded_snapshot_feeds_the_exporters(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        append_metrics(path, sample_snapshot())
+        text = to_prometheus(load_metrics(path)[0])
+        assert "service_requests_total{" in text
+        assert 'le="+Inf"' in text
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        append_metrics(path, sample_snapshot())
+        with path.open("a") as handle:
+            handle.write("\n")
+        assert len(load_metrics(path)) == 1

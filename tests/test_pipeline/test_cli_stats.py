@@ -1,0 +1,76 @@
+"""``hslb stats``: fetch and render a live daemon's statistics."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.pipeline.cli import build_parser, main
+from repro.service import ServiceConfig, serve_in_thread
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def stats_args(handle, *extra):
+    host, port = handle.address
+    return ["stats", "--host", host, "--port", str(port), *extra]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.port == 7461 and not args.json and not args.prometheus
+
+    def test_json_and_prometheus_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--json", "--prometheus"])
+
+
+class TestStatsCommand:
+    def test_human_render(self, capsys):
+        with serve_in_thread(ServiceConfig()) as handle:
+            with handle.client() as client:
+                client.ping()
+            assert main(stats_args(handle)) == 0
+        out = capsys.readouterr().out
+        assert "backend: serial" in out
+        assert "request tiers" in out
+        assert "warm pools:" in out
+        assert "telemetry: disabled" in out
+
+    def test_json_output(self, capsys):
+        with serve_in_thread(ServiceConfig()) as handle:
+            assert main(stats_args(handle, "--json")) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "serial"
+        assert "counters" in payload and "service" in payload
+        assert payload["telemetry"] is None
+
+    def test_prometheus_without_telemetry_fails_clearly(self, capsys):
+        with serve_in_thread(ServiceConfig()) as handle:
+            assert main(stats_args(handle, "--prometheus")) == 1
+        assert "REPRO_TELEMETRY" in capsys.readouterr().err
+
+    def test_prometheus_scrape_from_instrumented_daemon(self, capsys):
+        telemetry.enable(MetricsRegistry())
+        with serve_in_thread(ServiceConfig()) as handle:
+            with handle.client() as client:
+                client.ping()
+            telemetry.get_registry().count("probe.metric", 7)
+            assert main(stats_args(handle, "--prometheus")) == 0
+        out = capsys.readouterr().out
+        assert "probe_metric_total 7" in out
+
+    def test_human_render_includes_telemetry_report(self, capsys):
+        telemetry.enable(MetricsRegistry())
+        with serve_in_thread(ServiceConfig()) as handle:
+            telemetry.get_registry().count("probe.metric", 7)
+            assert main(stats_args(handle)) == 0
+        out = capsys.readouterr().out
+        assert "probe.metric" in out

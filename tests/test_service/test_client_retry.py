@@ -1,0 +1,106 @@
+"""Opt-in client-side admission retry: only ``rejected``, bounded, deterministic."""
+
+import pytest
+
+from repro import telemetry
+from repro.resilience import RetryPolicy
+from repro.service.client import ServiceClient
+from repro.service.protocol import ServiceResponse
+from repro.telemetry import MetricsRegistry, names
+
+
+def scripted_client(statuses, policy=None, sleeps=None):
+    """A ServiceClient with no socket: ``call`` pops scripted responses."""
+    client = ServiceClient.__new__(ServiceClient)
+    client.client_id = "t"
+    client.retry_rejected = policy
+    client.retry_seed = 0
+    client._counter = 0
+    script = list(statuses)
+    sent = []
+
+    def call(request):
+        sent.append(request)
+        status = script.pop(0)
+        if status == "ok":
+            return ServiceResponse(id=request.id, status="ok", tier="cold",
+                                   result={"objective": 1.0})
+        return ServiceResponse(id=request.id, status=status,
+                               error={"type": "E", "detail": status})
+
+    client.call = call
+    return client, sent
+
+
+def fake_policy(max_attempts, sleeps):
+    return RetryPolicy(
+        max_attempts=max_attempts, base_delay=0.01, sleep=sleeps.append
+    )
+
+
+class TestDefaultOneShot:
+    def test_no_policy_means_no_retry(self):
+        client, sent = scripted_client(["rejected", "ok"])
+        response = client.solve_point({"fake": "spec"})
+        assert response.status == "rejected"
+        assert len(sent) == 1
+
+
+class TestRetryRejected:
+    def test_retries_until_accepted(self):
+        sleeps = []
+        client, sent = scripted_client(
+            ["rejected", "rejected", "ok"], fake_policy(4, sleeps))
+        response = client.solve_point({"fake": "spec"})
+        assert response.status == "ok"
+        assert len(sent) == 3
+        assert len(sleeps) == 2
+
+    def test_same_request_id_every_attempt(self):
+        client, sent = scripted_client(
+            ["rejected", "ok"], fake_policy(4, []))
+        client.solve_point({"fake": "spec"})
+        assert len({request.id for request in sent}) == 1
+
+    def test_gives_up_after_max_attempts(self):
+        sleeps = []
+        client, sent = scripted_client(
+            ["rejected"] * 5, fake_policy(3, sleeps))
+        response = client.solve_point({"fake": "spec"})
+        assert response.status == "rejected"
+        assert len(sent) == 3
+        assert len(sleeps) == 2     # no sleep after the final attempt
+
+    @pytest.mark.parametrize("status", ["expired", "error", "poisoned"])
+    def test_only_rejected_retries(self, status):
+        client, sent = scripted_client([status, "ok"], fake_policy(4, []))
+        response = client.solve_point({"fake": "spec"})
+        assert response.status == status
+        assert len(sent) == 1
+
+    def test_backoff_is_deterministic(self):
+        a_sleeps, b_sleeps = [], []
+        client_a, _ = scripted_client(
+            ["rejected", "rejected", "ok"], fake_policy(4, a_sleeps))
+        client_b, _ = scripted_client(
+            ["rejected", "rejected", "ok"], fake_policy(4, b_sleeps))
+        client_a.solve_point({"fake": "spec"})
+        client_b.solve_point({"fake": "spec"})
+        assert a_sleeps == b_sleeps
+        assert all(delay > 0 for delay in a_sleeps)
+
+    def test_retries_are_counted(self):
+        registry = telemetry.enable(MetricsRegistry())
+        try:
+            client, _ = scripted_client(
+                ["rejected", "rejected", "ok"], fake_policy(4, []))
+            client.solve_point({"fake": "spec"})
+            assert registry.get_count(names.CLIENT_REJECTED_RETRIES) == 2
+        finally:
+            telemetry.disable()
+
+    def test_tune_requests_also_retry(self):
+        client, sent = scripted_client(["rejected", "ok"], fake_policy(4, []))
+        response = client.tune({"fake": "spec"})
+        assert response.status == "ok"
+        assert len(sent) == 2

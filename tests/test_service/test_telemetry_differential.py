@@ -1,0 +1,120 @@
+"""Telemetry differential: observing the service never changes its answers.
+
+The acceptance gate for the telemetry layer, run across the Table I
+layouts and both dispatch backends:
+
+- with telemetry **disabled** (the default) vs **enabled**, every service
+  response — objective, allocation, solver statistics, tier — is
+  bit-identical;
+- under the supervised backend, fork-started workers ship their metric
+  deltas back with each result and the parent folds them in, so the
+  merged registry sees the solver work without touching the answers;
+- the instrumented run's overhead stays under 5% (asserted strictly only
+  when ``REPRO_PERF_STRICT=1`` — the CI perf job — to keep laptop and
+  loaded-CI runs from flaking; elsewhere a loose 50% sanity bound).
+"""
+
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.cesm import Layout, make_case
+from repro.service import ServiceConfig, ServiceEngine
+from repro.telemetry import MetricsRegistry, monotonic, names
+from tests.test_service._util import point_specs, request_for
+
+SIZES = (128, 120)
+LAYOUTS = (Layout.HYBRID, Layout.SEQUENTIAL_SPLIT, Layout.FULLY_SEQUENTIAL)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def ladder_for(calibrated, layout, method="lpnlp"):
+    case = make_case("1deg", max(SIZES), layout=layout, seed=0)
+    return point_specs(calibrated, SIZES, method=method, case=case)
+
+
+def serve_sequence(engine, specs):
+    """One request per spec, plus an exact-tier repeat of the first."""
+    responses = [engine.handle(request_for(s, id=f"r{i}"))
+                 for i, s in enumerate(specs)]
+    responses.append(engine.handle(request_for(specs[0], id="repeat")))
+    return responses
+
+
+def assert_same_responses(on, off):
+    assert [r.tier for r in on] == [r.tier for r in off]
+    assert [r.status for r in on] == [r.status for r in off]
+    for a, b in zip(on, off):
+        assert a.result == b.result    # full payload, bit for bit
+
+
+class TestSerialDifferential:
+    @pytest.mark.parametrize("layout", LAYOUTS, ids=lambda l: f"layout{l.value}")
+    def test_enabled_vs_disabled_bit_identical(self, calibrated, layout):
+        specs = ladder_for(calibrated, layout)
+        telemetry.disable()
+        off = serve_sequence(ServiceEngine(), specs)
+        registry = telemetry.enable(MetricsRegistry())
+        on = serve_sequence(ServiceEngine(), specs)
+        assert_same_responses(on, off)
+        # The observed run actually recorded the serving work.
+        assert registry.counter_total(names.SERVICE_REQUESTS) == len(on)
+        assert registry.get_count(names.SERVICE_REQUESTS,
+                                  status="ok", tier="exact") == 1
+        assert registry.counter_total(names.MINLP_NODES) > 0
+
+    def test_bnb_method(self, calibrated):
+        specs = ladder_for(calibrated, Layout.HYBRID, method="bnb")
+        telemetry.disable()
+        off = serve_sequence(ServiceEngine(), specs)
+        telemetry.enable(MetricsRegistry())
+        on = serve_sequence(ServiceEngine(), specs)
+        assert_same_responses(on, off)
+
+
+class TestSupervisedDifferential:
+    def test_enabled_supervised_matches_disabled_serial(self, calibrated):
+        specs = ladder_for(calibrated, Layout.HYBRID)
+        telemetry.disable()
+        off = serve_sequence(ServiceEngine(), specs)
+        registry = telemetry.enable(MetricsRegistry())
+        engine = ServiceEngine(ServiceConfig(backend="supervised", workers=2))
+        try:
+            on = serve_sequence(engine, specs)
+        finally:
+            engine.shutdown()
+        assert_same_responses(on, off)
+        # Fork-started workers shipped their per-task deltas home: the
+        # parent registry holds solver counts it never recorded locally.
+        assert registry.counter_total(names.FLEET_WORKER_DELTAS) > 0
+        assert registry.counter_total(names.MINLP_NODES) > 0
+        assert registry.counter_total(names.MINLP_SOLVES) > 0
+
+
+class TestOverhead:
+    def test_instrumented_overhead_is_bounded(self, calibrated):
+        specs = ladder_for(calibrated, Layout.HYBRID)
+
+        def run():
+            t0 = monotonic()
+            serve_sequence(ServiceEngine(), specs)
+            return monotonic() - t0
+
+        telemetry.disable()
+        run()                      # warm the kernel cache out of the measurement
+        base = min(run() for _ in range(3))
+        telemetry.enable(MetricsRegistry())
+        instrumented = min(run() for _ in range(3))
+        overhead = instrumented / base - 1.0
+        limit = 0.05 if os.environ.get("REPRO_PERF_STRICT") == "1" else 0.50
+        assert overhead < limit, (
+            f"telemetry overhead {overhead:.1%} exceeds {limit:.0%} "
+            f"({instrumented:.3f}s vs {base:.3f}s)"
+        )

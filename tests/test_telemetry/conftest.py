@@ -1,0 +1,23 @@
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    """Every test starts and ends with telemetry disabled.
+
+    The module-level registry is process-global state; leaking an enabled
+    registry into the rest of the suite would silently change what other
+    tests measure (never what they compute — that's the whole contract).
+    """
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    """A fresh registry installed as the active one."""
+    return telemetry.enable(MetricsRegistry())

@@ -1,0 +1,89 @@
+"""The module-level API: enable/disable, fast paths, env auto-enable."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.spans import NOOP_SPAN
+
+
+class TestDisabledFastPath:
+    def test_recording_is_a_noop(self):
+        telemetry.count("x")
+        telemetry.gauge("g", 1.0)
+        telemetry.observe("h", 1.0)
+        assert not telemetry.enabled()
+        assert telemetry.get_registry() is None
+
+    def test_span_returns_the_shared_singleton(self):
+        assert telemetry.span("anything") is NOOP_SPAN
+        assert telemetry.span("other") is NOOP_SPAN
+
+    def test_delta_helpers_tolerate_disabled(self):
+        assert telemetry.mark() is None
+        assert telemetry.export_delta(None) is None
+        telemetry.merge_delta(None)
+        telemetry.merge_delta({"counters": {"x": [{"labels": {}, "value": 1}]}})
+
+
+class TestEnableDisable:
+    def test_enable_installs_and_routes(self, registry):
+        telemetry.count("x", 2, tier="warm")
+        assert registry.get_count("x", tier="warm") == 2
+        with telemetry.span("unit"):
+            pass
+        assert "unit|" in registry.spans.aggregates()
+
+    def test_enable_is_idempotent(self, registry):
+        assert telemetry.enable() is registry
+
+    def test_enable_with_registry_swaps(self, registry):
+        fresh = MetricsRegistry()
+        assert telemetry.enable(fresh) is fresh
+        assert telemetry.get_registry() is fresh
+
+    def test_disable_drops_the_registry(self, registry):
+        telemetry.disable()
+        assert not telemetry.enabled()
+        assert telemetry.span("x") is NOOP_SPAN
+
+    def test_delta_ships_between_registries(self, registry):
+        baseline = telemetry.mark()
+        telemetry.count("x", 5)
+        delta = telemetry.export_delta(baseline)
+        other = telemetry.enable(MetricsRegistry())
+        telemetry.merge_delta(delta)
+        assert other.get_count("x") == 5
+
+    def test_export_delta_with_none_baseline_exports_everything(self, registry):
+        telemetry.count("x", 7)
+        delta = telemetry.export_delta(None)
+        assert delta["counters"]["x"][0]["value"] == 7
+
+
+class TestEnvAutoEnable:
+    def _enabled_under(self, value: str | None) -> bool:
+        env = dict(os.environ)
+        env.pop("REPRO_TELEMETRY", None)
+        if value is not None:
+            env["REPRO_TELEMETRY"] = value
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "import repro.telemetry as t; print(t.enabled())"],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip() == "True"
+
+    def test_default_is_off(self):
+        assert self._enabled_under(None) is False
+
+    def test_one_turns_it_on(self):
+        assert self._enabled_under("1") is True
+
+    def test_zero_stays_off(self):
+        assert self._enabled_under("0") is False

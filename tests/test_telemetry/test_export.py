@@ -1,0 +1,90 @@
+"""Exporters: Prometheus text exposition validity and the report table."""
+
+import re
+
+from repro.telemetry import MetricsRegistry, names, render_report, to_prometheus
+
+# One exposition line: metric name, optional {label="value",...} block, a
+# number (int, float, or +Inf is never a value here — only a label).
+LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*")*\})?'
+    r' -?[0-9]+(\.[0-9]+)?([eE][+-][0-9]+)?$'
+)
+TYPE_LINE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+
+
+def full_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.count(names.SERVICE_REQUESTS, 3, status="ok", tier="exact")
+    reg.count(names.MINLP_NODES, 41, solver="lpnlp")
+    reg.gauge(names.SERVICE_QUEUE_DEPTH, 2)
+    reg.observe(names.SERVICE_BATCH_SIZE, 1)
+    reg.observe(names.SERVICE_BATCH_SIZE, 5)
+    with reg.spans.open("bnb.node"):
+        with reg.spans.open("bnb.nlp"):
+            pass
+    return reg
+
+
+class TestPrometheusFormat:
+    def test_every_line_is_valid_exposition(self):
+        text = to_prometheus(full_registry().snapshot())
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").split("\n"):
+            assert TYPE_LINE.match(line) or LINE.match(line), line
+
+    def test_counter_names_get_total_suffix_and_underscores(self):
+        text = to_prometheus(full_registry().snapshot())
+        assert "service_requests_total{" in text
+        assert "minlp_nodes_total{" in text
+        metric_names = (
+            line.split("{")[0].split(" ")[0] for line in text.splitlines()
+            if not line.startswith("#")
+        )
+        assert all("." not in name for name in metric_names)
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = to_prometheus(full_registry().snapshot())
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("service_batch_size_bucket")
+        ]
+        assert buckets == sorted(buckets)          # monotone non-decreasing
+        assert 'le="+Inf"} 2' in text              # final bucket == count
+        assert "service_batch_size_sum 6" in text
+        assert "service_batch_size_count 2" in text
+
+    def test_span_aggregates_export_as_counter_pair(self):
+        text = to_prometheus(full_registry().snapshot())
+        assert "# TYPE repro_span_seconds_total counter" in text
+        assert 'repro_span_count_total{name="bnb.nlp",parent="bnb.node"} 1' in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.count("x", 1, path='a"b\\c\nd')
+        text = to_prometheus(reg.snapshot())
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        for line in text.rstrip("\n").split("\n"):
+            assert TYPE_LINE.match(line) or LINE.match(line), line
+
+    def test_empty_snapshot_exports_empty_string(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestReport:
+    def test_sections_and_series_present(self):
+        report = render_report(full_registry().snapshot())
+        assert "counters and gauges" in report
+        assert "histograms" in report
+        assert "spans" in report
+        assert names.SERVICE_REQUESTS in report
+        assert "status=ok" in report
+        assert "bnb.nlp" in report
+
+    def test_empty_snapshot(self):
+        assert render_report(MetricsRegistry().snapshot()) == (
+            "(no telemetry recorded)\n"
+        )

@@ -1,0 +1,102 @@
+"""Instrumentation counts match solver statistics, and never change them.
+
+The solvers already report their own statistics (``MINLPResult.nodes``,
+``nlp_solves``, ...); telemetry records the same events from inside the
+loops.  These tests pin the two views to each other — a drifting counter
+means an instrumentation point moved off the real event — and pin the
+core contract: enabling telemetry changes no result bit.
+"""
+
+from repro import telemetry
+from repro.expr.node import const, var
+from repro.kernels import KernelCache
+from repro.minlp import solve_lpnlp, solve_nlp_bnb
+from repro.model import Model, Objective, Sense, VarType
+from repro.telemetry import MetricsRegistry, names
+
+
+def two_component_model(N=10, a1=40.0, a2=60.0):
+    m = Model("two")
+    T = m.add_variable("T", lb=0.0, ub=10_000.0)
+    n1 = m.add_variable("n1", VarType.INTEGER, 1, N)
+    n2 = m.add_variable("n2", VarType.INTEGER, 1, N)
+    m.add_constraint("c1", a1 / n1.ref() + 1.0 - T.ref(), Sense.LE, 0.0)
+    m.add_constraint("c2", a2 / n2.ref() + 1.0 - T.ref(), Sense.LE, 0.0)
+    m.add_constraint("cap", n1.ref() + n2.ref(), Sense.LE, float(N))
+    m.set_objective(Objective("obj", T.ref()))
+    return m
+
+
+class TestSolverCounters:
+    def test_lpnlp_counts_match_result_statistics(self, registry):
+        res = solve_lpnlp(two_component_model())
+        assert registry.get_count(names.MINLP_SOLVES, solver="lpnlp") == 1
+        assert registry.get_count(names.MINLP_NODES, solver="lpnlp") == res.nodes
+        assert (registry.get_count(names.MINLP_NLP_SOLVES, solver="lpnlp")
+                == res.nlp_solves)
+        assert registry.get_count(names.MINLP_CUTS_ADDED) == res.cuts_added
+        assert registry.get_count(names.MINLP_LP_ITERATIONS) == res.lp_iterations
+
+    def test_bnb_counts_and_spans_match_result_statistics(self, registry):
+        res = solve_nlp_bnb(two_component_model())
+        assert registry.get_count(names.MINLP_SOLVES, solver="bnb") == 1
+        assert registry.get_count(names.MINLP_NODES, solver="bnb") == res.nodes
+        assert (registry.get_count(names.MINLP_NLP_SOLVES, solver="bnb")
+                == res.nlp_solves)
+        # One "bnb.node" span per node the loop actually processed.
+        agg = registry.spans.aggregates()
+        assert agg["bnb.node|"]["count"] == res.nodes
+        # NLP solves nest inside node spans.
+        assert any(key.startswith("bnb.nlp|") for key in agg)
+
+    def test_counters_accumulate_across_solves(self, registry):
+        solve_lpnlp(two_component_model())
+        solve_lpnlp(two_component_model(N=12))
+        assert registry.get_count(names.MINLP_SOLVES, solver="lpnlp") == 2
+
+
+class TestKernelCacheCounters:
+    def test_hits_misses_compiles(self, registry):
+        cache = KernelCache()
+        expr = const(8000.0) / var("n") + const(18.0)
+        cache.smooth(expr, {"n": 0})
+        cache.smooth(expr, {"n": 0})
+        assert registry.get_count(names.KERNEL_MISSES) == 1
+        assert registry.get_count(names.KERNEL_COMPILES) == 1
+        assert registry.get_count(names.KERNEL_HITS) == 1
+
+    def test_telemetry_mirrors_the_cache_counters(self, registry):
+        cache = KernelCache()
+        cache.batch([const(2.0) * var("n")], {"n": 0})
+        cache.batch([const(2.0) * var("n")], {"n": 0})
+        assert (registry.get_count(names.KERNEL_HITS)
+                == cache.counters.get("kernel_hits"))
+        assert (registry.get_count(names.KERNEL_MISSES)
+                == cache.counters.get("kernel_misses"))
+
+
+class TestBitIdentity:
+    """Telemetry on vs off: identical results, to the float bit."""
+
+    def assert_identical(self, a, b):
+        assert a.status is b.status
+        assert float(a.objective).hex() == float(b.objective).hex()
+        assert a.solution == b.solution
+        assert a.nodes == b.nodes
+        assert a.nlp_solves == b.nlp_solves
+        assert a.cuts_added == b.cuts_added
+        assert a.lp_iterations == b.lp_iterations
+
+    def test_lpnlp(self):
+        telemetry.disable()
+        off = solve_lpnlp(two_component_model())
+        telemetry.enable(MetricsRegistry())
+        on = solve_lpnlp(two_component_model())
+        self.assert_identical(on, off)
+
+    def test_bnb(self):
+        telemetry.disable()
+        off = solve_nlp_bnb(two_component_model())
+        telemetry.enable(MetricsRegistry())
+        on = solve_nlp_bnb(two_component_model())
+        self.assert_identical(on, off)

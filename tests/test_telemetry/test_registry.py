@@ -1,0 +1,174 @@
+"""MetricsRegistry: counters, gauges, histograms, snapshots, deltas."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry import MetricsRegistry, names
+from repro.telemetry.names import SIZE_BUCKETS
+from repro.telemetry.registry import labels_key
+
+
+class TestCounters:
+    def test_increment_and_read(self):
+        reg = MetricsRegistry()
+        reg.count("x")
+        reg.count("x", 4)
+        assert reg.get_count("x") == 5
+
+    def test_never_incremented_reads_zero(self):
+        assert MetricsRegistry().get_count("nope") == 0
+
+    def test_label_sets_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.count("req", status="ok")
+        reg.count("req", status="ok")
+        reg.count("req", status="rejected")
+        assert reg.get_count("req", status="ok") == 2
+        assert reg.get_count("req", status="rejected") == 1
+        assert reg.counter_total("req") == 3
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.count("req", a="1", b="2")
+        assert reg.get_count("req", b="2", a="1") == 1
+        assert labels_key({"b": 2, "a": 1}) == labels_key({"a": "1", "b": "2"})
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", 3)
+        reg.gauge("depth", 7)
+        assert reg.get_gauge("depth") == 7.0
+
+    def test_unset_gauge_is_none(self):
+        assert MetricsRegistry().get_gauge("depth") is None
+
+
+class TestHistograms:
+    def test_bounds_come_from_the_catalog(self):
+        reg = MetricsRegistry()
+        reg.observe(names.SERVICE_BATCH_SIZE, 3)
+        entry = reg.snapshot()["histograms"][names.SERVICE_BATCH_SIZE][0]
+        assert tuple(entry["bounds"]) == SIZE_BUCKETS
+
+    def test_bucketing_is_le_inclusive(self):
+        # bounds (1, 2, 4, ...): a value equal to a bound lands in that
+        # bound's bucket (Prometheus `le` semantics), one past it in the next.
+        reg = MetricsRegistry()
+        reg.observe(names.SERVICE_BATCH_SIZE, 1)
+        reg.observe(names.SERVICE_BATCH_SIZE, 2)
+        reg.observe(names.SERVICE_BATCH_SIZE, 3)
+        reg.observe(names.SERVICE_BATCH_SIZE, 1000)  # past the last bound
+        entry = reg.snapshot()["histograms"][names.SERVICE_BATCH_SIZE][0]
+        assert entry["counts"][0] == 1          # le=1
+        assert entry["counts"][1] == 1          # le=2
+        assert entry["counts"][2] == 1          # le=4 (the 3)
+        assert entry["counts"][-1] == 1         # +Inf overflow slot
+        assert entry["count"] == 4
+        assert entry["sum"] == pytest.approx(1 + 2 + 3 + 1000)
+
+    def test_uncataloged_name_gets_default_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("custom.seconds", 0.1)
+        entry = reg.snapshot()["histograms"]["custom.seconds"][0]
+        assert tuple(entry["bounds"]) == names.DEFAULT_BUCKETS
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.count("b.metric", tier="warm")
+        reg.count("a.metric")
+        reg.gauge("g", 1.5)
+        reg.observe(names.SERVICE_REQUEST_SECONDS, 0.01, kind="solve_point")
+        with reg.spans.open("unit"):
+            pass
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.metric", "b.metric"]
+        json.dumps(snap)  # must not raise
+
+    def test_clear_empties_everything(self):
+        reg = MetricsRegistry()
+        reg.count("x")
+        reg.gauge("g", 1)
+        reg.observe("h", 1)
+        with reg.spans.open("s"):
+            pass
+        reg.clear()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["spans"] == {}
+
+
+class TestDeltas:
+    """The FamilyDelta discipline: mark -> export_delta -> merge_delta."""
+
+    def test_export_contains_only_the_diff(self):
+        reg = MetricsRegistry()
+        reg.count("x", 10)
+        baseline = reg.mark()
+        reg.count("x", 3)
+        reg.count("y")
+        delta = reg.export_delta(baseline)
+        assert delta["counters"]["x"][0]["value"] == 3
+        assert delta["counters"]["y"][0]["value"] == 1
+
+    def test_untouched_series_are_dropped(self):
+        reg = MetricsRegistry()
+        reg.count("x", 10)
+        reg.observe("h", 1.0)
+        baseline = reg.mark()
+        delta = reg.export_delta(baseline)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+        assert delta["spans"] == {}
+
+    def test_merge_equals_doing_the_work_in_one_registry(self):
+        solo = MetricsRegistry()
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        for reg in (solo, parent):
+            reg.count("req", 2, status="ok")
+            reg.observe(names.SERVICE_BATCH_SIZE, 4)
+        baseline = worker.mark()
+        for reg in (solo, worker):
+            reg.count("req", 3, status="ok")
+            reg.count("req", 1, status="rejected")
+            reg.observe(names.SERVICE_BATCH_SIZE, 2)
+            reg.spans.merge_aggregate("solve", None, 5, 1.25)
+        parent.merge_delta(worker.export_delta(baseline))
+        assert parent.snapshot() == solo.snapshot()
+
+    def test_gauges_are_last_write_wins_across_merge(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("depth", 3)
+        worker.gauge("depth", 9)
+        parent.merge_delta(worker.export_delta(worker.mark()))
+        assert parent.get_gauge("depth") == 9.0
+
+    def test_merge_rejects_mismatched_bucket_bounds(self):
+        parent = MetricsRegistry()
+        parent.observe("h", 1.0)  # default latency bounds
+        delta = {
+            "counters": {}, "gauges": {}, "spans": {},
+            "histograms": {"h": [{
+                "labels": {}, "bounds": [1.0, 2.0], "counts": [1, 0, 0],
+                "sum": 1.0, "count": 1,
+            }]},
+        }
+        with pytest.raises(ConfigurationError):
+            parent.merge_delta(delta)
+
+    def test_delta_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        baseline = reg.mark()
+        reg.count("x", tier="warm")
+        reg.observe(names.SERVICE_BATCH_SIZE, 8)
+        delta = json.loads(json.dumps(reg.export_delta(baseline)))
+        other = MetricsRegistry()
+        other.merge_delta(delta)
+        assert other.get_count("x", tier="warm") == 1

@@ -1,0 +1,94 @@
+"""Tracing spans: nesting, the bounded ring buffer, aggregates."""
+
+import threading
+
+from repro.telemetry import SpanRecorder
+from repro.telemetry.spans import NOOP_SPAN, _NoopSpan
+
+
+class TestNesting:
+    def test_parent_and_depth(self):
+        rec = SpanRecorder()
+        with rec.open("outer"):
+            with rec.open("inner"):
+                pass
+        inner, outer = rec.recent()[0], rec.recent()[1]
+        assert (inner.name, inner.parent, inner.depth) == ("inner", "outer", 1)
+        assert (outer.name, outer.parent, outer.depth) == ("outer", None, 0)
+        assert inner.duration >= 0.0
+        assert outer.duration >= inner.duration
+
+    def test_siblings_share_a_parent(self):
+        rec = SpanRecorder()
+        with rec.open("outer"):
+            with rec.open("a"):
+                pass
+            with rec.open("b"):
+                pass
+        parents = {r.name: r.parent for r in rec.recent()}
+        assert parents == {"a": "outer", "b": "outer", "outer": None}
+
+    def test_threads_have_independent_stacks(self):
+        rec = SpanRecorder()
+        seen = {}
+
+        def worker():
+            with rec.open("threaded") as span:
+                seen["parent"] = span.parent
+
+        with rec.open("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker thread's stack is empty: "main" is not its parent.
+        assert seen["parent"] is None
+
+
+class TestRingBuffer:
+    def test_ring_is_bounded_but_aggregates_are_not(self):
+        rec = SpanRecorder(capacity=4)
+        for _ in range(10):
+            with rec.open("unit"):
+                pass
+        assert len(rec.recent()) == 4
+        agg = rec.aggregates()["unit|"]
+        assert agg["count"] == 10
+        assert agg["seconds"] >= 0.0
+
+
+class TestAggregates:
+    def test_key_joins_name_and_parent(self):
+        rec = SpanRecorder()
+        with rec.open("outer"):
+            with rec.open("inner"):
+                pass
+        keys = set(rec.aggregates())
+        assert keys == {"outer|", "inner|outer"}
+
+    def test_merge_aggregate_is_additive(self):
+        rec = SpanRecorder()
+        rec.merge_aggregate("solve", None, 3, 1.5)
+        rec.merge_aggregate("solve", None, 2, 0.5)
+        agg = rec.aggregates()["solve|"]
+        assert agg["count"] == 5
+        assert agg["seconds"] == 2.0
+
+    def test_clear(self):
+        rec = SpanRecorder()
+        with rec.open("unit"):
+            pass
+        rec.clear()
+        assert rec.recent() == []
+        assert rec.aggregates() == {}
+
+
+class TestNoopSpan:
+    def test_singleton_contextmanager(self):
+        assert isinstance(NOOP_SPAN, _NoopSpan)
+        with NOOP_SPAN as span:
+            assert span is NOOP_SPAN
+
+    def test_reentrant(self):
+        with NOOP_SPAN:
+            with NOOP_SPAN:
+                pass
